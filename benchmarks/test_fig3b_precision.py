@@ -1,0 +1,62 @@
+"""Figure 3.b -- precision of the two static analyses.
+
+Regenerates the precision series (percentage of truly independent
+(update, view) pairs detected) and asserts the paper's qualitative
+findings: the chain analysis is always at least as precise as the type
+baseline [6], with high average precision.  The benchmark measures the
+full 31x36 static grid computation.
+
+Absolute percentages depend on the rewritten workload and the ground-
+truth corpus (see EXPERIMENTS.md); the paper reports avg 96% (chains)
+vs 49% (types).
+"""
+
+from repro.bench.harness import (
+    compute_grid,
+    compute_ground_truth,
+    run_fig3b,
+)
+import io
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return compute_grid()
+
+
+@pytest.fixture(scope="module")
+def truth():
+    # Reduced corpus for benchmark runtime; the harness CLI uses the
+    # full configuration.
+    return compute_ground_truth(corpus_size=3, document_bytes_target=5_000)
+
+
+def test_grid_computation_time(benchmark):
+    result = benchmark.pedantic(compute_grid, rounds=1, iterations=1)
+    assert len(result.chains_independent) == 31 * 36
+
+
+def test_precision_series(grid, truth, capsys):
+    out = io.StringIO()
+    results = run_fig3b(grid, truth, out=out)
+    print(out.getvalue())
+
+    chains_pcts = [c for c, _ in results.values()]
+    types_pcts = [t for _, t in results.values()]
+    chains_avg = sum(chains_pcts) / len(chains_pcts)
+    types_avg = sum(types_pcts) / len(types_pcts)
+
+    # Paper shape: chains outperform types on average and per update.
+    assert chains_avg > types_avg
+    assert chains_avg >= 85.0
+    for update, (chains_pct, types_pct) in results.items():
+        assert chains_pct >= types_pct, update
+
+
+def test_soundness_on_benchmark(grid, truth):
+    """No pair may be statically independent but dynamically dependent."""
+    for pair, independent in grid.chains_independent.items():
+        if independent:
+            assert truth[pair], f"unsound chain verdict on {pair}"

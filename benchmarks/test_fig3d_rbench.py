@@ -1,0 +1,62 @@
+"""Figure 3.d -- scalability on the R-benchmark.
+
+Parametric schemas ``dn`` (n fully mutually recursive types) and paths
+``em`` (m descendant::node() steps), with k ranging over
+{|em|, |em|+5, |em|+10}.  The paper reports sub-second inference up to
+d5/e5 and seconds for d10/e10-class configurations; the shape to
+reproduce is inference time growing with n, m and k while staying
+practical for realistic recursion (and XMark remaining fast even at
+m=10).
+"""
+
+import pytest
+
+from repro.bench.rbench import descendant_path, infer_time, recursive_schema
+from repro.schema import xmark_dtd
+from repro.analysis.independence import build_universe
+from repro.analysis.infer_query import QueryInference
+from repro.xquery.ast import ROOT_VAR
+
+#: Reduced grid for the benchmark suite; the harness CLI runs the full
+#: paper grid (n up to 20, m up to 10, k up to m+10).
+GRID = [
+    (1, 1, 1), (1, 5, 5), (1, 5, 15),
+    (3, 5, 5), (3, 5, 15),
+    (5, 5, 5), (5, 5, 15),
+    (10, 5, 5),
+]
+
+
+@pytest.mark.parametrize("n,m,k", GRID)
+def test_rbench_inference(benchmark, n, m, k):
+    schema = recursive_schema(n)
+    query = descendant_path(m)
+
+    def run():
+        engine = QueryInference(build_universe(schema, k))
+        return engine.infer_root(query, ROOT_VAR)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.returns  # descendant::node() always selects something
+
+
+@pytest.mark.parametrize("m,k", [(1, 11), (5, 15), (10, 20)])
+def test_xmark_inference(benchmark, m, k):
+    """The XMark column of Figure 3.d."""
+    schema = xmark_dtd()
+    query = descendant_path(m)
+
+    def run():
+        engine = QueryInference(build_universe(schema, k))
+        return engine.infer_root(query, ROOT_VAR)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.returns
+
+
+def test_growth_shape():
+    """Inference time grows with n at fixed (m, k) -- the figure's trend."""
+    times = {
+        n: infer_time(recursive_schema(n), 5, 10) for n in (1, 5, 10)
+    }
+    assert times[10] > times[1]

@@ -1,0 +1,48 @@
+"""Schema-level access control (the paper's motivation iii).
+
+A library catalog protects its pricing and title data with *protection
+queries*; user updates are admitted only when the chain analysis proves
+them independent of every protected region.  Soundness of the analysis
+means no admitted update can ever touch a protected node, on any valid
+document.
+
+Run:  python examples/access_control.py
+"""
+
+from repro.schema import bib_dtd
+from repro.viewmaint import AccessController
+
+USER_UPDATES = [
+    ("add an author to every book",
+     "for $x in //book return insert "
+     "<author><last>Calvino</last><first>Italo</first></author> into $x"),
+    ("zero out all prices",
+     "for $x in //price return replace $x with <price>0</price>"),
+    ("rewrite all titles",
+     "for $x in //title return replace $x with <title>hacked</title>"),
+    ("delete author first names",
+     "delete //author/first"),
+    ("delete entire books",
+     "delete //book"),
+    ("retag editors as authors",
+     "for $x in //editor return rename $x as author"),
+]
+
+
+def main() -> None:
+    guard = AccessController(bib_dtd())
+    guard.protect("pricing", "//price")
+    guard.protect("titles", "//title")
+    print(f"protected regions: {guard.policies()}")
+    print()
+
+    for label, update in USER_UPDATES:
+        decision = guard.check(update)
+        status = "ALLOWED" if decision.allowed else "REJECTED"
+        print(f"[{status:8s}] {label}")
+        if not decision.allowed:
+            print(f"            violates: {list(decision.violated_policies)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Explore what the analysis infers: chains, k-bounds, CDAG sizes.
+
+A diagnostic walkthrough of the machinery on the recursive schema d1 of
+Section 5 -- useful to understand *why* a verdict holds.
+
+Run:  python examples/schema_explorer.py
+"""
+
+from repro.analysis.independence import analyze, chains_of, depth_cap_for
+from repro.analysis.kbound import multiplicity, recursive_steps
+from repro.schema import paper_d1_dtd
+from repro.xquery.parser import parse_query
+from repro.xupdate.parser import parse_update
+
+PAIRS = [
+    ("/r/a/b/f/a", "delete /r/a/c"),
+    ("/descendant::b", "delete /descendant::c"),
+    ("//b/ancestor::c", "delete //e"),
+    ("//g", "for $x in //f return insert <g/> into $x"),
+]
+
+
+def main() -> None:
+    dtd = paper_d1_dtd()
+    print(f"schema: d1, |d| = {dtd.size()}, "
+          f"recursive types = {sorted(dtd.recursive_symbols())}")
+    print()
+
+    for query_text, update_text in PAIRS:
+        query = parse_query(query_text)
+        update = parse_update(update_text)
+        kq, ku = multiplicity(query), multiplicity(update)
+        report = analyze(query, update, dtd)
+        print(f"q = {query_text}")
+        print(f"u = {update_text}")
+        print(f"  kq={kq} (R={recursive_steps(query)}), ku={ku}, "
+              f"k={report.k}, depth cap={depth_cap_for(dtd, report.k)}")
+
+        returns = sorted(chains_of(report.query_chains.returns, limit=200_000))
+        updates = sorted(chains_of(report.update_chains, limit=200_000))
+        print(f"  query return chains ({len(returns)}): "
+              f"{['.'.join(c) for c in returns[:4]]}"
+              f"{' ...' if len(returns) > 4 else ''}")
+        print(f"  update chains ({len(updates)}): "
+              f"{['.'.join(c) for c in updates[:4]]}"
+              f"{' ...' if len(updates) > 4 else ''}")
+        print(f"  verdict: {report}")
+        for conflict in report.conflicts[:2]:
+            print(f"    conflict {conflict}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro: type-based detection of XML query-update independence.
+
+Full reproduction of Bidoit-Tollu, Colazzo & Ulliana, VLDB 2012.
+
+Quickstart::
+
+    from repro import DTD, analyze
+
+    dtd = DTD.from_dict("doc", {"doc": "(a | b)*", "a": "c", "b": "c",
+                                "c": "EMPTY"})
+    report = analyze("//a//c", "delete //b//c", dtd)
+    assert report.independent
+"""
+
+from .analysis import (
+    AnalysisEngine,
+    IndependenceReport,
+    analyze,
+    baseline_analyze,
+    baseline_is_independent,
+    dynamic_independent,
+    dynamic_independent_generated,
+    is_independent,
+)
+from .schema import DTD, EDTD, bib_dtd, paper_doc_dtd, xmark_dtd
+from .xmldm import (
+    Store,
+    Tree,
+    generate_document,
+    parse_xml,
+    serialize,
+    validate,
+)
+from .xquery import ROOT_VAR, evaluate_query, parse_query
+from .xupdate import apply_update, apply_update_to_root, parse_update
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisEngine",
+    "IndependenceReport",
+    "analyze",
+    "baseline_analyze",
+    "baseline_is_independent",
+    "dynamic_independent",
+    "dynamic_independent_generated",
+    "is_independent",
+    "DTD",
+    "EDTD",
+    "bib_dtd",
+    "paper_doc_dtd",
+    "xmark_dtd",
+    "Store",
+    "Tree",
+    "generate_document",
+    "parse_xml",
+    "serialize",
+    "validate",
+    "ROOT_VAR",
+    "evaluate_query",
+    "parse_query",
+    "parse_update",
+    "apply_update",
+    "apply_update_to_root",
+    "__version__",
+]

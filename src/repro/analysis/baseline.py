@@ -1,0 +1,371 @@
+"""The type-based baseline: schema analysis of Benedikt & Cheney [6].
+
+Reimplementation of the comparison system (VLDB 2009): it infers the *set
+of node types* traversed by the query and the set of node types impacted
+by the update, and declares independence iff the two sets are disjoint.
+Types carry no context, so the analysis cannot distinguish ``//a//c``
+from ``//b//c`` (both trace type ``c``) -- the paper's q1/u1 example --
+nor tell that an ``author`` inserted into ``book`` cannot touch
+``//title`` (both expressions trace type ``book``) -- the q2/u2 example.
+
+Axis typing is deliberately context-free, mirroring the over-approximation
+the paper attributes to [6] (Sections 1 and 8):
+
+* ``ancestor``/``parent`` from type ``t`` yields *every* type that can
+  reach ``t``, regardless of the path actually navigated;
+* sibling axes yield every type co-occurring in some content model with
+  ``t``, with no order information.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..schema.dtd import DTD
+from ..schema.edtd import EDTD
+from ..schema.regex import TEXT_SYMBOL
+from ..xquery.ast import (
+    ROOT_VAR,
+    Axis,
+    TextTest,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    Query,
+    Step,
+    StringLit,
+    free_variables,
+    node_test_matches,
+)
+from ..xquery.parser import parse_query
+from ..xupdate.ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+from ..xupdate.parser import parse_update
+
+Schema = DTD | EDTD
+TypeSet = frozenset[str]
+TypeEnv = dict[str, TypeSet]
+
+EMPTY_TYPES: TypeSet = frozenset()
+
+
+@dataclass(frozen=True)
+class TypeTriple:
+    """Type-level analogue of the ``(r; v; e)`` triple."""
+
+    returns: TypeSet
+    used: TypeSet
+    elements: TypeSet
+
+    def has_output(self) -> bool:
+        return bool(self.returns or self.elements)
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Verdict of the type-based analysis for one pair."""
+
+    independent: bool
+    accessed: TypeSet
+    impacted: TypeSet
+    analysis_seconds: float
+
+    @property
+    def overlap(self) -> TypeSet:
+        return self.accessed & self.impacted
+
+
+class TypeAnalysis:
+    """Type-set inference engine for one schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._ancestors: dict[str, TypeSet] = {}
+
+    # -- axis typing (context-free) ----------------------------------------
+
+    def _parents_of(self, symbol: str) -> TypeSet:
+        return frozenset(
+            t for t in self.schema.alphabet
+            if symbol in self.schema.children_of(t)
+        )
+
+    def _ancestors_of(self, symbol: str) -> TypeSet:
+        cached = self._ancestors.get(symbol)
+        if cached is None:
+            cached = frozenset(
+                t for t in self.schema.alphabet
+                if symbol in self.schema.descendants_of(t)
+            )
+            self._ancestors[symbol] = cached
+        return cached
+
+    def _siblings_of(self, symbol: str) -> TypeSet:
+        result: set[str] = set()
+        for parent in self._parents_of(symbol):
+            result |= self.schema.children_of(parent)
+        return frozenset(result)
+
+    def axis_types(self, context: TypeSet, axis: Axis) -> TypeSet:
+        if axis is Axis.SELF:
+            return context
+        if axis is Axis.CHILD:
+            result: set[str] = set()
+            for t in context:
+                result |= self.schema.children_of(t)
+            return frozenset(result) - {TEXT_SYMBOL}
+        if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            result = set(context) if axis is Axis.DESCENDANT_OR_SELF else set()
+            for t in context:
+                result |= self.schema.descendants_of(t)
+            return frozenset(result) - {TEXT_SYMBOL}
+        if axis is Axis.PARENT:
+            result = set()
+            for t in context:
+                result |= self._parents_of(t)
+            return frozenset(result)
+        if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+            result = set(context) if axis is Axis.ANCESTOR_OR_SELF else set()
+            for t in context:
+                result |= self._ancestors_of(t)
+            return frozenset(result)
+        if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+            result = set()
+            for t in context:
+                result |= self._siblings_of(t)
+            return frozenset(result)
+        raise ValueError(f"unknown axis {axis!r}")
+
+    def step_types(self, context: TypeSet, step: Step) -> TypeSet:
+        if isinstance(step.test, TextTest):
+            # [6]-style typing: a text node carries its parent's element
+            # type, so the string pseudo-type never enters the analysis.
+            base = self._text_step_base(context, step.axis)
+            return frozenset(
+                t for t in base
+                if TEXT_SYMBOL in self.schema.children_of(t)
+            )
+        return frozenset(
+            t for t in self.axis_types(context, step.axis)
+            if node_test_matches(step.test, self._label(t))
+        )
+
+    def _text_step_base(self, context: TypeSet, axis: Axis) -> TypeSet:
+        if axis in (Axis.SELF, Axis.CHILD):
+            return context
+        if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            return context | self.descendants_closure(context)
+        if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+            return self.axis_types(context, Axis.PARENT)
+        return self.axis_types(context, axis)
+
+    def _label(self, symbol: str) -> str:
+        if isinstance(self.schema, EDTD):
+            return self.schema.label_of(symbol)
+        return symbol
+
+    def descendants_closure(self, types: TypeSet) -> TypeSet:
+        result = set(types)
+        for t in types:
+            result |= self.schema.descendants_of(t)
+        return frozenset(result) - {TEXT_SYMBOL}
+
+    # -- query typing ------------------------------------------------------
+
+    def infer_query(self, query: Query, env: TypeEnv) -> TypeTriple:
+        if isinstance(query, Empty):
+            return TypeTriple(EMPTY_TYPES, EMPTY_TYPES, EMPTY_TYPES)
+        if isinstance(query, StringLit):
+            # Text content is typed by its enclosing element in this
+            # analysis, so a bare string contributes no type of its own.
+            return TypeTriple(EMPTY_TYPES, EMPTY_TYPES, EMPTY_TYPES)
+        if isinstance(query, Concat):
+            left = self.infer_query(query.left, env)
+            right = self.infer_query(query.right, env)
+            return TypeTriple(
+                left.returns | right.returns,
+                left.used | right.used,
+                left.elements | right.elements,
+            )
+        if isinstance(query, If):
+            cond = self.infer_query(query.cond, env)
+            then = self.infer_query(query.then, env)
+            orelse = self.infer_query(query.orelse, env)
+            return TypeTriple(
+                then.returns | orelse.returns,
+                cond.used | then.used | orelse.used | cond.returns,
+                then.elements | orelse.elements,
+            )
+        if isinstance(query, Step):
+            context = env.get(query.var, EMPTY_TYPES)
+            result = self.step_types(context, query)
+            if query.axis.is_forward_downward:
+                return TypeTriple(result, EMPTY_TYPES, EMPTY_TYPES)
+            # [6]-style coarseness: every context type of an upward or
+            # horizontal step counts as accessed (no per-type filtering).
+            return TypeTriple(result, context, EMPTY_TYPES)
+        if isinstance(query, For):
+            source = self.infer_query(query.source, env)
+            inner = dict(env)
+            inner[query.var] = source.returns
+            body = self.infer_query(query.body, inner)
+            productive = self._productive_types(
+                query.body, query.var, source.returns, inner
+            )
+            used = source.used
+            if productive:
+                used = used | productive | body.used
+            return TypeTriple(body.returns, used, body.elements)
+        if isinstance(query, Let):
+            source = self.infer_query(query.source, env)
+            inner = dict(env)
+            inner[query.var] = source.returns
+            body = self.infer_query(query.body, inner)
+            return TypeTriple(
+                body.returns,
+                source.returns | source.used | body.used,
+                body.elements,
+            )
+        if isinstance(query, Element):
+            inner = self.infer_query(query.content, env)
+            elements = frozenset((query.tag,)) | inner.returns | \
+                self.descendants_closure(inner.returns) | inner.elements
+            used = inner.used | self.descendants_closure(inner.returns)
+            return TypeTriple(EMPTY_TYPES, used, elements)
+        raise ValueError(f"unknown query node {query!r}")
+
+    def _productive_types(self, body: Query, var: str, source: TypeSet,
+                          env: TypeEnv) -> TypeSet:
+        """Source types whose iteration can produce output (FOR filter)."""
+        if var not in free_variables(body):
+            return source if self.infer_query(body, env).has_output() \
+                else EMPTY_TYPES
+        if isinstance(body, Step):
+            return frozenset(
+                t for t in source
+                if self.step_types(frozenset((t,)), body)
+            )
+        if isinstance(body, (StringLit, Element)):
+            return source
+        if isinstance(body, Empty):
+            return EMPTY_TYPES
+        if isinstance(body, Concat):
+            return self._productive_types(body.left, var, source, env) | \
+                self._productive_types(body.right, var, source, env)
+        if isinstance(body, If):
+            return self._productive_types(body.then, var, source, env) | \
+                self._productive_types(body.orelse, var, source, env)
+        if isinstance(body, For):
+            first = self._productive_or_all(body.source, var, source, env)
+            inner = dict(env)
+            inner[body.var] = self.infer_query(body.source, env).returns
+            second = self._productive_or_all(body.body, var, source, inner)
+            return first & second
+        if isinstance(body, Let):
+            inner = dict(env)
+            inner[body.var] = self.infer_query(body.source, env).returns
+            return self._productive_or_all(body.body, var, source, inner)
+        raise ValueError(f"unknown query node {body!r}")
+
+    def _productive_or_all(self, query: Query, var: str, source: TypeSet,
+                           env: TypeEnv) -> TypeSet:
+        if var in free_variables(query):
+            return self._productive_types(query, var, source, env)
+        return source if self.infer_query(query, env).has_output() \
+            else EMPTY_TYPES
+
+    # -- update typing -----------------------------------------------------
+
+    def infer_update(self, update: Update, env: TypeEnv) -> TypeSet:
+        """Types impacted by the update."""
+        if isinstance(update, UEmpty):
+            return EMPTY_TYPES
+        if isinstance(update, UConcat):
+            return self.infer_update(update.left, env) | \
+                self.infer_update(update.right, env)
+        if isinstance(update, (UFor, ULet)):
+            source = self.infer_query(update.source, env)
+            inner = dict(env)
+            inner[update.var] = source.returns
+            return self.infer_update(update.body, inner)
+        if isinstance(update, UIf):
+            return self.infer_update(update.then, env) | \
+                self.infer_update(update.orelse, env)
+        if isinstance(update, Delete):
+            target = self.infer_query(update.target, env).returns
+            return (target | self.descendants_closure(target)
+                    | self.axis_types(target, Axis.PARENT))
+        if isinstance(update, Rename):
+            target = self.infer_query(update.target, env).returns
+            return (target | frozenset((update.tag,))
+                    | self.axis_types(target, Axis.PARENT))
+        if isinstance(update, Insert):
+            source = self.infer_query(update.source, env)
+            target = self.infer_query(update.target, env).returns
+            inserted = source.elements | \
+                self.descendants_closure(source.returns)
+            if update.pos.is_into:
+                anchor = target
+            else:
+                anchor = self.axis_types(target, Axis.PARENT)
+            return anchor | inserted
+        if isinstance(update, Replace):
+            source = self.infer_query(update.source, env)
+            target = self.infer_query(update.target, env).returns
+            inserted = source.elements | \
+                self.descendants_closure(source.returns)
+            return (target | self.descendants_closure(target) | inserted
+                    | self.axis_types(target, Axis.PARENT))
+        raise ValueError(f"unknown update node {update!r}")
+
+
+def baseline_analyze(query: Query | str, update: Update | str,
+                     schema: Schema) -> BaselineReport:
+    """Run the type-based baseline on one pair.
+
+    >>> from repro.schema import paper_doc_dtd
+    >>> baseline_analyze("//a//c", "delete //b//c", paper_doc_dtd()).independent
+    False
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(update, str):
+        update = parse_update(update)
+    started = time.perf_counter()
+    analysis = TypeAnalysis(schema)
+    env: TypeEnv = {ROOT_VAR: frozenset((schema.start,))}
+    triple = analysis.infer_query(query, env)
+    accessed = (
+        triple.returns
+        | analysis.descendants_closure(triple.returns)
+        | triple.used
+        | frozenset((schema.start,))
+    )
+    impacted = analysis.infer_update(update, env)
+    elapsed = time.perf_counter() - started
+    return BaselineReport(
+        independent=not (accessed & impacted),
+        accessed=accessed,
+        impacted=impacted,
+        analysis_seconds=elapsed,
+    )
+
+
+def baseline_is_independent(query: Query | str, update: Update | str,
+                            schema: Schema) -> bool:
+    """Boolean convenience wrapper."""
+    return baseline_analyze(query, update, schema).independent

@@ -1,0 +1,421 @@
+"""Chain-DAG (CDAG) representation of inferred chain sets (Section 6.1).
+
+Explicit chain sets blow up exponentially on recursive schemas (the
+paper's footnote 8), so -- like the paper's implementation -- chain sets
+are represented over a *leveled unfolding* of the DTD type graph:
+
+* a :data:`Node` is a pair ``(depth, symbol)``; the paper's CDAG property
+  "at most one CDAG-node of type alpha at distance h from the root" holds
+  by construction;
+* a :class:`Component` is a rooted sub-DAG ``(root, edges, ends)`` whose
+  denoted chain set is *all root-to-end paths*;
+* an inferred chain set is a tuple of components.  Components are never
+  merged across inference sites: a component is the provenance unit
+  playing the role of the paper's edge *codes*, preventing the
+  cross-expression path-mixing artifacts of Figure 2.
+
+The depth cap is ``k * |Sigma| + 1``: a k-chain repeats each of the
+``|Sigma|`` tags at most ``k`` times, plus one trailing text symbol
+(which has no children, so it appears at most once, last).
+
+All operations used by the inference rules are defined here as pure
+functions over components; each is a direct transliteration of the
+corresponding ``AC``/closure definition of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema.dtd import DTD
+from ..schema.edtd import EDTD
+from ..schema.regex import TEXT_SYMBOL
+
+#: A CDAG node: (depth from the root, chain symbol at that depth).
+Node = tuple[int, str]
+
+Edge = tuple[Node, Node]
+
+Schema = DTD | EDTD
+
+
+class Universe:
+    """The leveled unfolding of a schema's type graph, up to a depth cap.
+
+    ``depth_cap`` is the maximum chain *length* (number of symbols); node
+    depths range over ``0 .. depth_cap - 1``.
+    """
+
+    def __init__(self, schema: Schema, depth_cap: int):
+        if depth_cap < 1:
+            raise ValueError("depth_cap must be at least 1")
+        self.schema = schema
+        self.depth_cap = depth_cap
+
+    def root(self) -> Node:
+        return (0, self.schema.start)
+
+    def successors(self, node: Node) -> list[Node]:
+        """Universe edges out of ``node`` (empty at the depth cap)."""
+        depth, symbol = node
+        if depth + 1 >= self.depth_cap:
+            return []
+        return [(depth + 1, child)
+                for child in self.schema.children_of(symbol)]
+
+    def label(self, symbol: str) -> str:
+        """Element label of a chain symbol (EDTD: via mu; DTD: identity)."""
+        if isinstance(self.schema, EDTD):
+            return self.schema.label_of(symbol)
+        return symbol
+
+    def descendant_nodes(self, start: Node) -> set[Node]:
+        """All nodes strictly below ``start`` reachable via universe edges."""
+        seen: set[Node] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for succ in self.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+
+@dataclass(frozen=True)
+class Component:
+    """A rooted sub-DAG denoting the set of all root-to-end paths.
+
+    Invariant (established by :func:`make_component`): every edge lies on
+    some root-to-end path and every end is reachable from the root.
+
+    ``constructed`` marks element components (chains of newly built
+    elements, rooted at the constructed tag rather than the schema start).
+    """
+
+    root: Node
+    edges: frozenset[Edge]
+    ends: frozenset[Node]
+    constructed: bool = False
+
+    def is_empty(self) -> bool:
+        """True iff the component denotes no chain at all."""
+        return not self.ends
+
+    def nodes(self) -> frozenset[Node]:
+        """All nodes on some root-to-end path."""
+        if self.is_empty():
+            return frozenset()
+        found: set[Node] = {self.root} | set(self.ends)
+        for source, target in self.edges:
+            found.add(source)
+            found.add(target)
+        return frozenset(found)
+
+    # -- debugging / tests -------------------------------------------------
+
+    def enumerate_chains(self, limit: int = 10_000
+                         ) -> set[tuple[str, ...]]:
+        """Explicitly enumerate denoted chains (tests only; capped).
+
+        Raises :class:`ChainExplosion` if more than ``limit`` chains exist.
+        """
+        if self.is_empty():
+            return set()
+        adjacency: dict[Node, list[Node]] = {}
+        for source, target in self.edges:
+            adjacency.setdefault(source, []).append(target)
+        chains: set[tuple[str, ...]] = set()
+        stack: list[tuple[Node, tuple[str, ...]]] = [
+            (self.root, (self.root[1],))
+        ]
+        while stack:
+            node, prefix = stack.pop()
+            if node in self.ends:
+                chains.add(prefix)
+                if len(chains) > limit:
+                    raise ChainExplosion(
+                        f"component denotes more than {limit} chains"
+                    )
+            for succ in adjacency.get(node, ()):
+                stack.append((succ, prefix + (succ[1],)))
+        return chains
+
+
+class ChainExplosion(RuntimeError):
+    """Raised when explicit enumeration exceeds its cap."""
+
+
+EMPTY_COMPONENT = Component((0, ""), frozenset(), frozenset())
+
+
+def make_component(root: Node, edges: frozenset[Edge] | set[Edge],
+                   ends: frozenset[Node] | set[Node],
+                   constructed: bool = False) -> Component:
+    """Build a trimmed component (establishes the class invariant)."""
+    if not ends:
+        return EMPTY_COMPONENT
+    forward: set[Node] = {root}
+    adjacency: dict[Node, list[Node]] = {}
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, []).append(target)
+        reverse.setdefault(target, []).append(source)
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for succ in adjacency.get(node, ()):
+            if succ not in forward:
+                forward.add(succ)
+                frontier.append(succ)
+    live_ends = frozenset(e for e in ends if e in forward)
+    if not live_ends:
+        return EMPTY_COMPONENT
+    backward: set[Node] = set(live_ends)
+    frontier = list(live_ends)
+    while frontier:
+        node = frontier.pop()
+        for pred in reverse.get(node, ()):
+            if pred not in backward:
+                backward.add(pred)
+                frontier.append(pred)
+    useful = forward & backward
+    kept = frozenset(
+        (s, t) for (s, t) in edges if s in useful and t in useful
+    )
+    return Component(root, kept, live_ends, constructed)
+
+
+def singleton_component(root: Node, constructed: bool = False) -> Component:
+    """The component denoting exactly the one-symbol chain at ``root``."""
+    return Component(root, frozenset(), frozenset((root,)), constructed)
+
+
+# ---------------------------------------------------------------------------
+# Axis steps over components (the AC definitions of Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+def child_step(component: Component, universe: Universe) -> Component:
+    """``AC(c, child) = { c.alpha | c.alpha in C }``."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    new_edges: set[Edge] = set(component.edges)
+    new_ends: set[Node] = set()
+    for end in component.ends:
+        for succ in universe.successors(end):
+            new_edges.add((end, succ))
+            new_ends.add(succ)
+    return make_component(component.root, new_edges, new_ends,
+                          component.constructed)
+
+
+def descendant_step(component: Component, universe: Universe,
+                    or_self: bool) -> Component:
+    """``AC(c, descendant[-or-self])``: all extensions within the cap."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    new_edges: set[Edge] = set(component.edges)
+    new_ends: set[Node] = set(component.ends) if or_self else set()
+    seen: set[Node] = set(component.ends)
+    frontier = list(component.ends)
+    while frontier:
+        node = frontier.pop()
+        for succ in universe.successors(node):
+            new_edges.add((node, succ))
+            new_ends.add(succ)
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return make_component(component.root, new_edges, new_ends,
+                          component.constructed)
+
+
+def parent_step(component: Component) -> Component:
+    """``AC(c, parent) = { c' | c = c'.alpha }``."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    new_ends = {
+        source for (source, target) in component.edges
+        if target in component.ends
+    }
+    return make_component(component.root, component.edges, new_ends,
+                          component.constructed)
+
+
+def ancestor_step(component: Component, or_self: bool) -> Component:
+    """``AC(c, ancestor[-or-self])``: all (proper) prefixes."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in component.edges:
+        reverse.setdefault(target, []).append(source)
+    strict: set[Node] = set()
+    frontier = list(component.ends)
+    while frontier:
+        node = frontier.pop()
+        for pred in reverse.get(node, ()):
+            if pred not in strict:
+                strict.add(pred)
+                frontier.append(pred)
+    new_ends = strict | set(component.ends) if or_self else strict
+    return make_component(component.root, component.edges, new_ends,
+                          component.constructed)
+
+
+def self_step(component: Component) -> Component:
+    """``AC(c, self) = { c }``."""
+    return component
+
+
+def sibling_step(component: Component, universe: Universe,
+                 following: bool) -> Component:
+    """``AC(c, following/preceding-sibling)`` via the ``<r`` relation.
+
+    For a chain ``c1.alpha``, siblings are ``c1.beta`` with
+    ``alpha <d(c1) beta`` (following) or ``beta <d(c1) alpha`` (preceding).
+    The parent symbol is read off the in-edges of each end; root-level
+    ends have no siblings.
+    """
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in component.edges:
+        reverse.setdefault(target, []).append(source)
+    new_edges: set[Edge] = set(component.edges)
+    new_ends: set[Node] = set()
+    for end in component.ends:
+        depth, symbol = end
+        for parent in reverse.get(end, ()):
+            order = universe.schema.sibling_order(parent[1])
+            if following:
+                sibling_symbols = {b for (a, b) in order if a == symbol}
+            else:
+                sibling_symbols = {a for (a, b) in order if b == symbol}
+            for sibling in sibling_symbols:
+                node = (depth, sibling)
+                new_edges.add((parent, node))
+                new_ends.add(node)
+    return make_component(component.root, new_edges, new_ends,
+                          component.constructed)
+
+
+def filter_ends(component: Component, predicate) -> Component:
+    """Keep only ends whose node satisfies ``predicate`` (node tests)."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    kept = {end for end in component.ends if predicate(end)}
+    return make_component(component.root, component.edges, kept,
+                          component.constructed)
+
+
+def restrict_to_ends(component: Component, ends: set[Node]) -> Component:
+    """Sub-component of paths reaching one of ``ends``."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+    kept = set(component.ends) & set(ends)
+    return make_component(component.root, component.edges, kept,
+                          component.constructed)
+
+
+def descendant_closure(component: Component, universe: Universe) -> Component:
+    """The paper's ``tau-bar``: all extensions ``c.c'`` with ``c' in C``,
+    including ``c`` itself (descendant-or-self closure)."""
+    return descendant_step(component, universe, or_self=True)
+
+
+def shift_component(component: Component, delta: int) -> Component:
+    """Shift every node depth by ``delta`` (suffix grafting helper)."""
+    if component.is_empty():
+        return EMPTY_COMPONENT
+
+    def move(node: Node) -> Node:
+        return (node[0] + delta, node[1])
+
+    return Component(
+        move(component.root),
+        frozenset((move(s), move(t)) for (s, t) in component.edges),
+        frozenset(move(e) for e in component.ends),
+        component.constructed,
+    )
+
+
+def graft(prefix: Component, end: Node, suffix: Component) -> Component:
+    """Full-chain component: ``prefix``-paths to ``end`` extended by
+    ``suffix``-chains grafted below ``end``.
+
+    The suffix (rooted at depth 0) is depth-shifted to start right below
+    ``end``; the result's chains are exactly
+    ``{ p . s | p in prefix ending at end, s in suffix }``.
+    """
+    if prefix.is_empty() or suffix.is_empty():
+        return EMPTY_COMPONENT
+    trimmed = restrict_to_ends(prefix, {end})
+    if trimmed.is_empty():
+        return EMPTY_COMPONENT
+    shifted = shift_component(suffix, end[0] + 1)
+    edges = set(trimmed.edges) | set(shifted.edges)
+    edges.add((end, shifted.root))
+    return make_component(trimmed.root, edges, shifted.ends,
+                          prefix.constructed or suffix.constructed)
+
+
+# ---------------------------------------------------------------------------
+# Prefix-conflict test (Definition 4.1 over components)
+# ---------------------------------------------------------------------------
+
+
+def components_conflict(first: Component, second: Component) -> bool:
+    """Does some chain of ``first`` prefix some chain of ``second``?
+
+    Exact over component path semantics: a witness is a path from the
+    common root through edges present in *both* components, stopping at an
+    end of ``first`` that is live in ``second`` (every node of a trimmed
+    component lies on a root-to-end path, so the walked prefix always
+    extends to a full ``second``-chain).
+    """
+    if first.is_empty() or second.is_empty():
+        return False
+    if first.root != second.root:
+        return False
+    second_nodes = second.nodes()
+    shared: dict[Node, list[Node]] = {}
+    second_edges = second.edges
+    for edge in first.edges:
+        if edge in second_edges:
+            shared.setdefault(edge[0], []).append(edge[1])
+    reachable: set[Node] = {first.root}
+    frontier = [first.root]
+    while frontier:
+        node = frontier.pop()
+        for succ in shared.get(node, ()):
+            if succ not in reachable:
+                reachable.add(succ)
+                frontier.append(succ)
+    return any(
+        end in reachable and end in second_nodes for end in first.ends
+    )
+
+
+def conflict_witness(first: Component, second: Component
+                     ) -> tuple[str, ...] | None:
+    """A witness chain of ``first`` prefixing a ``second``-chain, if any."""
+    if first.is_empty() or second.is_empty() or first.root != second.root:
+        return None
+    second_nodes = second.nodes()
+    shared: dict[Node, list[Node]] = {}
+    for edge in first.edges:
+        if edge in second.edges:
+            shared.setdefault(edge[0], []).append(edge[1])
+    # BFS remembering one path per node.
+    paths: dict[Node, tuple[str, ...]] = {first.root: (first.root[1],)}
+    frontier = [first.root]
+    while frontier:
+        node = frontier.pop()
+        if node in first.ends and node in second_nodes:
+            return paths[node]
+        for succ in shared.get(node, ()):
+            if succ not in paths:
+                paths[succ] = paths[node] + (succ[1],)
+                frontier.append(succ)
+    return None

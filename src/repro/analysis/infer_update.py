@@ -1,0 +1,280 @@
+"""Chain inference for updates: the rules of Table 2 over CDAG components.
+
+An update chain ``c : c'`` is represented by a *full-chain* component
+denoting the concatenations ``c.c'``: the target prefix (return chains of
+the target query ``q0``) with the suffix grafted below each prefix
+endpoint.  Suffixes come from the source expression's element chains
+(constructed data) or from the schema closure below the source's return
+symbols -- exactly the two unions of (INSERT-1)/(INSERT-2)/(REPLACE).
+
+Conflict checking (Definition 4.1) only needs plain prefix tests between
+full chains, so no separate ``:`` marker is stored; every construction
+below guarantees a non-empty suffix (``c' != eps``), as Theorem 3.4
+requires.
+
+Deviation note: the element-chain part of (REPLACE) is anchored below the
+target's *parent* (replacement puts new content in place of the target),
+fixing the apparent typo in the paper's rule -- see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..xupdate.ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+from .cdag import (
+    Component,
+    Node,
+    Universe,
+    make_component,
+    parent_step,
+    shift_component,
+    singleton_component,
+)
+from .infer_query import (
+    Components,
+    Gamma,
+    InferenceError,
+    QueryInference,
+    gamma_bind,
+)
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UpdateComponent:
+    """One update chain family ``c : c'`` as a full-chain component.
+
+    ``full`` denotes the concatenations ``c.c'``; ``split_ends`` are the
+    CDAG nodes where the target prefix ``c`` ends and the suffix ``c'``
+    begins.  Conflict checking needs the split: an update *involves*
+    every intermediate position ``c.c''`` with ``c'' <= c'`` (the
+    inserted subtree's root and inner nodes), so a used chain strictly
+    between ``c`` and ``c.c'`` conflicts even though neither full chain
+    is a prefix of it -- see ``used_chain_conflict`` in
+    :mod:`repro.analysis.independence`.
+    """
+
+    full: Component
+    split_ends: frozenset
+
+    def is_empty(self) -> bool:
+        return self.full.is_empty()
+
+    def enumerate_chains(self, limit: int = 10_000):
+        """Chains of the full component (tests/debugging)."""
+        return self.full.enumerate_chains(limit)
+
+    @property
+    def ends(self):
+        return self.full.ends
+
+
+def _with_parent_splits(component: Component) -> UpdateComponent:
+    """Wrap a delete/rename-style component: the suffix is the final
+    symbol, so splits sit at the parents of the ends (the component root
+    itself when a chain consists of the root only)."""
+    reverse_sources = {
+        source for (source, target) in component.edges
+        if target in component.ends
+    }
+    return UpdateComponent(component, frozenset(reverse_sources))
+
+
+class UpdateInference:
+    """Chain inference engine for updates, sharing a query engine."""
+
+    def __init__(self, query_inference: QueryInference):
+        self.queries = query_inference
+        self.universe = query_inference.universe
+
+    # -- entry points --------------------------------------------------------
+
+    def infer_root(self, update: Update, root_var: str
+                   ) -> tuple[UpdateComponent, ...]:
+        root = singleton_component(self.universe.root())
+        gamma: Gamma = ((root_var, (root,)),)
+        return self.infer(update, gamma)
+
+    def infer(self, update: Update, gamma: Gamma
+              ) -> tuple[UpdateComponent, ...]:
+        if isinstance(update, UEmpty):
+            return ()
+        if isinstance(update, UConcat):
+            return self.infer(update.left, gamma) + self.infer(
+                update.right, gamma
+            )
+        if isinstance(update, UFor):
+            source = self.queries.infer(update.source, gamma)
+            inner = gamma_bind(gamma, update.var, source.returns)
+            return self.infer(update.body, inner)
+        if isinstance(update, ULet):
+            source = self.queries.infer(update.source, gamma)
+            inner = gamma_bind(gamma, update.var, source.returns)
+            return self.infer(update.body, inner)
+        if isinstance(update, UIf):
+            return self.infer(update.then, gamma) + self.infer(
+                update.orelse, gamma
+            )
+        if isinstance(update, Delete):                        # (DELETE)
+            # { c:alpha | c.alpha in r0 }: the full chain c.alpha is the
+            # target return chain itself; the split sits at the parent.
+            target = self.queries.infer(update.target, gamma)
+            return tuple(
+                _with_parent_splits(c)
+                for c in target.returns if not c.is_empty()
+            )
+        if isinstance(update, Rename):                        # (RENAME)
+            target = self.queries.infer(update.target, gamma)
+            result: list[UpdateComponent] = []
+            for component in target.returns:
+                if component.is_empty():
+                    continue
+                result.append(_with_parent_splits(component))  # c:alpha
+                renamed = _replace_end_symbols(component, update.tag)
+                if not renamed.is_empty():                     # c:b
+                    result.append(_with_parent_splits(renamed))
+            return tuple(result)
+        if isinstance(update, Insert):                        # (INSERT-1/2)
+            source = self.queries.infer(update.source, gamma)
+            target = self.queries.infer(update.target, gamma)
+            if update.pos.is_into:
+                prefixes = tuple(
+                    c for c in target.returns if not c.is_empty()
+                )
+            else:
+                prefixes = tuple(
+                    p for p in (parent_step(c) for c in target.returns)
+                    if not p.is_empty()
+                )
+            return self._graft_sources(prefixes, source.returns,
+                                       source.elements)
+        if isinstance(update, Replace):                       # (REPLACE)
+            source = self.queries.infer(update.source, gamma)
+            target = self.queries.infer(update.target, gamma)
+            result = list(
+                _with_parent_splits(c)
+                for c in target.returns if not c.is_empty()
+            )                                                 # c:alpha
+            prefixes = tuple(
+                p for p in (parent_step(c) for c in target.returns)
+                if not p.is_empty()
+            )
+            result.extend(
+                self._graft_sources(prefixes, source.returns,
+                                    source.elements)
+            )
+            return tuple(result)
+        raise InferenceError(f"unknown update node {update!r}")
+
+    # -- suffix grafting -------------------------------------------------
+
+    def _graft_sources(self, prefixes: Components,
+                       source_returns: Components,
+                       source_elements: Components
+                       ) -> tuple[UpdateComponent, ...]:
+        """Build full-chain components for all (prefix, suffix) pairs.
+
+        * element suffixes ``c' in e`` are grafted as-is;
+        * input-data suffixes ``alpha.c''`` (source return symbol plus any
+          schema continuation) are built from the descendant-or-self
+          closure below each return end symbol.
+        """
+        result: list[UpdateComponent] = []
+        suffixes: list[Component] = [
+            c for c in source_elements if not c.is_empty()
+        ]
+        symbols = {
+            end[1]
+            for component in source_returns
+            if not component.is_empty()
+            for end in component.ends
+        }
+        for symbol in sorted(symbols):
+            suffixes.append(self._closure_suffix(symbol))
+        for prefix in prefixes:
+            for suffix in suffixes:
+                grafted = _graft_all_ends(prefix, suffix)
+                if not grafted.is_empty():
+                    result.append(
+                        UpdateComponent(grafted, prefix.ends)
+                    )
+        return tuple(result)
+
+    def _closure_suffix(self, symbol: str) -> Component:
+        """Suffix chains ``symbol.c''`` for any schema continuation c''."""
+        root: Node = (0, symbol)
+        edges: set[tuple[Node, Node]] = set()
+        ends: set[Node] = {root}
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            node = frontier.pop()
+            for succ in self.universe.successors(node):
+                edges.add((node, succ))
+                ends.add(succ)
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return make_component(root, edges, ends)
+
+
+def _graft_all_ends(prefix: Component, suffix: Component) -> Component:
+    """One full-chain component covering every prefix endpoint.
+
+    Each endpoint receives its own depth-shifted copy of the suffix; copies
+    at different depths cannot cross (the only bridges are the per-endpoint
+    graft edges), so the denoted set stays exact up to the usual
+    same-(depth,symbol) merging.
+    """
+    if prefix.is_empty() or suffix.is_empty():
+        return Component(prefix.root, frozenset(), frozenset())
+    edges: set[tuple[Node, Node]] = set(prefix.edges)
+    ends: set[Node] = set()
+    for end in prefix.ends:
+        shifted = shift_component(suffix, end[0] + 1)
+        edges.add((end, shifted.root))
+        edges.update(shifted.edges)
+        ends.update(shifted.ends)
+    return make_component(prefix.root, edges, ends,
+                          prefix.constructed or suffix.constructed)
+
+
+def _replace_end_symbols(component: Component, tag: str) -> Component:
+    """Chains ``c.b`` for ``c.alpha`` in the component ((RENAME)'s new tag).
+
+    Root-only chains (renaming the document root) keep a root node with
+    the new tag, represented as a fresh root component.
+    """
+    edges: set[tuple[Node, Node]] = set(component.edges)
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in component.edges:
+        reverse.setdefault(target, []).append(source)
+    ends: set[Node] = set()
+    root = component.root
+    new_root = root
+    for end in component.ends:
+        node: Node = (end[0], tag)
+        if end == root:
+            new_root = node
+            ends.add(node)
+            continue
+        for parent in reverse.get(end, ()):
+            edges.add((parent, node))
+            ends.add(node)
+    if new_root != root and len(ends) == 1:
+        # Only the root was renamed: a one-node component with the new tag.
+        return singleton_component(new_root, component.constructed)
+    return make_component(root, edges, {e for e in ends if e[1] == tag},
+                          component.constructed)

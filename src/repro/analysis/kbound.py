@@ -1,0 +1,182 @@
+"""Multiplicity bounds for the finite analysis (Section 5, Table 3).
+
+``k_exp = max_a F(a, exp) + R(exp)`` where ``F(a, exp)`` counts the
+maximal frequency a tag can be *required* to appear in an inferred chain
+by non-recursive steps and element construction, and ``R(exp)`` counts
+consecutive recursive-axis navigations.  The independence analysis then
+restricts to ``k``-chains with ``k = k_q + k_u`` (Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+from ..xquery.ast import (
+    Axis,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    NameTest,
+    NodeKindTest,
+    Query,
+    Step,
+    StringLit,
+    WildcardTest,
+)
+from ..xupdate.ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+
+Expr = Query | Update
+
+
+def tag_frequency(tag: str, exp: Expr) -> int:
+    """``F(a, exp)`` of Table 3."""
+    if isinstance(exp, (Empty, StringLit, UEmpty)):
+        return 0
+    if isinstance(exp, Step):
+        if exp.axis.is_recursive:
+            return 0
+        if exp.axis is Axis.SELF and isinstance(exp.test, NodeKindTest):
+            # self::node() (the bare-variable desugaring) selects exactly
+            # the context node: it adds no tag occurrence to any chain.
+            return 0
+        if isinstance(exp.test, NameTest) and exp.test.name == tag:
+            return 1
+        if isinstance(exp.test, (NodeKindTest, WildcardTest)):
+            return 1
+        return 0
+    if isinstance(exp, (Concat, UConcat)):
+        return max(tag_frequency(tag, exp.left), tag_frequency(tag, exp.right))
+    if isinstance(exp, (If, UIf)):
+        return max(
+            tag_frequency(tag, exp.cond),
+            tag_frequency(tag, exp.then),
+            tag_frequency(tag, exp.orelse),
+        )
+    if isinstance(exp, (For, Let, UFor, ULet)):
+        return tag_frequency(tag, exp.source) + tag_frequency(tag, exp.body)
+    if isinstance(exp, Element):
+        inner = tag_frequency(tag, exp.content)
+        return inner + 1 if exp.tag == tag else inner
+    if isinstance(exp, Delete):
+        return tag_frequency(tag, exp.target)
+    if isinstance(exp, Rename):
+        inner = tag_frequency(tag, exp.target)
+        return inner + 1 if exp.tag == tag else inner
+    if isinstance(exp, Insert):
+        return tag_frequency(tag, exp.source) + tag_frequency(tag, exp.target)
+    if isinstance(exp, Replace):
+        return tag_frequency(tag, exp.target) + tag_frequency(tag, exp.source)
+    raise TypeError(f"unknown expression node {exp!r}")
+
+
+def recursive_steps(exp: Expr) -> int:
+    """``R(exp)`` of Table 3."""
+    if isinstance(exp, (Empty, StringLit, UEmpty)):
+        return 0
+    if isinstance(exp, Step):
+        return 1 if exp.axis.is_recursive else 0
+    if isinstance(exp, (Concat, UConcat)):
+        return max(recursive_steps(exp.left), recursive_steps(exp.right))
+    if isinstance(exp, (If, UIf)):
+        return max(
+            recursive_steps(exp.cond),
+            recursive_steps(exp.then),
+            recursive_steps(exp.orelse),
+        )
+    if isinstance(exp, (For, Let, UFor, ULet)):
+        return recursive_steps(exp.source) + recursive_steps(exp.body)
+    if isinstance(exp, Element):
+        return recursive_steps(exp.content)
+    if isinstance(exp, Delete):
+        return recursive_steps(exp.target)
+    if isinstance(exp, Rename):
+        return recursive_steps(exp.target)
+    if isinstance(exp, Insert):
+        return recursive_steps(exp.source) + recursive_steps(exp.target)
+    if isinstance(exp, Replace):
+        return recursive_steps(exp.target) + recursive_steps(exp.source)
+    raise TypeError(f"unknown expression node {exp!r}")
+
+
+def _mentioned_tags(exp: Expr) -> set[str]:
+    """Tags whose frequency can be non-zero (name tests, wildcard steps,
+    constructed/renamed tags)."""
+    tags: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Step):
+            if isinstance(node.test, NameTest):
+                tags.add(node.test.name)
+            elif isinstance(node.test, (NodeKindTest, WildcardTest)):
+                tags.add("*any*")
+            return
+        if isinstance(node, (Empty, StringLit, UEmpty)):
+            return
+        if isinstance(node, (Concat, UConcat)):
+            walk(node.left)
+            walk(node.right)
+            return
+        if isinstance(node, (If, UIf)):
+            walk(node.cond)
+            walk(node.then)
+            walk(node.orelse)
+            return
+        if isinstance(node, (For, Let, UFor, ULet)):
+            walk(node.source)
+            walk(node.body)
+            return
+        if isinstance(node, Element):
+            tags.add(node.tag)
+            walk(node.content)
+            return
+        if isinstance(node, Delete):
+            walk(node.target)
+            return
+        if isinstance(node, Rename):
+            tags.add(node.tag)
+            walk(node.target)
+            return
+        if isinstance(node, Insert):
+            walk(node.source)
+            walk(node.target)
+            return
+        if isinstance(node, Replace):
+            walk(node.target)
+            walk(node.source)
+            return
+        raise TypeError(f"unknown expression node {node!r}")
+
+    walk(exp)
+    return tags
+
+
+def multiplicity(exp: Expr) -> int:
+    """``k_exp = max_a F(a, exp) + R(exp)``.
+
+    The maximum over tags only needs to range over tags syntactically
+    mentioned by ``exp`` (all other tags have frequency 0); ``node()`` and
+    ``*`` steps count toward every tag and are handled by a pseudo-tag
+    that never collides with constructed-tag increments.
+    """
+    tags = _mentioned_tags(exp)
+    max_freq = max(
+        (tag_frequency(tag, exp) for tag in tags), default=0
+    )
+    return max_freq + recursive_steps(exp)
+
+
+def pair_multiplicity(query: Query, update: Update) -> int:
+    """``k = k_q + k_u`` (Theorem 5.1), at least 1."""
+    return max(1, multiplicity(query) + multiplicity(update))

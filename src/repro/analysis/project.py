@@ -1,0 +1,109 @@
+"""Chain-driven document projection (the operational face of Theorem 3.2).
+
+Theorem 3.2 states that projecting any valid document onto the locations
+typed by a query's used and return chains (return chains keeping their
+whole subtrees) preserves the query's answer.  This module turns that
+statement into an operation: :func:`project_for_query` shrinks a document
+to the part a query can possibly see -- the type-based projection
+application pioneered by Marian & Simeon [16] and Benzaken et al. [7],
+here with chain precision.
+
+Used by the test suite as a direct empirical check of Theorem 3.2, and
+useful on its own to cut memory for repeated evaluation of a fixed query.
+"""
+
+from __future__ import annotations
+
+from ..schema.dtd import DTD
+from ..xmldm.projection import project
+from ..xmldm.store import Location, Tree
+from ..xquery.ast import ROOT_VAR, Query
+from ..xquery.parser import parse_query
+from .cdag import ChainExplosion, Component
+from .independence import AnalysisEngine, build_universe
+from .infer_query import QueryChains, QueryInference
+from .kbound import multiplicity
+
+
+def _component_chain_index(
+    components: tuple[Component, ...], limit: int
+) -> tuple[set[tuple[str, ...]], bool]:
+    """All chains of the components; flag True when enumeration blew up
+    (callers must then keep everything -- sound fallback)."""
+    chains: set[tuple[str, ...]] = set()
+    for component in components:
+        if component.constructed:
+            continue
+        try:
+            chains |= component.enumerate_chains(limit)
+        except ChainExplosion:
+            return set(), True
+    return chains, False
+
+
+def projection_locations(
+    tree: Tree, chains: QueryChains, limit: int = 200_000
+) -> set[Location] | None:
+    """Locations of ``tree`` covered by the query's chains.
+
+    Return-chain locations keep their whole subtrees (a return node
+    embodies its descendants -- Section 3); used-chain locations keep
+    just themselves (ancestors are added by the projection's upward
+    closure).  Returns None when the chain sets are too large to
+    enumerate -- the caller should skip projecting.
+    """
+    return_chains, blown = _component_chain_index(chains.returns, limit)
+    if blown:
+        return None
+    used_chains, blown = _component_chain_index(chains.used, limit)
+    if blown:
+        return None
+
+    keep: set[Location] = set()
+    store = tree.store
+    for loc in store.descendants_or_self(tree.root):
+        node_chain = store.node_chain(loc)
+        if node_chain in used_chains:
+            keep.add(loc)
+        if node_chain in return_chains:
+            keep.add(loc)
+            keep.update(store.descendants(loc))
+    return keep
+
+
+def project_for_query(
+    query: Query | str,
+    tree: Tree,
+    schema: DTD,
+    k: int | None = None,
+    engine: AnalysisEngine | None = None,
+) -> Tree:
+    """Project ``tree`` onto what ``query`` can see (Theorem 3.2).
+
+    The result is a fresh tree on which evaluating ``query`` yields a
+    value-equivalent answer.  If the chain sets are too large to
+    enumerate, the original tree is returned unchanged (sound no-op).
+
+    >>> from repro.schema import bib_dtd
+    >>> from repro.xmldm import parse_xml
+    >>> tree = parse_xml("<bib><book><title>t</title><author>"
+    ...                  "<last>l</last><first>f</first></author>"
+    ...                  "<publisher>p</publisher><price>9</price>"
+    ...                  "</book></bib>")
+    >>> small = project_for_query("//title", tree, bib_dtd())
+    >>> small.size() < tree.size()
+    True
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if k is None:
+        k = max(1, multiplicity(query))
+    if engine is not None and engine.k == k and engine.schema is schema:
+        inference = engine.queries
+    else:
+        inference = QueryInference(build_universe(schema, k))
+    chains = inference.infer_root(query, ROOT_VAR)
+    keep = projection_locations(tree, chains)
+    if keep is None:
+        return tree
+    return project(tree, keep)

@@ -1,0 +1,175 @@
+"""Step chain inference: ``AC`` (axes) and ``TC`` (node tests), Section 3.1.
+
+Operates on CDAG components.  :func:`step_on_component` computes
+``TC(AC(c, axis), phi)`` for all chains ``c`` of a component at once;
+:func:`productive_ends` computes the subset of context ends for which the
+step result is non-empty (the paper's (STEPUH) used-chain filter, and the
+building block of the (FOR) filter).
+"""
+
+from __future__ import annotations
+
+from ..xquery.ast import Axis, NodeTest, node_test_matches
+from .cdag import (
+    EMPTY_COMPONENT,
+    Component,
+    Node,
+    Universe,
+    ancestor_step,
+    child_step,
+    descendant_step,
+    filter_ends,
+    parent_step,
+    self_step,
+    sibling_step,
+)
+
+
+def axis_on_component(component: Component, axis: Axis,
+                      universe: Universe) -> Component:
+    """``AC(c, axis)`` applied to every chain of ``component``."""
+    if axis is Axis.SELF:
+        return self_step(component)
+    if axis is Axis.CHILD:
+        return child_step(component, universe)
+    if axis is Axis.DESCENDANT:
+        return descendant_step(component, universe, or_self=False)
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return descendant_step(component, universe, or_self=True)
+    if axis is Axis.PARENT:
+        return parent_step(component)
+    if axis is Axis.ANCESTOR:
+        return ancestor_step(component, or_self=False)
+    if axis is Axis.ANCESTOR_OR_SELF:
+        return ancestor_step(component, or_self=True)
+    if axis is Axis.FOLLOWING_SIBLING:
+        return sibling_step(component, universe, following=True)
+    if axis is Axis.PRECEDING_SIBLING:
+        return sibling_step(component, universe, following=False)
+    raise ValueError(f"unknown axis {axis!r}")
+
+
+def test_on_component(component: Component, test: NodeTest,
+                      universe: Universe) -> Component:
+    """``TC(c, phi)``: keep chains whose last symbol's label matches."""
+    return filter_ends(
+        component,
+        lambda end: node_test_matches(test, universe.label(end[1])),
+    )
+
+
+def step_on_component(component: Component, axis: Axis, test: NodeTest,
+                      universe: Universe) -> Component:
+    """``TC(AC(c, axis), phi)`` over a whole component."""
+    return test_on_component(
+        axis_on_component(component, axis, universe), test, universe
+    )
+
+
+def productive_ends(component: Component, axis: Axis, test: NodeTest,
+                    universe: Universe) -> frozenset[Node]:
+    """Ends ``n`` of ``component`` whose step result is non-empty.
+
+    Exact per-end computation; used by the (STEPUH) used-chain filter and
+    by the (FOR) filter of Table 1.
+    """
+    if component.is_empty():
+        return frozenset()
+
+    def matches(node: Node) -> bool:
+        return node_test_matches(test, universe.label(node[1]))
+
+    if axis is Axis.SELF:
+        return frozenset(e for e in component.ends if matches(e))
+
+    if axis is Axis.CHILD:
+        return frozenset(
+            e for e in component.ends
+            if any(matches(s) for s in universe.successors(e))
+        )
+
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        result = set()
+        memo: dict[Node, bool] = {}
+        for end in component.ends:
+            if axis is Axis.DESCENDANT_OR_SELF and matches(end):
+                result.add(end)
+                continue
+            if _has_matching_descendant(end, matches, universe, memo):
+                result.add(end)
+        return frozenset(result)
+
+    # Upward and horizontal axes need the component's own edges.
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in component.edges:
+        reverse.setdefault(target, []).append(source)
+
+    if axis is Axis.PARENT:
+        return frozenset(
+            e for e in component.ends
+            if any(matches(p) for p in reverse.get(e, ()))
+        )
+
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        result = set()
+        for end in component.ends:
+            if axis is Axis.ANCESTOR_OR_SELF and matches(end):
+                result.add(end)
+                continue
+            seen: set[Node] = set()
+            frontier = list(reverse.get(end, ()))
+            found = False
+            while frontier and not found:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                if matches(node):
+                    found = True
+                    break
+                frontier.extend(reverse.get(node, ()))
+            if found:
+                result.add(end)
+        return frozenset(result)
+
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        following = axis is Axis.FOLLOWING_SIBLING
+        result = set()
+        for end in component.ends:
+            symbol = end[1]
+            for parent in reverse.get(end, ()):
+                order = universe.schema.sibling_order(parent[1])
+                if following:
+                    siblings = {b for (a, b) in order if a == symbol}
+                else:
+                    siblings = {a for (a, b) in order if b == symbol}
+                if any(matches((end[0], s)) for s in siblings):
+                    result.add(end)
+                    break
+        return frozenset(result)
+
+    raise ValueError(f"unknown axis {axis!r}")
+
+
+def _has_matching_descendant(node: Node, matches, universe: Universe,
+                             memo: dict[Node, bool]) -> bool:
+    """Iterative memoized DFS (levels only increase, so the graph is acyclic)."""
+    cached = memo.get(node)
+    if cached is not None:
+        return cached
+    stack: list[tuple[Node, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current in memo:
+            continue
+        if expanded:
+            memo[current] = any(
+                matches(s) or memo.get(s, False)
+                for s in universe.successors(current)
+            )
+            continue
+        stack.append((current, True))
+        for succ in universe.successors(current):
+            if succ not in memo and not matches(succ):
+                stack.append((succ, False))
+    return memo[node]

@@ -1,0 +1,64 @@
+"""Benchmark workloads and the Figure 3 experiment harness."""
+
+from .harness import (
+    GROUND_TRUTH_CORPUS,
+    MAINTENANCE_SCALES,
+    PairGrid,
+    compute_grid,
+    compute_ground_truth,
+    run_fig3a,
+    run_fig3b,
+    run_fig3c,
+    run_fig3d,
+)
+from .rbench import (
+    K_OFFSETS,
+    PATH_LENGTHS,
+    SCHEMA_SIZES,
+    RBenchPoint,
+    descendant_path,
+    infer_time,
+    recursive_schema,
+    sweep,
+)
+from .updates import ALL_UPDATES, parsed_updates, update, update_names
+from .views import (
+    ALL_VIEWS,
+    XMARK_VIEWS,
+    XPATHMARK_A_VIEWS,
+    XPATHMARK_B_VIEWS,
+    parsed_views,
+    view,
+    view_names,
+)
+
+__all__ = [
+    "GROUND_TRUTH_CORPUS",
+    "MAINTENANCE_SCALES",
+    "PairGrid",
+    "compute_grid",
+    "compute_ground_truth",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_fig3d",
+    "K_OFFSETS",
+    "PATH_LENGTHS",
+    "SCHEMA_SIZES",
+    "RBenchPoint",
+    "descendant_path",
+    "infer_time",
+    "recursive_schema",
+    "sweep",
+    "ALL_UPDATES",
+    "parsed_updates",
+    "update",
+    "update_names",
+    "ALL_VIEWS",
+    "XMARK_VIEWS",
+    "XPATHMARK_A_VIEWS",
+    "XPATHMARK_B_VIEWS",
+    "parsed_views",
+    "view",
+    "view_names",
+]

@@ -1,0 +1,311 @@
+"""Experiment harness regenerating every panel of the paper's Figure 3.
+
+Run as a module::
+
+    python -m repro.bench.harness fig3a     # static-analysis time
+    python -m repro.bench.harness fig3b     # precision vs the type baseline
+    python -m repro.bench.harness fig3c     # view-maintenance savings
+    python -m repro.bench.harness fig3d     # R-benchmark scalability
+    python -m repro.bench.harness all
+
+Substitutions w.r.t. the paper's testbed (see DESIGN.md section 5): the
+document corpus comes from our generator instead of xmlgen; the three
+commercial XQuery engines of Fig 3.c are replaced by this library's
+evaluator at three document scales; ground truth for Fig 3.b comes from
+exhaustive dynamic testing instead of manual determination.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+
+from ..analysis.baseline import baseline_analyze
+from ..analysis.dynamic import differs_on
+from ..analysis.independence import AnalysisEngine, analyze
+from ..analysis.kbound import multiplicity
+from ..schema.catalog import xmark_dtd
+from ..xmldm.generator import document_bytes, generate_corpus, generate_document
+from ..xquery.ast import ROOT_VAR
+from ..xquery.evaluator import evaluate_query
+from .rbench import sweep
+from .updates import parsed_updates, update_names
+from .views import parsed_views, view_names
+from .xmark_data import rich_xmark_document
+
+#: Corpus used for dynamic ground truth (count, bytes-per-document).
+GROUND_TRUTH_CORPUS = (8, 6_000)
+
+#: Document scales for the maintenance experiment, substituting the
+#: paper's 1 MB / 10 MB / 100 MB (Python evaluator vs compiled engines).
+MAINTENANCE_SCALES = (("S", 50_000), ("M", 200_000), ("L", 800_000))
+
+
+@dataclass
+class PairGrid:
+    """Static verdicts and timings for every (update, view) pair."""
+
+    chains_independent: dict[tuple[str, str], bool]
+    types_independent: dict[tuple[str, str], bool]
+    chains_seconds: dict[str, float]      # per update, all 36 views
+    types_seconds: dict[str, float]
+
+
+def compute_grid(schema=None) -> PairGrid:
+    """Run both static analyses on the full 31 x 36 benchmark grid."""
+    schema = schema or xmark_dtd()
+    views = parsed_views()
+    updates = parsed_updates()
+    view_k = {name: multiplicity(q) for name, q in views.items()}
+    update_k = {name: multiplicity(u) for name, u in updates.items()}
+    engines: dict[int, AnalysisEngine] = {}
+
+    chains_ind: dict[tuple[str, str], bool] = {}
+    types_ind: dict[tuple[str, str], bool] = {}
+    chains_sec: dict[str, float] = {}
+    types_sec: dict[str, float] = {}
+
+    for update_name, update in updates.items():
+        started = time.perf_counter()
+        for view_name, view in views.items():
+            k = max(1, view_k[view_name] + update_k[update_name])
+            engine = engines.setdefault(k, AnalysisEngine(schema, k))
+            report = analyze(view, update, schema, k=k, engine=engine,
+                             collect_witnesses=False)
+            chains_ind[(update_name, view_name)] = report.independent
+        chains_sec[update_name] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for view_name, view in views.items():
+            verdict = baseline_analyze(view, update, schema)
+            types_ind[(update_name, view_name)] = verdict.independent
+        types_sec[update_name] = time.perf_counter() - started
+
+    return PairGrid(chains_ind, types_ind, chains_sec, types_sec)
+
+
+def compute_ground_truth(
+    corpus_size: int | None = None,
+    document_bytes_target: int | None = None,
+    seed: int = 0,
+) -> dict[tuple[str, str], bool]:
+    """Dynamic ground truth: pair -> truly independent (no witness found)."""
+    count, target = GROUND_TRUTH_CORPUS
+    if corpus_size is not None:
+        count = corpus_size
+    if document_bytes_target is not None:
+        target = document_bytes_target
+    schema = xmark_dtd()
+    corpus = [rich_xmark_document()] + generate_corpus(
+        schema, count, target_bytes=target, seed=seed
+    )
+    views = parsed_views()
+    updates = parsed_updates()
+    truth: dict[tuple[str, str], bool] = {}
+    for update_name, update in updates.items():
+        for view_name, view in views.items():
+            independent = True
+            for tree in corpus:
+                if differs_on(view, update, tree):
+                    independent = False
+                    break
+            truth[(update_name, view_name)] = independent
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# Figure 3.a -- static analysis time
+# ---------------------------------------------------------------------------
+
+
+def run_fig3a(out=sys.stdout) -> PairGrid:
+    """Per update: time to analyze the whole 36-view set (chains and [6])."""
+    grid = compute_grid()
+    print("Figure 3.a -- chain analysis time per update "
+          "(all 36 views), ms", file=out)
+    print(f"{'update':>6} {'chains-ms':>10} {'types[6]-ms':>12}", file=out)
+    for name in update_names():
+        print(
+            f"{name:>6} {grid.chains_seconds[name] * 1e3:>10.1f} "
+            f"{grid.types_seconds[name] * 1e3:>12.1f}",
+            file=out,
+        )
+    chain_avg = sum(grid.chains_seconds.values()) / len(grid.chains_seconds)
+    type_avg = sum(grid.types_seconds.values()) / len(grid.types_seconds)
+    print(f"{'avg':>6} {chain_avg * 1e3:>10.1f} {type_avg * 1e3:>12.1f}",
+          file=out)
+    return grid
+
+
+# ---------------------------------------------------------------------------
+# Figure 3.b -- precision
+# ---------------------------------------------------------------------------
+
+
+def run_fig3b(grid: PairGrid | None = None,
+              truth: dict[tuple[str, str], bool] | None = None,
+              out=sys.stdout) -> dict[str, tuple[float, float]]:
+    """Per update: % of truly independent views detected (chains vs [6]).
+
+    Returns ``{update: (chains_pct, types_pct)}`` with NaN-free semantics:
+    updates with no truly-independent view count as 100% for both.
+    """
+    grid = grid or compute_grid()
+    truth = truth or compute_ground_truth()
+    print("Figure 3.b -- independence detected (% of truly independent "
+          "pairs)", file=out)
+    print(f"{'update':>6} {'true-indep':>10} {'chains%':>8} "
+          f"{'types[6]%':>10}", file=out)
+    results: dict[str, tuple[float, float]] = {}
+    chain_pcts: list[float] = []
+    type_pcts: list[float] = []
+    for update_name in update_names():
+        independent_views = [
+            v for v in view_names() if truth[(update_name, v)]
+        ]
+        total = len(independent_views)
+        if total == 0:
+            results[update_name] = (100.0, 100.0)
+            continue
+        chains_hit = sum(
+            1 for v in independent_views
+            if grid.chains_independent[(update_name, v)]
+        )
+        types_hit = sum(
+            1 for v in independent_views
+            if grid.types_independent[(update_name, v)]
+        )
+        chains_pct = 100.0 * chains_hit / total
+        types_pct = 100.0 * types_hit / total
+        results[update_name] = (chains_pct, types_pct)
+        chain_pcts.append(chains_pct)
+        type_pcts.append(types_pct)
+        print(f"{update_name:>6} {total:>10} {chains_pct:>8.0f} "
+              f"{types_pct:>10.0f}", file=out)
+    if chain_pcts:
+        print(
+            f"{'avg':>6} {'':>10} {sum(chain_pcts) / len(chain_pcts):>8.0f} "
+            f"{sum(type_pcts) / len(type_pcts):>10.0f}",
+            file=out,
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 3.c -- view maintenance savings
+# ---------------------------------------------------------------------------
+
+
+def run_fig3c(grid: PairGrid | None = None,
+              scales=MAINTENANCE_SCALES, out=sys.stdout
+              ) -> dict[str, dict[str, float]]:
+    """Average re-materialization time: full vs types-guided vs
+    chains-guided, at three document scales.
+
+    Returns ``{scale: {"full": s, "types": s, "chains": s}}``.
+    """
+    grid = grid or compute_grid()
+    schema = xmark_dtd()
+    views = parsed_views()
+    updates = parsed_updates()
+    print("Figure 3.c -- avg view re-materialization time per update (s)",
+          file=out)
+    print(f"{'scale':>6} {'bytes':>9} {'full':>9} {'types[6]':>9} "
+          f"{'chains':>9} {'save-t%':>8} {'save-c%':>8}", file=out)
+    results: dict[str, dict[str, float]] = {}
+    for label, target in scales:
+        tree = generate_document(schema, target, seed=42)
+        env = {ROOT_VAR: [tree.root]}
+
+        view_cost: dict[str, float] = {}
+        for name, view in views.items():
+            started = time.perf_counter()
+            evaluate_query(view, tree.store, env)
+            view_cost[name] = time.perf_counter() - started
+
+        total_full = 0.0
+        total_types = 0.0
+        total_chains = 0.0
+        for update_name in updates:
+            full = sum(view_cost.values())
+            types_time = sum(
+                cost for name, cost in view_cost.items()
+                if not grid.types_independent[(update_name, name)]
+            )
+            chains_time = sum(
+                cost for name, cost in view_cost.items()
+                if not grid.chains_independent[(update_name, name)]
+            )
+            total_full += full
+            total_types += types_time
+            total_chains += chains_time
+        n = len(updates)
+        averages = {
+            "full": total_full / n,
+            "types": total_types / n,
+            "chains": total_chains / n,
+            "bytes": float(document_bytes(tree)),
+        }
+        results[label] = averages
+        save_types = 100.0 * (1 - averages["types"] / averages["full"])
+        save_chains = 100.0 * (1 - averages["chains"] / averages["full"])
+        print(
+            f"{label:>6} {averages['bytes']:>9.0f} {averages['full']:>9.3f} "
+            f"{averages['types']:>9.3f} {averages['chains']:>9.3f} "
+            f"{save_types:>8.0f} {save_chains:>8.0f}",
+            file=out,
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 3.d -- R-benchmark scalability
+# ---------------------------------------------------------------------------
+
+
+def run_fig3d(out=sys.stdout, **sweep_kwargs):
+    """Chain-inference time for em over dn (and XMark) at three k values."""
+    points = sweep(**sweep_kwargs)
+    print("Figure 3.d -- chain inference time on the R-benchmark (s)",
+          file=out)
+    print(f"{'schema':>7} {'m':>3} {'k':>3} {'seconds':>9}", file=out)
+    for point in points:
+        name = point.n if isinstance(point.n, str) else f"d{point.n}"
+        print(f"{name:>7} {point.m:>3} {point.k:>3} {point.seconds:>9.4f}",
+              file=out)
+    return points
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's Figure 3 panels."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig3a", "fig3b", "fig3c", "fig3d", "all"],
+    )
+    parser.add_argument("--corpus", type=int, default=None,
+                        help="ground-truth corpus size (fig3b)")
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("fig3a", "all"):
+        grid = run_fig3a()
+        print()
+    else:
+        grid = None
+    if args.experiment in ("fig3b", "all"):
+        truth = compute_ground_truth(corpus_size=args.corpus)
+        run_fig3b(grid, truth)
+        print()
+    if args.experiment in ("fig3c", "all"):
+        run_fig3c(grid)
+        print()
+    if args.experiment in ("fig3d", "all"):
+        run_fig3d()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""The R-benchmark (Section 6.2): scalability under massive recursion.
+
+* ``dn``: a parametric schema of ``n`` fully mutually recursive types
+  (every type's content model is ``(a1 | ... | an)*``), so ``|dn| = n``;
+* ``em``: an XPath expression of ``m`` consecutive
+  ``descendant::node()`` steps, so ``|em| = m``;
+* multiplicities ``k`` ranging over ``{m, m+5, m+10}``.
+
+The paper sweeps ``n in {1, 3, 5, 10, 20}`` and ``m in {1, 5, 10}`` and
+measures pure chain-inference time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..schema.dtd import DTD
+from ..xquery.ast import ROOT_VAR, Query
+from ..xquery.parser import parse_query
+from .. import analysis
+from ..analysis.cdag import Universe
+from ..analysis.infer_query import QueryInference
+
+#: The paper's parameter grid.
+SCHEMA_SIZES = (1, 3, 5, 10, 20)
+PATH_LENGTHS = (1, 5, 10)
+K_OFFSETS = (0, 5, 10)
+
+
+def recursive_schema(n: int) -> DTD:
+    """``dn``: ``n`` fully mutually recursive types, rooted at ``a1``.
+
+    >>> recursive_schema(2).children_of("a1") == frozenset({"a1", "a2"})
+    True
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    names = [f"a{i}" for i in range(1, n + 1)]
+    body = "(" + " | ".join(names) + ")*"
+    return DTD.from_dict(names[0], {name: body for name in names})
+
+
+def descendant_path(m: int) -> Query:
+    """``em``: ``m`` consecutive ``descendant::node()`` steps."""
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    return parse_query("/descendant::node()" * m)
+
+
+@dataclass(frozen=True)
+class RBenchPoint:
+    """One measured configuration of Figure 3.d."""
+
+    n: int | str          # schema size, or "xmark"
+    m: int                # path length
+    k: int                # multiplicity bound used
+    seconds: float
+
+
+def infer_time(schema: DTD, m: int, k: int) -> float:
+    """Chain-inference time for ``em`` over ``schema`` with bound ``k``."""
+    query = descendant_path(m)
+    universe = Universe(schema, analysis.depth_cap_for(schema, k))
+    engine = QueryInference(universe)
+    started = time.perf_counter()
+    engine.infer_root(query, ROOT_VAR)
+    return time.perf_counter() - started
+
+
+def sweep(
+    schema_sizes: tuple[int, ...] = SCHEMA_SIZES,
+    path_lengths: tuple[int, ...] = PATH_LENGTHS,
+    k_offsets: tuple[int, ...] = K_OFFSETS,
+    include_xmark: bool = True,
+) -> list[RBenchPoint]:
+    """Run the full Figure 3.d sweep and return all measured points."""
+    from ..schema.catalog import xmark_dtd
+
+    points: list[RBenchPoint] = []
+    for n in schema_sizes:
+        schema = recursive_schema(n)
+        for m in path_lengths:
+            for offset in k_offsets:
+                k = m + offset
+                points.append(
+                    RBenchPoint(n, m, k, infer_time(schema, m, k))
+                )
+    if include_xmark:
+        schema = xmark_dtd()
+        for m in path_lengths:
+            for offset in k_offsets:
+                k = m + offset
+                points.append(
+                    RBenchPoint("xmark", m, k, infer_time(schema, m, k))
+                )
+    return points

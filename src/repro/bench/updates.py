@@ -1,0 +1,120 @@
+"""The 31 benchmark updates (Section 6.2).
+
+* ``UA1``-``UA8``: ``delete Ai`` (XPathMark downward paths);
+* ``UB1``-``UB8``: ``delete Bi`` (upward/horizontal paths);
+* ``UI1``-``UI5``: insert expressions;
+* ``UN1``-``UN5``: rename expressions;
+* ``UP1``-``UP5``: replace expressions.
+
+As in the paper, the UI/UN/UP groups are chosen to cover all different
+parts of XMark documents, in particular the mutually recursive
+``description`` component (``text``/``bold``/``keyword``/``emph`` and
+``parlist``/``listitem``), and to preserve document validity (renames
+stay within the interchangeable text-decoration types; replaces produce
+content matching the content models).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..xupdate.ast import Update
+from ..xupdate.parser import parse_update
+from .views import XPATHMARK_A_VIEWS, XPATHMARK_B_VIEWS
+
+#: Delete updates derived from the XPathMark views, as in [6].
+DELETE_UPDATES: dict[str, str] = {
+    **{f"UA{i}": f"delete {path}"
+       for i, path in ((n[1:], XPATHMARK_A_VIEWS[n]) for n in
+                       XPATHMARK_A_VIEWS)},
+    **{f"UB{i}": f"delete {path}"
+       for i, path in ((n[1:], XPATHMARK_B_VIEWS[n]) for n in
+                       XPATHMARK_B_VIEWS)},
+}
+
+INSERT_UPDATES: dict[str, str] = {
+    "UI1": (
+        "for $x in /site/people/person/profile return "
+        "insert <interest/> as first into $x"
+    ),
+    "UI2": (
+        "for $x in /site/open_auctions/open_auction return "
+        "insert <bidder><date>d</date><time>t</time><personref/>"
+        "<increase>i</increase></bidder> into $x"
+    ),
+    "UI3": (
+        "for $x in //text return "
+        "insert <keyword><bold>hot</bold></keyword> into $x"
+    ),
+    "UI4": (
+        "for $x in //parlist return "
+        "insert <listitem><text>t</text></listitem> into $x"
+    ),
+    "UI5": (
+        "for $x in /site/regions/*/item/mailbox return "
+        "insert <mail><from>a</from><to>b</to><date>d</date>"
+        "<text>t</text></mail> into $x"
+    ),
+}
+
+RENAME_UPDATES: dict[str, str] = {
+    "UN1": "for $x in //bold return rename $x as emph",
+    "UN2": "for $x in //text/keyword return rename $x as emph",
+    "UN3": "for $x in //listitem/text/bold return rename $x as keyword",
+    "UN4": (
+        "for $x in /site/closed_auctions/closed_auction/annotation/"
+        "description/text/emph return rename $x as bold"
+    ),
+    "UN5": (
+        "for $x in /site/regions/*/item/mailbox/mail/text/keyword "
+        "return rename $x as bold"
+    ),
+}
+
+REPLACE_UPDATES: dict[str, str] = {
+    "UP1": (
+        "for $x in /site/people/person/address return replace $x with "
+        "<address><street>s</street><city>c</city><country>y</country>"
+        "<zipcode>z</zipcode></address>"
+    ),
+    "UP2": (
+        "for $x in /site/open_auctions/open_auction/interval return "
+        "replace $x with <interval><start>s</start><end>e</end></interval>"
+    ),
+    "UP3": (
+        "for $x in /site/categories/category/description return "
+        "replace $x with <description><text>plain</text></description>"
+    ),
+    "UP4": (
+        "for $x in /site/regions/*/item/payment return "
+        "replace $x with <payment>cash</payment>"
+    ),
+    "UP5": (
+        "for $x in /site/closed_auctions/closed_auction/price return "
+        "replace $x with <price>0</price>"
+    ),
+}
+
+#: All 31 updates in benchmark order (UA, UB, UI, UN, UP).
+ALL_UPDATES: dict[str, str] = {
+    **DELETE_UPDATES,
+    **INSERT_UPDATES,
+    **RENAME_UPDATES,
+    **REPLACE_UPDATES,
+}
+
+
+def update_names() -> list[str]:
+    """The 31 update names in benchmark order."""
+    return list(ALL_UPDATES)
+
+
+@lru_cache(maxsize=None)
+def update(name: str) -> Update:
+    """Parsed AST of an update (cached)."""
+    return parse_update(ALL_UPDATES[name])
+
+
+def parsed_updates() -> dict[str, Update]:
+    """All updates, parsed."""
+    return {name: update(name) for name in ALL_UPDATES}

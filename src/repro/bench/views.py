@@ -1,0 +1,156 @@
+"""The 36 benchmark views (Section 6.2).
+
+The paper's view set is XMark q1-q20 [20] plus XPathMark A1-A8 / B1-B8
+[13], rewritten into the considered fragment exactly as the paper
+describes: predicate conditions in disjunctive form, attribute use
+removed, paths extracted from function calls and arithmetic (so value
+joins and aggregations become navigation skeletons).  ``Ai`` views use
+only downward axes; ``Bi`` views also use upward and horizontal axes.
+
+Each view is a pair (name, surface text); parsed ASTs are cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..xquery.ast import Query
+from ..xquery.parser import parse_query
+
+#: XMark queries q1-q20, rewritten (value predicates/aggregations dropped,
+#: navigation and construction structure kept).
+XMARK_VIEWS: dict[str, str] = {
+    "q1": "/site/people/person/name",
+    "q2": "/site/open_auctions/open_auction/bidder/increase",
+    "q3": (
+        "for $a in /site/open_auctions/open_auction return "
+        "if ($a/bidder/increase) then $a/current else ()"
+    ),
+    "q4": (
+        "for $b in /site/open_auctions/open_auction return "
+        "if ($b/bidder/personref) then $b/reserve else ()"
+    ),
+    "q5": "/site/closed_auctions/closed_auction/price",
+    "q6": "/site/regions//item",
+    "q7": "(/site//description, /site//annotation, /site//emailaddress)",
+    "q8": (
+        "for $p in /site/people/person return "
+        "for $t in /site/closed_auctions/closed_auction return "
+        "if ($t/buyer) then ($p/name, $t/price) else ()"
+    ),
+    "q9": (
+        "for $p in /site/people/person return "
+        "for $t in /site/closed_auctions/closed_auction return "
+        "for $i in /site/regions/europe/item return ($p/name, $i/name)"
+    ),
+    "q10": (
+        "for $i in /site/people/person/profile/interest return "
+        "for $p in /site/people/person return "
+        "<categorie>{($p/profile/gender, $p/profile/age, $p/name)}"
+        "</categorie>"
+    ),
+    "q11": (
+        "for $p in /site/people/person return "
+        "for $o in /site/open_auctions/open_auction return "
+        "if ($p/profile) then $o/initial else ()"
+    ),
+    "q12": (
+        "for $p in /site/people/person return "
+        "for $o in /site/open_auctions/open_auction return "
+        "if ($p/profile/business) then $o/reserve else ()"
+    ),
+    "q13": (
+        "for $i in /site/regions/australia/item return "
+        "<item>{($i/name, $i/description)}</item>"
+    ),
+    "q14": (
+        "for $i in /site//item return "
+        "if ($i/description//keyword) then $i/name else ()"
+    ),
+    "q15": (
+        "/site/closed_auctions/closed_auction/annotation/description/"
+        "parlist/listitem/parlist/listitem/text/emph/keyword"
+    ),
+    "q16": (
+        "for $a in /site/closed_auctions/closed_auction return "
+        "if ($a/annotation/description/parlist/listitem/parlist/listitem/"
+        "text/emph/keyword) then $a/seller else ()"
+    ),
+    "q17": (
+        "for $p in /site/people/person return "
+        "if (not($p/homepage)) then $p/name else ()"
+    ),
+    "q18": "/site/open_auctions/open_auction/initial",
+    "q19": (
+        "for $b in /site/regions//item return ($b/name, $b/location)"
+    ),
+    "q20": (
+        "for $p in /site/people/person return "
+        "if ($p/profile/age) then $p/profile/education else ()"
+    ),
+}
+
+#: XPathMark A1-A8: downward axes only.
+XPATHMARK_A_VIEWS: dict[str, str] = {
+    "A1": (
+        "/site/closed_auctions/closed_auction/annotation/description/"
+        "text/keyword"
+    ),
+    "A2": "//closed_auction//keyword",
+    "A3": "/site/closed_auctions/closed_auction//keyword",
+    "A4": (
+        "/site/closed_auctions/closed_auction"
+        "[annotation/description/text/keyword]/date"
+    ),
+    "A5": "/site/closed_auctions/closed_auction[descendant::keyword]/date",
+    "A6": "/site/people/person[profile/gender and profile/age]/name",
+    "A7": "/site/people/person[phone or homepage]/name",
+    "A8": (
+        "/site/people/person[address and (phone or homepage) and "
+        "(creditcard or profile)]/name"
+    ),
+}
+
+#: XPathMark B1-B8: also upward and horizontal axes.
+XPATHMARK_B_VIEWS: dict[str, str] = {
+    "B1": (
+        "/site/regions/*/item"
+        "[parent::namerica or parent::samerica]/name"
+    ),
+    "B2": "//keyword/ancestor::listitem/text/keyword",
+    "B3": (
+        "/site/open_auctions/open_auction/bidder"
+        "[following-sibling::bidder]/increase"
+    ),
+    "B4": (
+        "/site/open_auctions/open_auction/bidder"
+        "[preceding-sibling::bidder]/increase"
+    ),
+    "B5": "/site/regions/*/item[following::item]/name",
+    "B6": "//business/ancestor::person/name",
+    "B7": "//item[preceding::item]/name",
+    "B8": "//keyword/ancestor::description/parent::item/name",
+}
+
+#: All 36 views in benchmark order.
+ALL_VIEWS: dict[str, str] = {
+    **XMARK_VIEWS,
+    **XPATHMARK_A_VIEWS,
+    **XPATHMARK_B_VIEWS,
+}
+
+
+def view_names() -> list[str]:
+    """The 36 view names in benchmark order."""
+    return list(ALL_VIEWS)
+
+
+@lru_cache(maxsize=None)
+def view(name: str) -> Query:
+    """Parsed AST of a view (cached)."""
+    return parse_query(ALL_VIEWS[name])
+
+
+def parsed_views() -> dict[str, Query]:
+    """All views, parsed."""
+    return {name: view(name) for name in ALL_VIEWS}

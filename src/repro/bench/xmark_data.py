@@ -1,0 +1,176 @@
+"""A hand-crafted, schema-valid XMark document exercising every benchmark path.
+
+Random generation rarely produces the deep optional paths the benchmark
+expressions navigate (e.g. ``closed_auction/annotation/description/text/
+keyword`` or the q15 ``parlist/listitem/parlist/listitem/text/emph/
+keyword`` spine).  This document contains them all deterministically, so
+dynamic ground-truth testing (Figure 3.b) has a witness for every
+genuinely dependent pair.  It is validated against the XMark DTD in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..xmldm.parse import parse_xml
+from ..xmldm.store import Tree
+
+RICH_XMARK_XML = """
+<site>
+  <regions>
+    <africa>
+      <item>
+        <location>Cairo</location><quantity>1</quantity>
+        <name>mask</name><payment>cash</payment>
+        <description><text>carved <keyword>wood</keyword> with
+          <bold>dark</bold> tone</text></description>
+        <shipping>air</shipping><incategory/>
+        <mailbox><mail><from>ann</from><to>bob</to><date>d1</date>
+          <text>offer <keyword>urgent</keyword></text></mail></mailbox>
+      </item>
+      <item>
+        <location>Lagos</location><quantity>2</quantity>
+        <name>drum</name><payment>check</payment>
+        <description><parlist><listitem><text>skin</text></listitem>
+        </parlist></description>
+        <shipping>sea</shipping><incategory/><incategory/>
+        <mailbox/>
+      </item>
+    </africa>
+    <asia><item>
+      <location>Kyoto</location><quantity>1</quantity>
+      <name>fan</name><payment>card</payment>
+      <description><text>silk</text></description>
+      <shipping>air</shipping><incategory/>
+      <mailbox/>
+    </item></asia>
+    <australia><item>
+      <location>Perth</location><quantity>3</quantity>
+      <name>boomerang</name><payment>cash</payment>
+      <description><text>returns <emph>fast</emph></text></description>
+      <shipping>sea</shipping><incategory/>
+      <mailbox/>
+    </item></australia>
+    <europe><item>
+      <location>Oslo</location><quantity>1</quantity>
+      <name>sled</name><payment>card</payment>
+      <description><text>pine</text></description>
+      <shipping>rail</shipping><incategory/>
+      <mailbox/>
+    </item></europe>
+    <namerica><item>
+      <location>Boston</location><quantity>2</quantity>
+      <name>lamp</name><payment>cash</payment>
+      <description><text>brass</text></description>
+      <shipping>air</shipping><incategory/>
+      <mailbox/>
+    </item></namerica>
+    <samerica><item>
+      <location>Lima</location><quantity>1</quantity>
+      <name>rug</name><payment>check</payment>
+      <description><text>wool</text></description>
+      <shipping>sea</shipping><incategory/>
+      <mailbox/>
+    </item></samerica>
+  </regions>
+  <categories>
+    <category><name>crafts</name>
+      <description><parlist>
+        <listitem><text>hand <keyword>made</keyword></text></listitem>
+        <listitem><parlist><listitem><text><emph>rare
+          <keyword>find</keyword></emph></text></listitem></parlist>
+        </listitem>
+      </parlist></description>
+    </category>
+    <category><name>tools</name>
+      <description><text>practical</text></description>
+    </category>
+  </categories>
+  <catgraph><edge/><edge/></catgraph>
+  <people>
+    <person>
+      <name>Alice</name><emailaddress>a@x</emailaddress>
+      <phone>555-1</phone>
+      <address><street>1 Elm</street><city>Ens</city>
+        <country>NL</country><province>OV</province>
+        <zipcode>7500</zipcode></address>
+      <homepage>http://a</homepage><creditcard>1111</creditcard>
+      <profile><interest/><interest/><education>phd</education>
+        <gender>f</gender><business>yes</business><age>33</age>
+      </profile>
+      <watches><watch/><watch/></watches>
+    </person>
+    <person>
+      <name>Bob</name><emailaddress>b@x</emailaddress>
+    </person>
+    <person>
+      <name>Carol</name><emailaddress>c@x</emailaddress>
+      <phone>555-2</phone>
+      <profile><business>no</business></profile>
+    </person>
+  </people>
+  <open_auctions>
+    <open_auction>
+      <initial>10</initial><reserve>20</reserve>
+      <bidder><date>d1</date><time>t1</time><personref/>
+        <increase>1</increase></bidder>
+      <bidder><date>d2</date><time>t2</time><personref/>
+        <increase>2</increase></bidder>
+      <bidder><date>d3</date><time>t3</time><personref/>
+        <increase>3</increase></bidder>
+      <current>13</current><privacy>yes</privacy><itemref/>
+      <seller/>
+      <annotation><author/>
+        <description><text>mint <bold>condition</bold>
+          <keyword>hot</keyword></text></description>
+        <happiness>9</happiness></annotation>
+      <quantity>1</quantity><type>regular</type>
+      <interval><start>s1</start><end>e1</end></interval>
+    </open_auction>
+    <open_auction>
+      <initial>5</initial>
+      <current>5</current><itemref/>
+      <seller/>
+      <annotation><author/><happiness>5</happiness></annotation>
+      <quantity>2</quantity><type>featured</type>
+      <interval><start>s2</start><end>e2</end></interval>
+    </open_auction>
+  </open_auctions>
+  <closed_auctions>
+    <closed_auction>
+      <seller/><buyer/><itemref/>
+      <price>42</price><date>d9</date><quantity>1</quantity>
+      <type>regular</type>
+      <annotation><author/>
+        <description><text>sold <keyword>fast</keyword> and
+          <emph>high</emph></text></description>
+        <happiness>8</happiness></annotation>
+    </closed_auction>
+    <closed_auction>
+      <seller/><buyer/><itemref/>
+      <price>7</price><date>d10</date><quantity>3</quantity>
+      <type>featured</type>
+      <annotation><author/>
+        <description><parlist>
+          <listitem><parlist><listitem><text><emph>deep
+            <keyword>spine</keyword></emph></text></listitem></parlist>
+          </listitem>
+          <listitem><text>flat</text></listitem>
+        </parlist></description>
+        <happiness>6</happiness></annotation>
+    </closed_auction>
+  </closed_auctions>
+</site>
+"""
+
+
+@lru_cache(maxsize=None)
+def rich_xmark_tree() -> Tree:
+    """The parsed rich document (cached; callers must clone before mutating)."""
+    return parse_xml(RICH_XMARK_XML)
+
+
+def rich_xmark_document() -> Tree:
+    """A fresh mutable copy of the rich document."""
+    return rich_xmark_tree().clone()

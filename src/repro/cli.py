@@ -1,0 +1,189 @@
+"""Command-line interface for the independence analyzer.
+
+Subcommands::
+
+    python -m repro analyze  --dtd schema.dtd --root site \\
+        --query '//title' --update 'delete //price' [--explain] [--types]
+    python -m repro validate --dtd schema.dtd --root site document.xml
+    python -m repro generate --dtd schema.dtd --root site --bytes 10000 \\
+        [--seed 7] [--out doc.xml]
+    python -m repro infer-dtd doc1.xml doc2.xml ...
+    python -m repro bench fig3a|fig3b|fig3c|fig3d|all
+
+``--dtd`` accepts a file of ``<!ELEMENT ...>`` declarations; the built-in
+schemas are available as ``--builtin xmark|bib|paper-doc|paper-d1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.baseline import baseline_analyze
+from .analysis.explain import explain
+from .analysis.independence import analyze
+from .schema.catalog import (
+    bib_dtd,
+    paper_d1_dtd,
+    paper_doc_dtd,
+    xmark_dtd,
+)
+from .schema.dtd import DTD
+from .schema.infer import infer_dtd
+from .xmldm.generator import generate_document
+from .xmldm.parse import parse_xml
+from .xmldm.serialize import serialize
+from .xmldm.validate import ValidationError, validate
+
+_BUILTINS = {
+    "xmark": xmark_dtd,
+    "bib": bib_dtd,
+    "paper-doc": paper_doc_dtd,
+    "paper-d1": paper_d1_dtd,
+}
+
+
+def _load_schema(args: argparse.Namespace) -> DTD:
+    if getattr(args, "builtin", None):
+        return _BUILTINS[args.builtin]()
+    if not getattr(args, "dtd", None):
+        raise SystemExit("error: pass --dtd FILE or --builtin NAME")
+    with open(args.dtd, encoding="utf-8") as handle:
+        text = handle.read()
+    if not args.root:
+        raise SystemExit("error: --root is required with --dtd")
+    return DTD.from_dtd_text(args.root, text)
+
+
+def _add_schema_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dtd", help="file of <!ELEMENT ...> declarations")
+    parser.add_argument("--root", help="start symbol for --dtd")
+    parser.add_argument("--builtin", choices=sorted(_BUILTINS),
+                        help="use a built-in schema")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    report = analyze(args.query, args.update, schema, k=args.k)
+    if args.explain:
+        print(explain(args.query, args.update, schema, report), end="")
+    else:
+        print(report)
+    if args.types:
+        baseline = baseline_analyze(args.query, args.update, schema)
+        verdict = "independent" if baseline.independent else "dependent"
+        overlap = f" (overlap: {sorted(baseline.overlap)})" \
+            if baseline.overlap else ""
+        print(f"type baseline [6]: {verdict}{overlap}")
+    return 0 if report.independent else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    with open(args.document, encoding="utf-8") as handle:
+        tree = parse_xml(handle.read())
+    try:
+        validate(tree, schema)
+    except ValidationError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print(f"valid ({tree.size()} nodes)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    tree = generate_document(schema, args.bytes, seed=args.seed)
+    text = serialize(tree.store, tree.root, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({tree.size()} nodes)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_infer_dtd(args: argparse.Namespace) -> int:
+    corpus = []
+    for path in args.documents:
+        with open(path, encoding="utf-8") as handle:
+            corpus.append(parse_xml(handle.read()))
+    from .schema.regex import Epsilon
+
+    dtd = infer_dtd(corpus)
+    for tag in sorted(dtd.rules):
+        model = dtd.rules[tag]
+        rendered = "EMPTY" if isinstance(model, Epsilon) else str(model)
+        print(f"<!ELEMENT {tag} {rendered}>")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.harness import main as harness_main
+
+    return harness_main([args.experiment])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Type-based XML query-update independence "
+                    "(Bidoit, Colazzo, Ulliana, VLDB 2012)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="statically decide independence of a pair"
+    )
+    _add_schema_options(analyze_cmd)
+    analyze_cmd.add_argument("--query", required=True)
+    analyze_cmd.add_argument("--update", required=True)
+    analyze_cmd.add_argument("--k", type=int, default=None,
+                             help="override the derived multiplicity")
+    analyze_cmd.add_argument("--explain", action="store_true",
+                             help="print the chain-level explanation")
+    analyze_cmd.add_argument("--types", action="store_true",
+                             help="also run the type baseline [6]")
+    analyze_cmd.set_defaults(func=_cmd_analyze)
+
+    validate_cmd = commands.add_parser(
+        "validate", help="validate a document against a DTD"
+    )
+    _add_schema_options(validate_cmd)
+    validate_cmd.add_argument("document")
+    validate_cmd.set_defaults(func=_cmd_validate)
+
+    generate_cmd = commands.add_parser(
+        "generate", help="generate a random valid document"
+    )
+    _add_schema_options(generate_cmd)
+    generate_cmd.add_argument("--bytes", type=int, default=10_000)
+    generate_cmd.add_argument("--seed", type=int, default=0)
+    generate_cmd.add_argument("--out")
+    generate_cmd.set_defaults(func=_cmd_generate)
+
+    infer_cmd = commands.add_parser(
+        "infer-dtd", help="infer a DTD from example documents"
+    )
+    infer_cmd.add_argument("documents", nargs="+")
+    infer_cmd.set_defaults(func=_cmd_infer_dtd)
+
+    bench_cmd = commands.add_parser(
+        "bench", help="regenerate a Figure 3 panel"
+    )
+    bench_cmd.add_argument(
+        "experiment", choices=["fig3a", "fig3b", "fig3c", "fig3d", "all"]
+    )
+    bench_cmd.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

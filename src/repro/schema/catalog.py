@@ -1,0 +1,177 @@
+"""Built-in schemas used by the paper's examples and experiments.
+
+* :func:`xmark_dtd` -- the XMark auction DTD (Schmidt et al., VLDB 2002),
+  with attributes removed, matching the paper's benchmark rewriting
+  (Section 6.2 removes attribute use).  Its recursive component is the
+  ``description`` clique ``{text, bold, keyword, emph, parlist, listitem}``.
+* :func:`bib_dtd` -- the bibliographic DTD of the XQuery Use Cases [1],
+  used for the paper's q2/u2 motivating example.
+* :func:`paper_doc_dtd` -- the tiny ``{doc <- (a|b)*, a <- c, b <- c}``
+  DTD of Figure 1 / the q1-u1 example.
+* :func:`paper_d1_dtd` -- the recursive DTD ``d1`` of Section 5.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .dtd import DTD
+
+_XMARK_MODELS: dict[str, str] = {
+    # Root and top-level structure.
+    "site": "(regions, categories, catgraph, people, open_auctions, "
+            "closed_auctions)",
+    # Categories.
+    "categories": "(category+)",
+    "category": "(name, description)",
+    "catgraph": "(edge*)",
+    "edge": "EMPTY",
+    # Regions: six continents of items.
+    "regions": "(africa, asia, australia, europe, namerica, samerica)",
+    "africa": "(item*)",
+    "asia": "(item*)",
+    "australia": "(item*)",
+    "europe": "(item*)",
+    "namerica": "(item*)",
+    "samerica": "(item*)",
+    "item": "(location, quantity, name, payment, description, shipping, "
+            "incategory+, mailbox)",
+    "location": "(#PCDATA)",
+    "quantity": "(#PCDATA)",
+    "payment": "(#PCDATA)",
+    "shipping": "(#PCDATA)",
+    "incategory": "EMPTY",
+    "mailbox": "(mail*)",
+    "mail": "(from, to, date, text)",
+    "from": "(#PCDATA)",
+    "to": "(#PCDATA)",
+    "date": "(#PCDATA)",
+    # People.
+    "people": "(person*)",
+    "person": "(name, emailaddress, phone?, address?, homepage?, "
+              "creditcard?, profile?, watches?)",
+    "name": "(#PCDATA)",
+    "emailaddress": "(#PCDATA)",
+    "phone": "(#PCDATA)",
+    "homepage": "(#PCDATA)",
+    "creditcard": "(#PCDATA)",
+    "address": "(street, city, country, province?, zipcode)",
+    "street": "(#PCDATA)",
+    "city": "(#PCDATA)",
+    "country": "(#PCDATA)",
+    "province": "(#PCDATA)",
+    "zipcode": "(#PCDATA)",
+    "profile": "(interest*, education?, gender?, business, age?)",
+    "interest": "EMPTY",
+    "education": "(#PCDATA)",
+    "gender": "(#PCDATA)",
+    "business": "(#PCDATA)",
+    "age": "(#PCDATA)",
+    "watches": "(watch*)",
+    "watch": "EMPTY",
+    # Open auctions.
+    "open_auctions": "(open_auction*)",
+    "open_auction": "(initial, reserve?, bidder*, current, privacy?, "
+                    "itemref, seller, annotation, quantity, type, interval)",
+    "initial": "(#PCDATA)",
+    "reserve": "(#PCDATA)",
+    "bidder": "(date, time, personref, increase)",
+    "time": "(#PCDATA)",
+    "personref": "EMPTY",
+    "increase": "(#PCDATA)",
+    "current": "(#PCDATA)",
+    "privacy": "(#PCDATA)",
+    "itemref": "EMPTY",
+    "seller": "EMPTY",
+    "annotation": "(author, description?, happiness)",
+    "author": "EMPTY",
+    "happiness": "(#PCDATA)",
+    "type": "(#PCDATA)",
+    "interval": "(start, end)",
+    "start": "(#PCDATA)",
+    "end": "(#PCDATA)",
+    # Closed auctions.
+    "closed_auctions": "(closed_auction*)",
+    "closed_auction": "(seller, buyer, itemref, price, date, quantity, "
+                      "type, annotation)",
+    "buyer": "EMPTY",
+    "price": "(#PCDATA)",
+    # The mutually recursive description component.
+    "description": "(text | parlist)",
+    "text": "(#PCDATA | bold | keyword | emph)*",
+    "bold": "(#PCDATA | bold | keyword | emph)*",
+    "keyword": "(#PCDATA | bold | keyword | emph)*",
+    "emph": "(#PCDATA | bold | keyword | emph)*",
+    "parlist": "(listitem*)",
+    "listitem": "(text | parlist)*",
+}
+
+_BIB_MODELS: dict[str, str] = {
+    "bib": "(book*)",
+    "book": "(title, (author+ | editor+), publisher, price)",
+    "title": "(#PCDATA)",
+    "author": "(last, first)",
+    "editor": "(last, first, affiliation)",
+    "last": "(#PCDATA)",
+    "first": "(#PCDATA)",
+    "affiliation": "(#PCDATA)",
+    "publisher": "(#PCDATA)",
+    "price": "(#PCDATA)",
+}
+
+
+@lru_cache(maxsize=None)
+def xmark_dtd() -> DTD:
+    """The XMark auction DTD, attribute-free (|d| = 77)."""
+    return DTD.from_dict("site", _XMARK_MODELS)
+
+
+@lru_cache(maxsize=None)
+def bib_dtd() -> DTD:
+    """The XQuery Use Cases bibliographic DTD."""
+    return DTD.from_dict("bib", _BIB_MODELS)
+
+
+@lru_cache(maxsize=None)
+def paper_doc_dtd() -> DTD:
+    """Figure 1 / q1-u1 DTD: ``{doc <- (a|b)*, a <- c, b <- c}``."""
+    return DTD.from_dict(
+        "doc",
+        {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"},
+    )
+
+
+@lru_cache(maxsize=None)
+def paper_d1_dtd() -> DTD:
+    """Section 5 recursive DTD d1.
+
+    ``r <- a``, ``b, c, e <- f``, ``a <- (b, c, e)*``, ``f <- (a, g)``.
+    """
+    return DTD.from_dict(
+        "r",
+        {
+            "r": "a",
+            "a": "(b, c, e)*",
+            "b": "f",
+            "c": "f",
+            "e": "f",
+            "f": "(a, g)",
+            "g": "EMPTY",
+        },
+    )
+
+
+@lru_cache(maxsize=None)
+def paper_sibling_dtd() -> DTD:
+    """Section 5 sibling-axis schema ``{a<-(b,f*), b<-(b|c)*, f<-(e,g)}``."""
+    return DTD.from_dict(
+        "a",
+        {
+            "a": "(b, f*)",
+            "b": "(b | c)*",
+            "c": "EMPTY",
+            "f": "(e, g)",
+            "e": "EMPTY",
+            "g": "EMPTY",
+        },
+    )

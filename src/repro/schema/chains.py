@@ -1,0 +1,114 @@
+"""Chains over a DTD (Definition 2.1) and k-chains (Section 5).
+
+A chain is a sequence of symbols ``a1.a2...an`` with ``ai =>d a(i+1)``.
+Chains are represented as tuples of symbol names.  ``Cd`` is infinite for
+vertically recursive schemas; :func:`enumerate_chains` therefore always
+takes a bound and is intended for tests and small illustrative schemas.
+The analysis engine itself never enumerates chains explicitly -- it works
+on the CDAG representation (:mod:`repro.analysis.cdag`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+from .dtd import DTD
+
+#: A chain is a tuple of symbol names, root-most first.
+Chain = tuple[str, ...]
+
+
+def chain(dotted: str) -> Chain:
+    """Parse dotted chain notation: ``"doc.a.c"`` -> ``("doc", "a", "c")``."""
+    return tuple(part for part in dotted.split(".") if part)
+
+
+def dotted(c: Chain) -> str:
+    """Render a chain in the paper's dotted notation."""
+    return ".".join(c)
+
+
+def is_prefix(c1: Chain, c2: Chain) -> bool:
+    """The paper's prefix relation: ``c1`` is a prefix of ``c2``.
+
+    Every chain is a (non-strict) prefix of itself.
+    """
+    return len(c1) <= len(c2) and c2[:len(c1)] == c1
+
+
+def concat(c1: Chain, c2: Chain) -> Chain:
+    """Chain concatenation ``c1.c2``."""
+    return c1 + c2
+
+
+def is_chain(dtd: DTD, c: Chain) -> bool:
+    """Membership in ``Cd``: consecutive symbols must satisfy ``=>d``.
+
+    Chains in ``Cd`` may start at any DTD symbol (Definition 2.1).
+    """
+    if not c:
+        return False
+    if c[0] not in dtd.symbols:
+        return False
+    for parent, child in zip(c, c[1:]):
+        if child not in dtd.children_of(parent):
+            return False
+    return True
+
+
+def is_k_chain(c: Chain, k: int) -> bool:
+    """True iff no symbol occurs more than ``k`` times in ``c``."""
+    if not c:
+        return True
+    return max(Counter(c).values()) <= k
+
+
+def max_multiplicity(c: Chain) -> int:
+    """The largest per-symbol occurrence count in ``c`` (0 for empty)."""
+    return max(Counter(c).values()) if c else 0
+
+
+def enumerate_chains(
+    dtd: DTD,
+    k: int | None = None,
+    max_length: int | None = None,
+    roots: frozenset[str] | None = None,
+) -> Iterator[Chain]:
+    """Enumerate chains of ``Cd`` (or ``Ckd``), bounded.
+
+    At least one of ``k`` / ``max_length`` must be given, otherwise the
+    enumeration may not terminate on recursive schemas.
+
+    ``roots`` restricts the starting symbols (default: all DTD symbols, as
+    in Definition 2.1).
+    """
+    if k is None and max_length is None:
+        raise ValueError("need a bound: pass k and/or max_length")
+    start_symbols = roots if roots is not None else dtd.symbols
+    limit = max_length if max_length is not None else k * len(dtd.symbols) + 1
+
+    def walk(prefix: Chain, counts: Counter) -> Iterator[Chain]:
+        yield prefix
+        if len(prefix) >= limit:
+            return
+        for child in sorted(dtd.children_of(prefix[-1])):
+            if k is not None and counts[child] + 1 > k:
+                continue
+            counts[child] += 1
+            yield from walk(prefix + (child,), counts)
+            counts[child] -= 1
+
+    for root in sorted(start_symbols):
+        if k is not None and k < 1:
+            return
+        yield from walk((root,), Counter((root,)))
+
+
+def chains_from_root(dtd: DTD, k: int | None = None,
+                     max_length: int | None = None) -> frozenset[Chain]:
+    """All bounded chains starting at the DTD start symbol, as a set."""
+    return frozenset(
+        enumerate_chains(dtd, k=k, max_length=max_length,
+                         roots=frozenset((dtd.start,)))
+    )

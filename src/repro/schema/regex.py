@@ -1,0 +1,381 @@
+"""Regular expressions over DTD content models.
+
+A DTD maps each element tag to a regular expression over ``Sigma + {#S}``
+where ``#S`` stands for the string (text) type (written ``S`` in the paper,
+``#PCDATA`` in DTD syntax).  This module provides the regex AST, a parser
+for DTD content-model syntax, and the structural analyses the chain system
+needs:
+
+* ``nullable(r)`` -- does ``r`` accept the empty word;
+* ``occurring(r)`` -- symbols appearing in at least one word of ``L(r)``;
+* ``order_relation(r)`` -- the paper's ``<r`` relation (Section 3.1):
+  pairs ``(a, b)`` such that some word of ``L(r)`` contains an ``a``
+  strictly before a ``b``;
+* ``shortest_word(r)`` -- a minimum-length word, used by the document
+  generator to terminate recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: The pseudo-symbol for text content (the paper's ``S``).
+TEXT_SYMBOL = "#S"
+
+
+class RegexError(ValueError):
+    """Raised for malformed content-model expressions."""
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for content-model regex nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty word (DTD ``EMPTY`` content)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single symbol: an element tag or :data:`TEXT_SYMBOL`."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __str__(self) -> str:
+        return "#PCDATA" if self.name == TEXT_SYMBOL else self.name
+
+
+@dataclass(frozen=True)
+class Seq(Regex):
+    """Concatenation ``left , right``."""
+
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Alternation ``left | right``."""
+
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """One-or-more ``inner+``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def __str__(self) -> str:
+        return f"{self.inner}+"
+
+
+@dataclass(frozen=True)
+class Opt(Regex):
+    """Zero-or-one ``inner?``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+EPSILON = Epsilon()
+
+
+def seq(*parts: Regex) -> Regex:
+    """Concatenate ``parts`` (empty call yields epsilon)."""
+    result: Regex | None = None
+    for part in parts:
+        result = part if result is None else Seq(result, part)
+    return EPSILON if result is None else result
+
+
+def alt(*parts: Regex) -> Regex:
+    """Alternate ``parts`` (at least one required)."""
+    if not parts:
+        raise RegexError("alternation needs at least one branch")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Alt(result, part)
+    return result
+
+
+def nullable(r: Regex) -> bool:
+    """Return True iff the empty word belongs to ``L(r)``."""
+    if isinstance(r, Epsilon):
+        return True
+    if isinstance(r, Sym):
+        return False
+    if isinstance(r, Seq):
+        return nullable(r.left) and nullable(r.right)
+    if isinstance(r, Alt):
+        return nullable(r.left) or nullable(r.right)
+    if isinstance(r, (Star, Opt)):
+        return True
+    if isinstance(r, Plus):
+        return nullable(r.inner)
+    raise RegexError(f"unknown regex node {r!r}")
+
+
+def occurring(r: Regex) -> frozenset[str]:
+    """Symbols occurring in at least one word of ``L(r)``.
+
+    Content models have no empty-language construct, so this is exactly the
+    set of symbols mentioned in the expression.
+    """
+    if isinstance(r, Epsilon):
+        return frozenset()
+    if isinstance(r, Sym):
+        return frozenset((r.name,))
+    if isinstance(r, (Seq, Alt)):
+        return occurring(r.left) | occurring(r.right)
+    if isinstance(r, (Star, Plus, Opt)):
+        return occurring(r.inner)
+    raise RegexError(f"unknown regex node {r!r}")
+
+
+def order_relation(r: Regex) -> frozenset[tuple[str, str]]:
+    """The paper's ``<r`` relation.
+
+    ``(a, b)`` is in the result iff there exists a word of ``L(r)`` in which
+    an ``a`` occurs strictly before a ``b``.  Computed by structural
+    induction (Section 3.1 / [9]):
+
+    * ``Seq``: pairs within each side, plus every occurring symbol of the
+      left side before every occurring symbol of the right side;
+    * ``Alt``: union of both sides;
+    * ``Star``/``Plus``: pairs within one copy, plus all pairs across two
+      unrollings (``occ x occ``);
+    * ``Opt``: same as the inner expression.
+    """
+    if isinstance(r, (Epsilon, Sym)):
+        return frozenset()
+    if isinstance(r, Seq):
+        cross = {
+            (a, b) for a in occurring(r.left) for b in occurring(r.right)
+        }
+        return order_relation(r.left) | order_relation(r.right) | frozenset(cross)
+    if isinstance(r, Alt):
+        return order_relation(r.left) | order_relation(r.right)
+    if isinstance(r, (Star, Plus)):
+        occ = occurring(r.inner)
+        cross = {(a, b) for a in occ for b in occ}
+        return order_relation(r.inner) | frozenset(cross)
+    if isinstance(r, Opt):
+        return order_relation(r.inner)
+    raise RegexError(f"unknown regex node {r!r}")
+
+
+def shortest_word(r: Regex) -> tuple[str, ...]:
+    """Return one minimum-length word of ``L(r)``."""
+    word = _shortest(r)
+    return word
+
+
+def _shortest(r: Regex) -> tuple[str, ...]:
+    if isinstance(r, Epsilon):
+        return ()
+    if isinstance(r, Sym):
+        return (r.name,)
+    if isinstance(r, Seq):
+        return _shortest(r.left) + _shortest(r.right)
+    if isinstance(r, Alt):
+        left = _shortest(r.left)
+        right = _shortest(r.right)
+        return left if len(left) <= len(right) else right
+    if isinstance(r, (Star, Opt)):
+        return ()
+    if isinstance(r, Plus):
+        return _shortest(r.inner)
+    raise RegexError(f"unknown regex node {r!r}")
+
+
+# ---------------------------------------------------------------------------
+# Content-model parser
+# ---------------------------------------------------------------------------
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-._")
+
+
+class _ContentModelParser:
+    """Recursive-descent parser for DTD content-model syntax.
+
+    Grammar (whitespace insensitive)::
+
+        model   := 'EMPTY' | 'ANY' | expr
+        expr    := branch (('|' branch)* | (',' branch)*)
+        branch  := atom ('*' | '+' | '?')?
+        atom    := '(' expr ')' | '#PCDATA' | name
+
+    ``ANY`` is not supported (the paper's DTDs never use it).
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> Regex:
+        self._skip_ws()
+        if self._peek_word("EMPTY"):
+            self._take_word("EMPTY")
+            self._expect_end()
+            return EPSILON
+        if self._peek_word("ANY"):
+            raise RegexError("ANY content models are not supported")
+        expr = self._expr()
+        self._expect_end()
+        return expr
+
+    # -- grammar productions ------------------------------------------------
+
+    def _expr(self) -> Regex:
+        first = self._branch()
+        self._skip_ws()
+        if self._peek() == "|":
+            parts = [first]
+            while self._peek() == "|":
+                self._next()
+                parts.append(self._branch())
+                self._skip_ws()
+            return alt(*parts)
+        if self._peek() == ",":
+            parts = [first]
+            while self._peek() == ",":
+                self._next()
+                parts.append(self._branch())
+                self._skip_ws()
+            return seq(*parts)
+        return first
+
+    def _branch(self) -> Regex:
+        atom = self._atom()
+        self._skip_ws()
+        ch = self._peek()
+        if ch == "*":
+            self._next()
+            return Star(atom)
+        if ch == "+":
+            self._next()
+            return Plus(atom)
+        if ch == "?":
+            self._next()
+            return Opt(atom)
+        return atom
+
+    def _atom(self) -> Regex:
+        self._skip_ws()
+        ch = self._peek()
+        if ch == "(":
+            self._next()
+            inner = self._expr()
+            self._skip_ws()
+            if self._peek() != ")":
+                raise RegexError(f"expected ')' at position {self._pos}")
+            self._next()
+            return inner
+        if ch == "#":
+            word = self._name(allow_hash=True)
+            if word != "#PCDATA":
+                raise RegexError(f"unknown token {word!r}")
+            return Sym(TEXT_SYMBOL)
+        if ch in _NAME_START:
+            return Sym(self._name())
+        raise RegexError(f"unexpected character {ch!r} at position {self._pos}")
+
+    # -- lexing helpers -----------------------------------------------------
+
+    def _peek(self) -> str:
+        return self._text[self._pos] if self._pos < len(self._text) else ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        self._pos += 1
+        return ch
+
+    def _skip_ws(self) -> None:
+        while self._peek() in (" ", "\t", "\n", "\r"):
+            self._pos += 1
+
+    def _name(self, allow_hash: bool = False) -> str:
+        start = self._pos
+        if allow_hash and self._peek() == "#":
+            self._pos += 1
+        while self._peek() in _NAME_CHARS:
+            self._pos += 1
+        if self._pos == start:
+            raise RegexError(f"expected a name at position {start}")
+        return self._text[start:self._pos]
+
+    def _peek_word(self, word: str) -> bool:
+        self._skip_ws()
+        return self._text.startswith(word, self._pos)
+
+    def _take_word(self, word: str) -> None:
+        if not self._peek_word(word):
+            raise RegexError(f"expected {word!r} at position {self._pos}")
+        self._pos += len(word)
+
+    def _expect_end(self) -> None:
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise RegexError(
+                f"trailing input at position {self._pos}: "
+                f"{self._text[self._pos:]!r}"
+            )
+
+
+@lru_cache(maxsize=4096)
+def parse_content_model(text: str) -> Regex:
+    """Parse DTD content-model syntax into a :class:`Regex`.
+
+    A bare ``(#PCDATA)`` model means *text-only, possibly empty* content
+    in DTD semantics, so it parses to ``#S*``.
+
+    >>> parse_content_model("(a | b)*")
+    Star(inner=Alt(left=Sym(name='a'), right=Sym(name='b')))
+    """
+    result = _ContentModelParser(text).parse()
+    if result == Sym(TEXT_SYMBOL):
+        return Star(result)
+    return result

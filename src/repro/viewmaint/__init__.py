@@ -1,0 +1,15 @@
+"""Applications of the independence analysis (the paper's motivations i-iii):
+view maintenance, isolation scheduling, access control."""
+
+from .access_control import AccessController, AccessDecision
+from .cache import MaintenanceStats, ViewCache
+from .scheduler import IsolationScheduler, Operation
+
+__all__ = [
+    "AccessController",
+    "AccessDecision",
+    "MaintenanceStats",
+    "ViewCache",
+    "IsolationScheduler",
+    "Operation",
+]

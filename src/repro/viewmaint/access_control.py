@@ -1,0 +1,74 @@
+"""Access-control enforcement via independence (the paper's motivation iii).
+
+Following the idea the paper borrows from [6]: a *protection query*
+describes the part of the database a user must not change.  An update is
+admissible iff it is statically independent of every protection query --
+then it provably cannot alter any protected node on any valid document.
+
+Because the analysis is sound, :class:`AccessController` never admits a
+violating update; being incomplete, it may conservatively reject a
+harmless one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.independence import analyze
+from ..schema.dtd import DTD
+from ..xquery.ast import Query
+from ..xquery.parser import parse_query
+from ..xupdate.ast import Update
+from ..xupdate.parser import parse_update
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """Outcome of an admissibility check."""
+
+    allowed: bool
+    violated_policies: tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class AccessController:
+    """Guards a set of named protection queries against updates.
+
+    >>> from repro.schema import bib_dtd
+    >>> guard = AccessController(bib_dtd())
+    >>> guard.protect("prices", "//price")
+    >>> bool(guard.check("for $x in //price return replace $x "
+    ...                  "with <price>0</price>"))
+    False
+    >>> bool(guard.check("for $x in //book return insert "
+    ...                  "<author><last>l</last><first>f</first></author> "
+    ...                  "into $x"))
+    True
+    """
+
+    def __init__(self, schema: DTD):
+        self.schema = schema
+        self._policies: dict[str, Query] = {}
+
+    def protect(self, name: str, query: Query | str) -> None:
+        """Declare a protected region as a query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._policies[name] = query
+
+    def policies(self) -> list[str]:
+        return list(self._policies)
+
+    def check(self, update: Update | str) -> AccessDecision:
+        """Decide whether an update provably avoids all protected regions."""
+        if isinstance(update, str):
+            update = parse_update(update)
+        violated = tuple(
+            name
+            for name, query in self._policies.items()
+            if not analyze(query, update, self.schema,
+                           collect_witnesses=False).independent
+        )
+        return AccessDecision(not violated, violated)

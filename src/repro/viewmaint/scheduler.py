@@ -1,0 +1,94 @@
+"""Concurrent query/update scheduling via independence (motivation ii).
+
+When a query and an update are statically independent, they can be run
+concurrently (in either order) without isolation violations: the query
+result is the same whether it reads before or after the update.
+:class:`IsolationScheduler` batches a mixed workload into *waves* of
+mutually independent operations -- a static, schema-level analogue of
+predicate locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.independence import analyze
+from ..schema.dtd import DTD
+from ..xquery.ast import Query
+from ..xquery.parser import parse_query
+from ..xupdate.ast import Update
+from ..xupdate.parser import parse_update
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named workload item: either a query or an update."""
+
+    name: str
+    query: Query | None = None
+    update: Update | None = None
+
+    @property
+    def is_update(self) -> bool:
+        return self.update is not None
+
+
+class IsolationScheduler:
+    """Greedy wave scheduler for mixed query/update workloads.
+
+    Two operations conflict iff one is an update and the analysis cannot
+    prove the query (or, for update-update pairs, either update's target
+    queries) independent of it.  Queries never conflict with queries.
+    """
+
+    def __init__(self, schema: DTD):
+        self.schema = schema
+        self._operations: list[Operation] = []
+
+    def add_query(self, name: str, query: Query | str) -> None:
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._operations.append(Operation(name, query=query))
+
+    def add_update(self, name: str, update: Update | str) -> None:
+        if isinstance(update, str):
+            update = parse_update(update)
+        self._operations.append(Operation(name, update=update))
+
+    def conflicts(self, first: Operation, second: Operation) -> bool:
+        """Conservative pairwise conflict test."""
+        if not first.is_update and not second.is_update:
+            return False
+        if first.is_update and second.is_update:
+            # Updates always conflict pairwise in this simple model
+            # (update-update commutativity is the object of [15], not of
+            # this paper).
+            return True
+        query_op = first if not first.is_update else second
+        update_op = second if not first.is_update else first
+        report = analyze(query_op.query, update_op.update, self.schema,
+                         collect_witnesses=False)
+        return not report.independent
+
+    def schedule(self) -> list[list[str]]:
+        """Greedy partition of the workload into conflict-free waves.
+
+        Operations within one wave are pairwise non-conflicting and can
+        run concurrently; waves run in sequence, preserving the original
+        relative order of conflicting operations.
+        """
+        waves: list[list[Operation]] = []
+        for operation in self._operations:
+            # An operation may not run before (or alongside) anything it
+            # conflicts with, so it can only join a wave strictly after
+            # the last conflicting wave.
+            last_conflict = -1
+            for index, wave in enumerate(waves):
+                if any(self.conflicts(member, operation)
+                       for member in wave):
+                    last_conflict = index
+            if last_conflict + 1 < len(waves):
+                waves[last_conflict + 1].append(operation)
+            else:
+                waves.append([operation])
+        return [[op.name for op in wave] for wave in waves]

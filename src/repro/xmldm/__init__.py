@@ -1,0 +1,51 @@
+"""XML data-model substrate: stores, trees, parsing, generation."""
+
+from .generator import (
+    DocumentGenerator,
+    document_bytes,
+    generate_corpus,
+    generate_document,
+)
+from .parse import XMLParseError, parse_xml
+from .projection import project, typed_locations, upward_closure
+from .serialize import serialize, serialized_size
+from .store import (
+    ElementNode,
+    Location,
+    Node,
+    Store,
+    StoreError,
+    TextNode,
+    Tree,
+    sequences_equivalent,
+    value_equivalent,
+)
+from .validate import ValidationError, is_valid, is_valid_edtd, typing, validate
+
+__all__ = [
+    "DocumentGenerator",
+    "document_bytes",
+    "generate_corpus",
+    "generate_document",
+    "XMLParseError",
+    "parse_xml",
+    "project",
+    "typed_locations",
+    "upward_closure",
+    "serialize",
+    "serialized_size",
+    "ElementNode",
+    "Location",
+    "Node",
+    "Store",
+    "StoreError",
+    "TextNode",
+    "Tree",
+    "sequences_equivalent",
+    "value_equivalent",
+    "ValidationError",
+    "is_valid",
+    "is_valid_edtd",
+    "typing",
+    "validate",
+]

@@ -1,0 +1,254 @@
+"""Seeded random generation of DTD-valid documents.
+
+Substitute for the XMark ``xmlgen`` tool (see DESIGN.md section 5): the
+experiments need d-valid documents of controlled size that exercise every
+element type, not xmlgen's specific value distributions.
+
+Generation samples a child word from each content model:
+
+* ``Star``/``Plus`` repetitions are drawn geometrically with a
+  size-dependent expected fan-out, so a byte budget can be approached;
+* below a depth limit, or once the budget is exhausted, the generator
+  switches to shortest-word expansion, which always terminates because
+  every content model has a finite shortest word.
+
+A coverage pass optionally grafts one instance of every reachable element
+type so that even small documents contain every type (the paper's updates
+"cover all different types of nodes in XMark documents").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..schema.dtd import DTD
+from ..schema.regex import (
+    TEXT_SYMBOL,
+    Alt,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Seq,
+    Star,
+    Sym,
+)
+from .serialize import serialized_size
+from .store import Location, Store, Tree
+
+_WORDS = (
+    "auction", "vintage", "gold", "silk", "amber", "quartz", "maple",
+    "copper", "ivory", "linen", "cedar", "pearl", "slate", "bronze",
+)
+
+
+class DocumentGenerator:
+    """Generates random valid documents for a DTD.
+
+    Parameters
+    ----------
+    dtd:
+        Target schema.
+    seed:
+        RNG seed; identical seeds reproduce identical documents.
+    max_depth:
+        Depth at which recursion is cut off via shortest-word expansion.
+    fanout:
+        Expected number of iterations for each ``*``/``+`` repetition while
+        the byte budget is not exhausted.
+    """
+
+    def __init__(self, dtd: DTD, seed: int = 0, max_depth: int = 24,
+                 fanout: float = 2.0):
+        self.dtd = dtd
+        self.max_depth = max_depth
+        self.fanout = fanout
+        self._rng = random.Random(seed)
+        self._budget = 0
+
+    def generate(self, target_bytes: int = 10_000,
+                 ensure_coverage: bool = True) -> Tree:
+        """Generate one valid document of roughly ``target_bytes`` size."""
+        store = Store()
+        root = self._element(store, self.dtd.start, 0, float(target_bytes))
+        tree = Tree(store, root)
+        if ensure_coverage:
+            self._ensure_coverage(tree)
+        return tree
+
+    # -- sampling ----------------------------------------------------------
+
+    def _element(self, store: Store, tag: str, depth: int,
+                 budget: float) -> Location:
+        """Generate one ``tag`` element within a byte ``budget``.
+
+        The budget is split equally among the sampled children, so no
+        schema branch starves the ones serialized after it.
+        """
+        frugal = depth >= self.max_depth or budget <= 16
+        if frugal:
+            word = self.dtd.shortest_content(tag)
+        else:
+            self._budget = int(budget)
+            word = tuple(self._sample_word(self.dtd.content_model(tag)))
+        children: list[Location] = []
+        remaining = budget - (len(tag) * 2 + 5)
+        share = remaining / len(word) if word else 0.0
+        for symbol in word:
+            if symbol == TEXT_SYMBOL:
+                children.append(store.new_text(self._text()))
+            else:
+                children.append(
+                    self._element(store, symbol, depth + 1, share)
+                )
+        loc = store.new_element(tag, children)
+        return loc
+
+    def _sample_word(self, model: Regex) -> list[str]:
+        if isinstance(model, Epsilon):
+            return []
+        if isinstance(model, Sym):
+            return [model.name]
+        if isinstance(model, Seq):
+            return self._sample_word(model.left) + self._sample_word(model.right)
+        if isinstance(model, Alt):
+            branch = model.left if self._rng.random() < 0.5 else model.right
+            return self._sample_word(branch)
+        if isinstance(model, Star):
+            return self._repeat(model.inner, minimum=0)
+        if isinstance(model, Plus):
+            return self._repeat(model.inner, minimum=1)
+        if isinstance(model, Opt):
+            if self._rng.random() < 0.5:
+                return self._sample_word(model.inner)
+            return []
+        raise TypeError(f"unknown regex node {model!r}")
+
+    def _repeat(self, inner: Regex, minimum: int) -> list[str]:
+        # Expected repetitions grow with the available byte budget so
+        # large target sizes are actually reached (wide, XMark-like
+        # documents rather than ever-deeper ones).
+        expected = max(self.fanout, self._budget / 400.0)
+        stop = 1.0 / (1.0 + expected)
+        count = minimum
+        while self._budget > 0 and self._rng.random() > stop:
+            count += 1
+            if count >= 500:
+                break
+        word: list[str] = []
+        for _ in range(count):
+            word.extend(self._sample_word(inner))
+        return word
+
+    def _text(self) -> str:
+        length = self._rng.randint(1, 3)
+        value = " ".join(self._rng.choice(_WORDS) for _ in range(length))
+        self._budget -= len(value)
+        return value
+
+    # -- coverage ----------------------------------------------------------
+
+    def _ensure_coverage(self, tree: Tree) -> None:
+        """Graft minimal instances of missing element types where legal.
+
+        For every reachable type absent from the document, find a present
+        element whose content model mentions the type, and regenerate that
+        element's children by sampling words until one containing the type
+        appears (bounded attempts; falls back silently -- coverage is a
+        best effort used to make small corpora exercise all updates).
+        """
+        store = tree.store
+        present: set[str] = {
+            store.tag(loc)
+            for loc in store.descendants_or_self(tree.root)
+            if store.is_element(loc)
+        }
+        reachable = {
+            s for s in self.dtd.descendants_of(self.dtd.start)
+            if s != TEXT_SYMBOL
+        } | {self.dtd.start}
+        missing = [s for s in sorted(reachable - present)]
+        # Group missing symbols by chosen host so several grafts onto the
+        # same element do not overwrite one another.
+        by_host: dict[str, set[str]] = {}
+        deferred: list[str] = []
+        for symbol in missing:
+            hosts = [
+                tag for tag in sorted(present)
+                if symbol in self.dtd.children_of(tag)
+            ]
+            if hosts:
+                by_host.setdefault(hosts[0], set()).add(symbol)
+            else:
+                deferred.append(symbol)
+        for host_tag, symbols in sorted(by_host.items()):
+            present_now: set[str] = {
+                store.tag(loc)
+                for loc in store.descendants_or_self(tree.root)
+                if store.is_element(loc)
+            }
+            wanted = symbols - present_now
+            if not wanted:
+                continue
+            host_loc = next(
+                (loc for loc in store.descendants_or_self(tree.root)
+                 if store.is_element(loc) and store.tag(loc) == host_tag),
+                None,
+            )
+            if host_loc is None:
+                continue
+            word = self._word_containing(host_tag, wanted)
+            if word is None:
+                continue
+            children: list[Location] = []
+            for child_symbol in word:
+                if child_symbol == TEXT_SYMBOL:
+                    children.append(store.new_text(self._text()))
+                else:
+                    # A modest budget so optional content below the graft
+                    # (e.g. annotation/description under closed_auction)
+                    # can materialize instead of collapsing to the
+                    # shortest word.
+                    children.append(
+                        self._element(store, child_symbol,
+                                      max(1, self.max_depth - 6), 600.0)
+                    )
+            store.replace_children(host_loc, children)
+
+    def _word_containing(self, host: str, symbols: set[str]
+                         ) -> tuple[str, ...] | None:
+        """Sample a child word of ``host`` containing all of ``symbols``."""
+        model = self.dtd.content_model(host)
+        best: tuple[str, ...] | None = None
+        best_hits = 0
+        for _ in range(128):
+            self._budget = 400  # keep star repetitions possible
+            word = tuple(self._sample_word(model))
+            hits = len(symbols & set(word))
+            if hits == len(symbols):
+                return word
+            if hits > best_hits:
+                best, best_hits = word, hits
+        return best
+
+
+def generate_document(dtd: DTD, target_bytes: int = 10_000, seed: int = 0,
+                      ensure_coverage: bool = True) -> Tree:
+    """One-shot convenience wrapper around :class:`DocumentGenerator`."""
+    return DocumentGenerator(dtd, seed=seed).generate(
+        target_bytes, ensure_coverage=ensure_coverage
+    )
+
+
+def generate_corpus(dtd: DTD, count: int, target_bytes: int = 4_000,
+                    seed: int = 0) -> list[Tree]:
+    """A list of ``count`` documents with distinct seeds."""
+    return [
+        generate_document(dtd, target_bytes, seed=seed + i)
+        for i in range(count)
+    ]
+
+
+def document_bytes(tree: Tree) -> int:
+    """Compact serialized size of a document."""
+    return serialized_size(tree.store, tree.root)

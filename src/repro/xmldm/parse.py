@@ -1,0 +1,189 @@
+"""A small XML parser producing :class:`~repro.xmldm.store.Tree` values.
+
+Supports the fragment the paper's data model covers: elements, text,
+comments (skipped), XML declarations / doctype lines (skipped) and
+attributes (parsed but discarded, since the benchmark rewriting removes
+attribute use).  Entities ``&amp; &lt; &gt; &quot; &apos;`` are decoded.
+"""
+
+from __future__ import annotations
+
+from .store import Location, Store, Tree
+
+
+class XMLParseError(ValueError):
+    """Raised on malformed XML input."""
+
+
+_ENTITIES = {
+    "&amp;": "&",
+    "&lt;": "<",
+    "&gt;": ">",
+    "&quot;": '"',
+    "&apos;": "'",
+}
+
+
+def _decode_entities(text: str) -> str:
+    if "&" not in text:
+        return text
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._store = Store()
+
+    def parse(self) -> Tree:
+        self._skip_prolog()
+        root = self._element()
+        self._skip_misc()
+        if self._pos != len(self._text):
+            raise XMLParseError(
+                f"trailing content at offset {self._pos}"
+            )
+        return Tree(self._store, root)
+
+    # -- structure ---------------------------------------------------------
+
+    def _element(self) -> Location:
+        if not self._text.startswith("<", self._pos):
+            raise XMLParseError(f"expected '<' at offset {self._pos}")
+        tag_end = self._pos + 1
+        while tag_end < len(self._text) and self._text[tag_end] not in " \t\r\n/>":
+            tag_end += 1
+        tag = self._text[self._pos + 1:tag_end]
+        if not tag:
+            raise XMLParseError(f"empty tag name at offset {self._pos}")
+        self._pos = tag_end
+        self._skip_attributes()
+        if self._text.startswith("/>", self._pos):
+            self._pos += 2
+            return self._store.new_element(tag, [])
+        if not self._text.startswith(">", self._pos):
+            raise XMLParseError(f"malformed start tag at offset {self._pos}")
+        self._pos += 1
+        children: list[Location] = []
+        while True:
+            if self._text.startswith("</", self._pos):
+                break
+            if self._text.startswith("<!--", self._pos):
+                self._skip_comment()
+                continue
+            if self._text.startswith("<", self._pos):
+                children.append(self._element())
+                continue
+            children.append(self._text_node())
+        close = f"</{tag}>"
+        # Allow whitespace inside the closing tag: </tag  >.
+        end = self._text.find(">", self._pos)
+        if end < 0:
+            raise XMLParseError("unterminated closing tag")
+        actual = self._text[self._pos + 2:end].strip()
+        if actual != tag:
+            raise XMLParseError(
+                f"mismatched closing tag {actual!r} for {tag!r} "
+                f"(expected {close!r})"
+            )
+        self._pos = end + 1
+        return self._store.new_element(tag, children)
+
+    def _text_node(self) -> Location:
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos] != "<":
+            self._pos += 1
+        raw = self._text[start:self._pos]
+        return self._store.new_text(_decode_entities(raw))
+
+    # -- lexical noise -------------------------------------------------------
+
+    def _skip_attributes(self) -> None:
+        while True:
+            while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+                self._pos += 1
+            ch = self._text[self._pos] if self._pos < len(self._text) else ""
+            if ch in (">", "/") or not ch:
+                return
+            # attribute name
+            while self._pos < len(self._text) and self._text[self._pos] not in "= \t\r\n>/":
+                self._pos += 1
+            while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+                self._pos += 1
+            if self._text.startswith("=", self._pos):
+                self._pos += 1
+                while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+                    self._pos += 1
+                quote = self._text[self._pos] if self._pos < len(self._text) else ""
+                if quote not in ("'", '"'):
+                    raise XMLParseError(
+                        f"unquoted attribute value at offset {self._pos}"
+                    )
+                end = self._text.find(quote, self._pos + 1)
+                if end < 0:
+                    raise XMLParseError("unterminated attribute value")
+                self._pos = end + 1
+
+    def _skip_comment(self) -> None:
+        end = self._text.find("-->", self._pos)
+        if end < 0:
+            raise XMLParseError("unterminated comment")
+        self._pos = end + 3
+
+    def _skip_prolog(self) -> None:
+        self._skip_ws()
+        while True:
+            if self._text.startswith("<?", self._pos):
+                end = self._text.find("?>", self._pos)
+                if end < 0:
+                    raise XMLParseError("unterminated processing instruction")
+                self._pos = end + 2
+            elif self._text.startswith("<!--", self._pos):
+                self._skip_comment()
+            elif self._text.startswith("<!DOCTYPE", self._pos):
+                end = self._text.find(">", self._pos)
+                if end < 0:
+                    raise XMLParseError("unterminated DOCTYPE")
+                self._pos = end + 1
+            else:
+                break
+            self._skip_ws()
+
+    def _skip_misc(self) -> None:
+        self._skip_ws()
+        while self._text.startswith("<!--", self._pos):
+            self._skip_comment()
+            self._skip_ws()
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+            self._pos += 1
+
+
+def parse_xml(text: str, strip_whitespace: bool = True) -> Tree:
+    """Parse an XML document into a :class:`Tree`.
+
+    With ``strip_whitespace`` (the default), whitespace-only text nodes are
+    dropped -- they are formatting noise w.r.t. DTD validation.
+    """
+    tree = _Parser(text).parse()
+    if strip_whitespace:
+        _strip_whitespace(tree)
+    return tree
+
+
+def _strip_whitespace(tree: Tree) -> None:
+    store = tree.store
+    for loc in list(store.descendants_or_self(tree.root)):
+        if not store.is_element(loc):
+            continue
+        kids = store.children(loc)
+        kept = [
+            k for k in kids
+            if store.is_element(k) or store.text(k).strip() != ""
+        ]
+        if len(kept) != len(kids):
+            store.replace_children(loc, kept)

@@ -1,0 +1,76 @@
+"""XML projection ``t|L`` (Section 3.4, after Marian & Simeon [16]).
+
+A projection keeps a subset of locations that is upward-closed w.r.t. the
+parent relation, discarding every other subtree.  The soundness theorems
+of the paper are phrased in terms of projections; the test suite uses this
+module to check Theorem 3.2 empirically (projecting a document onto the
+chains inferred for a query preserves the query answer).
+"""
+
+from __future__ import annotations
+
+from .store import ElementNode, Location, Store, TextNode, Tree
+
+
+def upward_closure(store: Store, locations: set[Location]) -> set[Location]:
+    """Close a location set under the parent relation."""
+    closed = set(locations)
+    for loc in locations:
+        parent = store.parent(loc)
+        while parent is not None and parent not in closed:
+            closed.add(parent)
+            parent = store.parent(parent)
+    return closed
+
+
+def project(tree: Tree, keep: set[Location]) -> Tree:
+    """``t|L``: the projection of ``tree`` onto ``keep``.
+
+    ``keep`` is closed upward automatically and must contain (or imply)
+    the root.  Child order of retained locations is preserved.  The result
+    shares no mutable state with the input.
+    """
+    store = tree.store
+    closed = upward_closure(store, set(keep) | {tree.root})
+    projected = Store()
+    mapping: dict[Location, Location] = {}
+
+    def build(loc: Location) -> Location:
+        node = store.node(loc)
+        if isinstance(node, TextNode):
+            new = projected.new_text(node.text)
+        else:
+            assert isinstance(node, ElementNode)
+            kids = [build(child) for child in node.children if child in closed]
+            new = projected.new_element(node.tag, kids)
+        mapping[loc] = new
+        return new
+
+    root = build(tree.root)
+    return Tree(projected, root)
+
+
+def typed_locations(
+    tree: Tree, chains: set[tuple[str, ...]], include_descendants: bool = False
+) -> set[Location]:
+    """Locations of ``tree`` whose node chain is in ``chains``.
+
+    With ``include_descendants`` the paper's ``L^t_tau`` is computed:
+    locations whose chain has a *prefix* in ``chains`` (i.e. descendants of
+    typed nodes are kept too, matching the definition
+    ``L^t_tau = { l | c^sigma_l . c in tau }``... note the paper's
+    definition keeps ``l`` whenever some *extension* of ``c^sigma_l`` is in
+    tau; for projection purposes the useful direction is keeping nodes
+    whose chain extends a chain of tau, which is what this flag does).
+    """
+    store = tree.store
+    result: set[Location] = set()
+    for loc in store.descendants_or_self(tree.root):
+        node_chain = store.node_chain(loc)
+        if node_chain in chains:
+            result.add(loc)
+        elif include_descendants and any(
+            node_chain[:n] in chains for n in range(1, len(node_chain))
+        ):
+            result.add(loc)
+    return result

@@ -1,0 +1,60 @@
+"""Serialization of store trees back to XML text."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .store import ElementNode, Location, Store, TextNode
+
+
+def _encode(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def serialize(store: Store, loc: Location, indent: int | None = None) -> str:
+    """Serialize the subtree rooted at ``loc``.
+
+    ``indent``: number of spaces per nesting level, or None for compact
+    single-line output.
+    """
+    out = StringIO()
+    _write(store, loc, out, indent, 0)
+    return out.getvalue()
+
+
+def _write(store: Store, loc: Location, out: StringIO,
+           indent: int | None, level: int) -> None:
+    pad = "" if indent is None else " " * (indent * level)
+    newline = "" if indent is None else "\n"
+    node = store.node(loc)
+    if isinstance(node, TextNode):
+        out.write(f"{pad}{_encode(node.text)}{newline}")
+        return
+    assert isinstance(node, ElementNode)
+    if not node.children:
+        out.write(f"{pad}<{node.tag}/>{newline}")
+        return
+    out.write(f"{pad}<{node.tag}>{newline}")
+    for child in node.children:
+        _write(store, child, out, indent, level + 1)
+    out.write(f"{pad}</{node.tag}>{newline}")
+
+
+def serialized_size(store: Store, loc: Location) -> int:
+    """Byte size of the compact serialization (used for document scaling)."""
+    total = 0
+    for node_loc in store.descendants_or_self(loc):
+        node = store.node(node_loc)
+        if isinstance(node, TextNode):
+            total += len(node.text)
+        else:
+            # <tag> ... </tag> or <tag/>
+            if node.children:
+                total += 2 * len(node.tag) + 5
+            else:
+                total += len(node.tag) + 3
+    return total

@@ -1,0 +1,320 @@
+"""The XML store data model of Section 2.
+
+A *store* sigma maps each location (an integer identifier) to either an
+element node ``a[L]`` (tag plus ordered child locations) or a text node
+``s``.  A *tree* is a pair ``(sigma, root_location)``.  This mirrors the
+paper's formalization exactly, including:
+
+* ``typ(l)`` and the node chain ``c^sigma_l`` (Definition 2.2);
+* value equivalence ``(sigma, l) ~= (sigma', l')`` (tree isomorphism);
+* subtree restriction ``sigma @ l``.
+
+Stores are mutable (updates rewrite them in place) but support cheap
+copying for the dynamic independence tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..schema.regex import TEXT_SYMBOL
+
+Location = int
+
+
+class StoreError(ValueError):
+    """Raised on malformed store operations (unknown locations etc.)."""
+
+
+@dataclass
+class ElementNode:
+    """An element node ``a[L]``: tag and ordered child locations."""
+
+    tag: str
+    children: list[Location]
+
+    __slots__ = ("tag", "children")
+
+
+@dataclass
+class TextNode:
+    """A text node carrying a string value."""
+
+    text: str
+
+    __slots__ = ("text",)
+
+
+Node = ElementNode | TextNode
+
+
+class Store:
+    """A store sigma: an environment of locations to nodes.
+
+    Locations are allocated monotonically; parent pointers are maintained
+    incrementally so upward axes run in O(1) per step.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[Location, Node] = {}
+        self._parent: dict[Location, Location] = {}
+        self._next: Location = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def new_element(self, tag: str, children: list[Location] | None = None
+                    ) -> Location:
+        """Allocate an element node; children must already be in the store."""
+        loc = self._next
+        self._next += 1
+        kids = list(children) if children else []
+        self._nodes[loc] = ElementNode(tag, kids)
+        for child in kids:
+            self._parent[child] = loc
+        return loc
+
+    def new_text(self, text: str) -> Location:
+        """Allocate a text node."""
+        loc = self._next
+        self._next += 1
+        self._nodes[loc] = TextNode(text)
+        return loc
+
+    # -- accessors -------------------------------------------------------
+
+    def node(self, loc: Location) -> Node:
+        """The node at ``loc``."""
+        try:
+            return self._nodes[loc]
+        except KeyError:
+            raise StoreError(f"unknown location {loc}") from None
+
+    def __contains__(self, loc: Location) -> bool:
+        return loc in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def locations(self) -> Iterator[Location]:
+        """All locations in the store (``dom(sigma)``), arbitrary order."""
+        return iter(self._nodes)
+
+    def typ(self, loc: Location) -> str:
+        """``typ(l)``: the tag, or the text symbol for text nodes."""
+        node = self.node(loc)
+        return node.tag if isinstance(node, ElementNode) else TEXT_SYMBOL
+
+    def is_element(self, loc: Location) -> bool:
+        return isinstance(self.node(loc), ElementNode)
+
+    def is_text(self, loc: Location) -> bool:
+        return isinstance(self.node(loc), TextNode)
+
+    def tag(self, loc: Location) -> str:
+        """Tag of an element node (raises for text nodes)."""
+        node = self.node(loc)
+        if not isinstance(node, ElementNode):
+            raise StoreError(f"location {loc} is a text node")
+        return node.tag
+
+    def text(self, loc: Location) -> str:
+        """String value of a text node (raises for elements)."""
+        node = self.node(loc)
+        if not isinstance(node, TextNode):
+            raise StoreError(f"location {loc} is an element node")
+        return node.text
+
+    def children(self, loc: Location) -> list[Location]:
+        """Ordered child locations (empty for text nodes)."""
+        node = self.node(loc)
+        return list(node.children) if isinstance(node, ElementNode) else []
+
+    def parent(self, loc: Location) -> Location | None:
+        """Parent location, or None for roots / detached nodes."""
+        return self._parent.get(loc)
+
+    def node_chain(self, loc: Location) -> tuple[str, ...]:
+        """The chain ``c^sigma_l`` of Definition 2.2 (root-most first)."""
+        parts: list[str] = []
+        current: Location | None = loc
+        while current is not None:
+            parts.append(self.typ(current))
+            current = self._parent.get(current)
+        parts.reverse()
+        return tuple(parts)
+
+    def depth(self, loc: Location) -> int:
+        """Number of ancestors of ``loc``."""
+        count = 0
+        current = self._parent.get(loc)
+        while current is not None:
+            count += 1
+            current = self._parent.get(current)
+        return count
+
+    # -- traversal -------------------------------------------------------
+
+    def descendants(self, loc: Location) -> Iterator[Location]:
+        """Strict descendants of ``loc`` in document order."""
+        stack = list(reversed(self.children(loc)))
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self.children(current)))
+
+    def descendants_or_self(self, loc: Location) -> Iterator[Location]:
+        """``loc`` followed by its descendants in document order."""
+        yield loc
+        yield from self.descendants(loc)
+
+    def ancestors(self, loc: Location) -> Iterator[Location]:
+        """Strict ancestors, nearest first."""
+        current = self._parent.get(loc)
+        while current is not None:
+            yield current
+            current = self._parent.get(current)
+
+    def siblings_after(self, loc: Location) -> list[Location]:
+        """Following siblings in document order."""
+        parent = self._parent.get(loc)
+        if parent is None:
+            return []
+        kids = self.node(parent).children  # type: ignore[union-attr]
+        index = kids.index(loc)
+        return list(kids[index + 1:])
+
+    def siblings_before(self, loc: Location) -> list[Location]:
+        """Preceding siblings in document order."""
+        parent = self._parent.get(loc)
+        if parent is None:
+            return []
+        kids = self.node(parent).children  # type: ignore[union-attr]
+        index = kids.index(loc)
+        return list(kids[:index])
+
+    # -- mutation (used by update application) -------------------------------
+
+    def replace_children(self, loc: Location, children: list[Location]) -> None:
+        """Overwrite the child list of an element node."""
+        node = self.node(loc)
+        if not isinstance(node, ElementNode):
+            raise StoreError(f"location {loc} is a text node")
+        for old in node.children:
+            if self._parent.get(old) == loc:
+                del self._parent[old]
+        node.children = list(children)
+        for child in node.children:
+            self._parent[child] = loc
+
+    def rename(self, loc: Location, tag: str) -> None:
+        """Rename an element node."""
+        node = self.node(loc)
+        if not isinstance(node, ElementNode):
+            raise StoreError(f"cannot rename text node {loc}")
+        node.tag = tag
+
+    def detach(self, loc: Location) -> None:
+        """Remove ``loc`` from its parent's child list (node stays stored)."""
+        parent = self._parent.get(loc)
+        if parent is None:
+            return
+        node = self.node(parent)
+        assert isinstance(node, ElementNode)
+        node.children.remove(loc)
+        del self._parent[loc]
+
+    # -- copying ---------------------------------------------------------
+
+    def copy_subtree(self, source: "Store", loc: Location) -> Location:
+        """Deep-copy ``source @ loc`` into this store; returns the new root.
+
+        Fresh locations are allocated (copies are value-equivalent, never
+        location-equal), matching the W3C copy semantics of element
+        construction and insertion.
+        """
+        node = source.node(loc)
+        if isinstance(node, TextNode):
+            return self.new_text(node.text)
+        copied = [self.copy_subtree(source, child) for child in node.children]
+        return self.new_element(node.tag, copied)
+
+    def clone(self) -> "Store":
+        """An independent deep copy of the whole store (same locations)."""
+        other = Store()
+        other._next = self._next
+        other._parent = dict(self._parent)
+        for loc, node in self._nodes.items():
+            if isinstance(node, ElementNode):
+                other._nodes[loc] = ElementNode(node.tag, list(node.children))
+            else:
+                other._nodes[loc] = TextNode(node.text)
+        return other
+
+    def restrict_to(self, root: Location) -> "Store":
+        """``sigma @ root``: keep only locations connected to ``root``."""
+        keep = set(self.descendants_or_self(root))
+        other = Store()
+        other._next = self._next
+        for loc in keep:
+            node = self._nodes[loc]
+            if isinstance(node, ElementNode):
+                other._nodes[loc] = ElementNode(node.tag, list(node.children))
+            else:
+                other._nodes[loc] = TextNode(node.text)
+        other._parent = {
+            loc: parent
+            for loc, parent in self._parent.items()
+            if loc in keep and parent in keep
+        }
+        return other
+
+
+@dataclass
+class Tree:
+    """A tree ``t = (sigma, root)``."""
+
+    store: Store
+    root: Location
+
+    __slots__ = ("store", "root")
+
+    def size(self) -> int:
+        """Number of nodes connected to the root."""
+        return sum(1 for _ in self.store.descendants_or_self(self.root))
+
+    def clone(self) -> "Tree":
+        return Tree(self.store.clone(), self.root)
+
+
+def value_equivalent(s1: Store, l1: Location, s2: Store, l2: Location) -> bool:
+    """``(sigma1, l1) ~= (sigma2, l2)``: subtree isomorphism.
+
+    Iterative pairwise comparison; locations are irrelevant, only tags,
+    text values and child order matter.
+    """
+    stack = [(l1, l2)]
+    while stack:
+        a, b = stack.pop()
+        na, nb = s1.node(a), s2.node(b)
+        if isinstance(na, TextNode):
+            if not isinstance(nb, TextNode) or na.text != nb.text:
+                return False
+            continue
+        if not isinstance(nb, ElementNode):
+            return False
+        if na.tag != nb.tag or len(na.children) != len(nb.children):
+            return False
+        stack.extend(zip(na.children, nb.children))
+    return True
+
+
+def sequences_equivalent(
+    s1: Store, locs1: list[Location], s2: Store, locs2: list[Location]
+) -> bool:
+    """``(sigma1, L1) ~= (sigma2, L2)`` pointwise (Section 2)."""
+    if len(locs1) != len(locs2):
+        return False
+    return all(
+        value_equivalent(s1, a, s2, b) for a, b in zip(locs1, locs2)
+    )

@@ -1,0 +1,123 @@
+"""DTD validation of store trees (Section 2's validity mapping ``nu``)."""
+
+from __future__ import annotations
+
+from ..schema.dtd import DTD
+from ..schema.edtd import EDTD
+from ..schema.regex import TEXT_SYMBOL
+from .store import Location, Store, Tree
+
+
+class ValidationError(ValueError):
+    """Carries the first offending location and a human-readable reason."""
+
+    def __init__(self, loc: Location, reason: str):
+        super().__init__(f"location {loc}: {reason}")
+        self.loc = loc
+        self.reason = reason
+
+
+def validate(tree: Tree, dtd: DTD) -> None:
+    """Raise :class:`ValidationError` unless ``tree`` is valid w.r.t. ``dtd``.
+
+    Validity (Section 2): the root carries the start symbol, and for each
+    element node the tag word of its children matches the content model.
+    """
+    store = tree.store
+    if not store.is_element(tree.root):
+        raise ValidationError(tree.root, "root is a text node")
+    if store.tag(tree.root) != dtd.start:
+        raise ValidationError(
+            tree.root,
+            f"root tag {store.tag(tree.root)!r} is not the start symbol "
+            f"{dtd.start!r}",
+        )
+    for loc in store.descendants_or_self(tree.root):
+        if not store.is_element(loc):
+            continue
+        tag = store.tag(loc)
+        if tag not in dtd.alphabet:
+            raise ValidationError(loc, f"unknown element {tag!r}")
+        word = [store.typ(child) for child in store.children(loc)]
+        if not dtd.accepts_children(tag, word):
+            raise ValidationError(
+                loc,
+                f"children {word!r} do not match content model of {tag!r}",
+            )
+
+
+def is_valid(tree: Tree, dtd: DTD) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(tree, dtd)
+    except ValidationError:
+        return False
+    return True
+
+
+def typing(tree: Tree, schema: EDTD) -> dict[Location, str] | None:
+    """EDTD validity: find a type assignment ``nu`` or return None.
+
+    Types are assigned top-down; at each element we must pick, for every
+    child, a type with the child's label such that the type word matches
+    the parent type's content model.  Content models in our catalog are
+    deterministic enough that a greedy left-to-right assignment with
+    backtracking over per-child type candidates suffices; the search is
+    bounded by the (small) number of types per label.
+    """
+    store = tree.store
+    if not store.is_element(tree.root):
+        return None
+    if schema.label_of(schema.start) != store.tag(tree.root):
+        return None
+    assignment: dict[Location, str] = {tree.root: schema.start}
+    stack = [tree.root]
+    while stack:
+        loc = stack.pop()
+        parent_type = assignment[loc]
+        kids = store.children(loc)
+        labels = [store.typ(k) for k in kids]
+        choice = _assign_child_types(schema, parent_type, labels)
+        if choice is None:
+            return None
+        for kid, kid_type in zip(kids, choice):
+            assignment[kid] = kid_type
+            if store.is_element(kid):
+                stack.append(kid)
+    return assignment
+
+
+def _assign_child_types(
+    schema: EDTD, parent_type: str, labels: list[str]
+) -> list[str] | None:
+    """Pick a type word with the given labels accepted by the parent model."""
+    candidates: list[list[str]] = []
+    allowed = schema.children_of(parent_type)
+    for label in labels:
+        if label == TEXT_SYMBOL:
+            options = [TEXT_SYMBOL] if TEXT_SYMBOL in allowed else []
+        else:
+            options = sorted(schema.types_with_label(label) & allowed)
+        if not options:
+            return None
+        candidates.append(options)
+
+    automaton = schema.core.automaton(parent_type)
+
+    def search(prefix: list[str], index: int) -> list[str] | None:
+        if index == len(candidates):
+            return list(prefix) if automaton.matches(prefix) else None
+        for option in candidates[index]:
+            prefix.append(option)
+            found = search(prefix, index + 1)
+            if found is not None:
+                return found
+            prefix.pop()
+        return None
+
+    return search([], 0)
+
+
+def is_valid_edtd(tree: Tree, schema: EDTD) -> bool:
+    """Boolean EDTD validity."""
+    return typing(tree, schema) is not None

@@ -1,0 +1,279 @@
+"""Core AST for the paper's XQuery fragment (Section 2).
+
+The grammar::
+
+    q ::= () | q,q | <a>q</a> | s | x/step
+        | for x in q return q | let x := q return q
+        | if q then q else q
+
+    step ::= axis::phi      phi ::= a | text() | node() | *
+    axis ::= self | child | descendant | descendant-or-self | parent
+           | ancestor | ancestor-or-self | preceding-sibling
+           | following-sibling
+
+Multi-step paths, ``//``, predicates and the ``following``/``preceding``
+axes are surface syntax, desugared by the parser into this core (exactly
+the encodings the paper prescribes).  The wildcard ``*`` test is a small
+extension needed by XPathMark (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Name of the single free variable of quasi-closed expressions, bound to
+#: the document root element.
+ROOT_VAR = "$doc"
+
+
+class Axis(Enum):
+    """XPath axes supported by the core fragment."""
+
+    SELF = "self"
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    PRECEDING_SIBLING = "preceding-sibling"
+    FOLLOWING_SIBLING = "following-sibling"
+
+    @property
+    def is_recursive(self) -> bool:
+        """Recursive axes per Section 5 (they drive the R() component)."""
+        return self in (
+            Axis.DESCENDANT,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF,
+        )
+
+    @property
+    def is_forward_downward(self) -> bool:
+        """Axes handled by rule (STEPF) of Table 1."""
+        return self in (Axis.SELF, Axis.CHILD, Axis.DESCENDANT_OR_SELF)
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """Base class for node tests phi."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NameTest(NodeTest):
+    """Matches element nodes with a given tag."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TextTest(NodeTest):
+    """``text()``: matches text nodes."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class NodeKindTest(NodeTest):
+    """``node()``: matches any node."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "node()"
+
+
+@dataclass(frozen=True)
+class WildcardTest(NodeTest):
+    """``*``: matches any element node (XPathMark extension)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "*"
+
+
+TEXT_TEST = TextTest()
+NODE_TEST = NodeKindTest()
+WILDCARD_TEST = WildcardTest()
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class of core query AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Empty(Query):
+    """The empty sequence ``()``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Concat(Query):
+    """Sequence concatenation ``q1, q2``."""
+
+    left: Query
+    right: Query
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{self.left}, {self.right}"
+
+
+@dataclass(frozen=True)
+class StringLit(Query):
+    """A constant string ``s`` (builds a new text node)."""
+
+    value: str
+
+    __slots__ = ("value",)
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class Element(Query):
+    """Element construction ``<a>q</a>``."""
+
+    tag: str
+    content: Query
+
+    __slots__ = ("tag", "content")
+
+    def __str__(self) -> str:
+        if isinstance(self.content, Empty):
+            return f"<{self.tag}/>"
+        return f"<{self.tag}>{self.content}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class Step(Query):
+    """A single XPath step ``x/axis::phi``."""
+
+    var: str
+    axis: Axis
+    test: NodeTest
+
+    __slots__ = ("var", "axis", "test")
+
+    def __str__(self) -> str:
+        return f"{self.var}/{self.axis.value}::{self.test}"
+
+
+@dataclass(frozen=True)
+class For(Query):
+    """``for x in q1 return q2``."""
+
+    var: str
+    source: Query
+    body: Query
+
+    __slots__ = ("var", "source", "body")
+
+    def __str__(self) -> str:
+        return f"for {self.var} in {self.source} return {self.body}"
+
+
+@dataclass(frozen=True)
+class Let(Query):
+    """``let x := q1 return q2``."""
+
+    var: str
+    source: Query
+    body: Query
+
+    __slots__ = ("var", "source", "body")
+
+    def __str__(self) -> str:
+        return f"let {self.var} := {self.source} return {self.body}"
+
+
+@dataclass(frozen=True)
+class If(Query):
+    """``if q0 then q1 else q2``."""
+
+    cond: Query
+    then: Query
+    orelse: Query
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) then {self.then} else {self.orelse}"
+
+
+def free_variables(q: Query) -> frozenset[str]:
+    """Free variables of a core query."""
+    if isinstance(q, (Empty, StringLit)):
+        return frozenset()
+    if isinstance(q, Step):
+        return frozenset((q.var,))
+    if isinstance(q, Concat):
+        return free_variables(q.left) | free_variables(q.right)
+    if isinstance(q, Element):
+        return free_variables(q.content)
+    if isinstance(q, (For, Let)):
+        return free_variables(q.source) | (
+            free_variables(q.body) - {q.var}
+        )
+    if isinstance(q, If):
+        return (
+            free_variables(q.cond)
+            | free_variables(q.then)
+            | free_variables(q.orelse)
+        )
+    raise TypeError(f"unknown query node {q!r}")
+
+
+def query_size(q: Query) -> int:
+    """``|q|``: number of AST nodes (complexity parameter of Section 6.1)."""
+    if isinstance(q, (Empty, StringLit, Step)):
+        return 1
+    if isinstance(q, Concat):
+        return 1 + query_size(q.left) + query_size(q.right)
+    if isinstance(q, Element):
+        return 1 + query_size(q.content)
+    if isinstance(q, (For, Let)):
+        return 1 + query_size(q.source) + query_size(q.body)
+    if isinstance(q, If):
+        return (
+            1 + query_size(q.cond) + query_size(q.then)
+            + query_size(q.orelse)
+        )
+    raise TypeError(f"unknown query node {q!r}")
+
+
+def node_test_matches(test: NodeTest, symbol: str) -> bool:
+    """Static counterpart of node-test matching, over chain symbols."""
+    from ..schema.regex import TEXT_SYMBOL
+
+    if isinstance(test, NameTest):
+        return symbol == test.name
+    if isinstance(test, TextTest):
+        return symbol == TEXT_SYMBOL
+    if isinstance(test, NodeKindTest):
+        return True
+    if isinstance(test, WildcardTest):
+        return symbol != TEXT_SYMBOL
+    raise TypeError(f"unknown node test {test!r}")

@@ -1,0 +1,138 @@
+"""Dynamic semantics of the query fragment: ``sigma, gamma |= q => sigma_q, L_q``.
+
+The evaluator mutates the given store only by *adding* nodes (string
+literals and element construction allocate fresh locations; construction
+deep-copies its content, per the W3C copy semantics).  Existing nodes are
+never modified, matching the paper's judgment where ``sigma_q`` extends
+``sigma``.
+
+Environments ``gamma`` bind variables to location sequences.  Quasi-closed
+queries use :data:`~repro.xquery.ast.ROOT_VAR` bound to the root element.
+"""
+
+from __future__ import annotations
+
+from ..xmldm.store import Location, Store
+from .ast import (
+    Axis,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    NameTest,
+    NodeKindTest,
+    NodeTest,
+    Query,
+    Step,
+    StringLit,
+    TextTest,
+    WildcardTest,
+)
+
+
+class EvaluationError(ValueError):
+    """Raised for unbound variables and other dynamic errors."""
+
+
+Environment = dict[str, list[Location]]
+
+
+def evaluate_query(query: Query, store: Store, env: Environment
+                   ) -> list[Location]:
+    """Evaluate ``query`` over ``store`` under ``env``.
+
+    Returns the answer sequence ``L_q``; the store is extended in place
+    with any constructed nodes (it plays the role of ``sigma_q``).
+    """
+    return _eval(query, store, env)
+
+
+def _eval(query: Query, store: Store, env: Environment) -> list[Location]:
+    if isinstance(query, Empty):
+        return []
+    if isinstance(query, StringLit):
+        return [store.new_text(query.value)]
+    if isinstance(query, Concat):
+        return _eval(query.left, store, env) + _eval(query.right, store, env)
+    if isinstance(query, Step):
+        return _eval_step(query, store, env)
+    if isinstance(query, Element):
+        content = _eval(query.content, store, env)
+        copies = [store.copy_subtree(store, loc) for loc in content]
+        return [store.new_element(query.tag, copies)]
+    if isinstance(query, For):
+        source = _eval(query.source, store, env)
+        result: list[Location] = []
+        for item in source:
+            inner = dict(env)
+            inner[query.var] = [item]
+            result.extend(_eval(query.body, store, inner))
+        return result
+    if isinstance(query, Let):
+        source = _eval(query.source, store, env)
+        inner = dict(env)
+        inner[query.var] = source
+        return _eval(query.body, store, inner)
+    if isinstance(query, If):
+        cond = _eval(query.cond, store, env)
+        branch = query.then if cond else query.orelse
+        return _eval(branch, store, env)
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def _eval_step(step: Step, store: Store, env: Environment) -> list[Location]:
+    try:
+        context = env[step.var]
+    except KeyError:
+        raise EvaluationError(f"unbound variable {step.var}") from None
+    result: list[Location] = []
+    for loc in context:
+        result.extend(
+            candidate
+            for candidate in _axis_nodes(step.axis, store, loc)
+            if _test_matches(step.test, store, candidate)
+        )
+    return result
+
+
+def _axis_nodes(axis: Axis, store: Store, loc: Location) -> list[Location]:
+    """Nodes selected by ``axis`` from ``loc``, in document order.
+
+    Upward axes are returned root-first (document order), a deterministic
+    choice consistent between the two evaluations the independence check
+    compares.
+    """
+    if axis is Axis.SELF:
+        return [loc]
+    if axis is Axis.CHILD:
+        return store.children(loc)
+    if axis is Axis.DESCENDANT:
+        return list(store.descendants(loc))
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return list(store.descendants_or_self(loc))
+    if axis is Axis.PARENT:
+        parent = store.parent(loc)
+        return [] if parent is None else [parent]
+    if axis is Axis.ANCESTOR:
+        return list(store.ancestors(loc))[::-1]
+    if axis is Axis.ANCESTOR_OR_SELF:
+        return list(store.ancestors(loc))[::-1] + [loc]
+    if axis is Axis.FOLLOWING_SIBLING:
+        return store.siblings_after(loc)
+    if axis is Axis.PRECEDING_SIBLING:
+        return store.siblings_before(loc)
+    raise EvaluationError(f"unknown axis {axis!r}")
+
+
+def _test_matches(test: NodeTest, store: Store, loc: Location) -> bool:
+    if isinstance(test, NameTest):
+        return store.is_element(loc) and store.tag(loc) == test.name
+    if isinstance(test, TextTest):
+        return store.is_text(loc)
+    if isinstance(test, NodeKindTest):
+        return True
+    if isinstance(test, WildcardTest):
+        return store.is_element(loc)
+    raise EvaluationError(f"unknown node test {test!r}")

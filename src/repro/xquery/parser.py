@@ -1,0 +1,586 @@
+"""Parser for the XQuery fragment, desugaring surface syntax to the core AST.
+
+Surface syntax beyond the core grammar, all desugared exactly as the paper
+prescribes (Sections 2, 6.2 and footnote 3):
+
+* multi-step paths ``$x/a/b`` -> nested ``for`` iterations over single steps;
+* ``//`` -> ``/descendant-or-self::node()/child::...``;
+* absolute paths: the free root variable is bound to the root *element*, so
+  a leading ``/name`` becomes ``self::name`` on the root;
+* ``following`` / ``preceding`` -> the three-step encoding of footnote 3;
+* predicates ``p[f]`` -> ``for $v in p return if (f) then $v else ()``,
+  with ``and``/``or``/``not(...)`` in conditions encoded by nesting ``if``,
+  comma-sequences, and branch swapping respectively (the paper's
+  "disjunctive form" rewriting);
+* ``.`` / ``..`` -> ``self::node()`` / ``parent::node()``;
+* bare variables ``$x`` -> ``$x/self::node()``;
+* element constructors may contain nested constructors, raw text (a string
+  literal) and ``{ expr }`` enclosed expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import (
+    NODE_TEST,
+    ROOT_VAR,
+    TEXT_TEST,
+    WILDCARD_TEST,
+    Axis,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    NameTest,
+    NodeTest,
+    Query,
+    Step,
+    StringLit,
+)
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query/update text."""
+
+
+_KEYWORDS = {
+    "for", "let", "in", "return", "if", "then", "else",
+    "delete", "insert", "rename", "replace", "with", "as", "into",
+    "before", "after", "first", "last", "node", "nodes", "and", "or",
+    "not",
+}
+
+_AXES = {axis.value: axis for axis in Axis}
+# Surface-only axes expanded by desugaring.
+_SURFACE_AXES = {"following", "preceding", "attribute"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-._")
+
+
+@dataclass
+class _SurfaceStep:
+    """One parsed path step before desugaring."""
+
+    axis: str                      # core axis value or surface axis name
+    test: NodeTest
+    predicates: list = field(default_factory=list)  # parsed predicate trees
+
+
+# Predicate condition trees (desugared later, relative to a context var).
+@dataclass
+class _PredPath:
+    head: str | None               # None: relative; ROOT_VAR or $var otherwise
+    absolute: bool
+    leading_descendant: bool
+    steps: list[_SurfaceStep]
+
+
+@dataclass
+class _PredAnd:
+    parts: list
+
+
+@dataclass
+class _PredOr:
+    parts: list
+
+
+@dataclass
+class _PredNot:
+    inner: object
+
+
+class Cursor:
+    """Character cursor with name/keyword helpers, shared with updates."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def error(self, message: str) -> QueryParseError:
+        context = self.text[max(0, self.pos - 15):self.pos + 15]
+        return QueryParseError(
+            f"{message} at offset {self.pos} (near {context!r})"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise self.error(f"expected {token!r}")
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    # -- words -----------------------------------------------------------
+
+    def peek_name(self) -> str | None:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in _NAME_START:
+            return None
+        end = self.pos
+        while end < len(self.text) and self.text[end] in _NAME_CHARS:
+            end += 1
+        return self.text[self.pos:end]
+
+    def take_name(self) -> str:
+        name = self.peek_name()
+        if name is None:
+            raise self.error("expected a name")
+        self.pos += len(name)
+        return name
+
+    def peek_keyword(self, word: str) -> bool:
+        name = self.peek_name()
+        return name == word
+
+    def take_keyword(self, word: str) -> bool:
+        if self.peek_keyword(word):
+            self.pos += len(word)
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.take_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+
+    def take_variable(self) -> str:
+        self.skip_ws()
+        if not self.text.startswith("$", self.pos):
+            raise self.error("expected a $variable")
+        self.pos += 1
+        return "$" + self.take_name()
+
+    def take_string(self) -> str:
+        self.skip_ws()
+        quote = self.text[self.pos] if self.pos < len(self.text) else ""
+        if quote not in ("'", '"'):
+            raise self.error("expected a string literal")
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos + 1:end]
+        self.pos = end + 1
+        return value
+
+
+class QueryParser:
+    """Recursive-descent parser producing core :class:`Query` ASTs."""
+
+    def __init__(self, text: str):
+        self.cursor = Cursor(text)
+        self._fresh = 0
+
+    # -- public ------------------------------------------------------------
+
+    def parse(self) -> Query:
+        query = self.parse_expr()
+        if not self.cursor.at_end():
+            raise self.cursor.error("trailing input")
+        return query
+
+    # -- fresh variables -----------------------------------------------------
+
+    def fresh_var(self) -> str:
+        self._fresh += 1
+        return f"$_p{self._fresh}"
+
+    # -- expression grammar ----------------------------------------------
+
+    def parse_expr(self) -> Query:
+        parts = [self.parse_single()]
+        while self.cursor.take(","):
+            parts.append(self.parse_single())
+        query = parts[0]
+        for part in parts[1:]:
+            query = Concat(query, part)
+        return query
+
+    def parse_single(self) -> Query:
+        cur = self.cursor
+        if cur.peek_keyword("for"):
+            return self._parse_for()
+        if cur.peek_keyword("let"):
+            return self._parse_let()
+        if cur.peek_keyword("if"):
+            return self._parse_if()
+        if cur.peek_keyword("not"):
+            save = cur.pos
+            cur.take_keyword("not")
+            if cur.take("("):
+                inner = self.parse_expr()
+                cur.expect(")")
+                # Emptiness negation: non-empty iff the inner query is empty.
+                return If(inner, Empty(), StringLit("true"))
+            cur.pos = save
+        if cur.peek("'") or cur.peek('"'):
+            return StringLit(cur.take_string())
+        if cur.peek("<"):
+            return self._parse_element()
+        if cur.peek("("):
+            cur.expect("(")
+            if cur.take(")"):
+                return Empty()
+            inner = self.parse_expr()
+            cur.expect(")")
+            return self._maybe_continue_path(inner)
+        return self._parse_path()
+
+    def _parse_for(self) -> Query:
+        cur = self.cursor
+        cur.expect_keyword("for")
+        var = cur.take_variable()
+        cur.expect_keyword("in")
+        source = self.parse_single()
+        if cur.peek_keyword("for") or cur.peek(","):
+            raise cur.error("multi-binding for is not supported; nest fors")
+        cur.expect_keyword("return")
+        body = self.parse_single()
+        return For(var, source, body)
+
+    def _parse_let(self) -> Query:
+        cur = self.cursor
+        cur.expect_keyword("let")
+        var = cur.take_variable()
+        cur.expect(":=")
+        source = self.parse_single()
+        cur.expect_keyword("return")
+        body = self.parse_single()
+        return Let(var, source, body)
+
+    def _parse_if(self) -> Query:
+        cur = self.cursor
+        cur.expect_keyword("if")
+        cur.expect("(")
+        cond = self.parse_expr()
+        cur.expect(")")
+        cur.expect_keyword("then")
+        then = self.parse_single()
+        cur.expect_keyword("else")
+        orelse = self.parse_single()
+        return If(cond, then, orelse)
+
+    def _maybe_continue_path(self, base: Query) -> Query:
+        """Support ``(expr)/steps`` by iterating steps over ``base``."""
+        cur = self.cursor
+        if not (cur.peek("/")):
+            return base
+        steps: list[_SurfaceStep] = []
+        if cur.take("//"):
+            steps.append(_SurfaceStep("descendant-or-self", NODE_TEST, []))
+        else:
+            cur.expect("/")
+        steps.append(self._parse_one_step(default_axis="child"))
+        while True:
+            if cur.take("//"):
+                steps.append(_SurfaceStep("descendant-or-self", NODE_TEST, []))
+                steps.append(self._parse_one_step(default_axis="child"))
+            elif cur.take("/"):
+                steps.append(self._parse_one_step(default_axis="child"))
+            else:
+                break
+        var = self.fresh_var()
+        return For(var, base, self._desugar_steps(var, steps))
+
+    # -- element constructors ----------------------------------------------
+
+    def _parse_element(self) -> Query:
+        cur = self.cursor
+        cur.expect("<")
+        tag = cur.take_name()
+        cur.skip_ws()
+        if cur.take("/>"):
+            return Element(tag, Empty())
+        cur.expect(">")
+        parts: list[Query] = []
+        while True:
+            if cur.text.startswith("</", cur.pos):
+                break
+            if cur.text.startswith("<", cur.pos):
+                parts.append(self._parse_element())
+                continue
+            if cur.text.startswith("{", cur.pos):
+                cur.expect("{")
+                parts.append(self.parse_expr())
+                cur.expect("}")
+                continue
+            start = cur.pos
+            while (cur.pos < len(cur.text)
+                   and cur.text[cur.pos] not in "<{"):
+                cur.pos += 1
+            raw = cur.text[start:cur.pos].strip()
+            if raw:
+                parts.append(StringLit(raw))
+        cur.expect("</")
+        closing = cur.take_name()
+        if closing != tag:
+            raise cur.error(f"mismatched closing tag {closing!r} for {tag!r}")
+        cur.expect(">")
+        content: Query = Empty()
+        for index, part in enumerate(parts):
+            content = part if index == 0 else Concat(content, part)
+        return Element(tag, content)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _parse_path(self) -> Query:
+        head, absolute, leading_descendant, steps = self._parse_surface_path(
+            allow_relative=False
+        )
+        return self._desugar_path(head, absolute, leading_descendant, steps,
+                                  context_var=None)
+
+    def _parse_surface_path(
+        self, allow_relative: bool
+    ) -> tuple[str | None, bool, bool, list[_SurfaceStep]]:
+        """Parse ``($x | / | //)? step (/step | //step)*``."""
+        cur = self.cursor
+        cur.skip_ws()
+        head: str | None = None
+        absolute = False
+        leading_descendant = False
+        if cur.text.startswith("$", cur.pos):
+            head = cur.take_variable()
+            if cur.take("//"):
+                leading_descendant = True
+                steps = self._parse_steps()
+            elif cur.take("/"):
+                steps = self._parse_steps()
+            else:
+                steps = []
+            return head, absolute, leading_descendant, steps
+        if cur.take("//"):
+            absolute = True
+            leading_descendant = True
+            return head, absolute, leading_descendant, self._parse_steps()
+        if cur.take("/"):
+            absolute = True
+            return head, absolute, leading_descendant, self._parse_steps()
+        if allow_relative:
+            return head, absolute, leading_descendant, self._parse_steps()
+        raise cur.error("expected a path (starting with $var, / or //)")
+
+    def _parse_steps(self) -> list[_SurfaceStep]:
+        steps = [self._parse_one_step(default_axis=None)]
+        while True:
+            if self.cursor.take("//"):
+                steps.append(_SurfaceStep("descendant-or-self", NODE_TEST, []))
+                steps.append(self._parse_one_step(default_axis="child"))
+            elif self.cursor.take("/"):
+                steps.append(self._parse_one_step(default_axis="child"))
+            else:
+                break
+        return steps
+
+    def _parse_one_step(self, default_axis: str | None) -> _SurfaceStep:
+        """``default_axis=None`` means "first step": defaults to child but the
+        desugarer will turn a defaulted first step of an absolute path into
+        ``self`` (the root variable is bound to the root element)."""
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.take(".."):
+            return _SurfaceStep("parent", NODE_TEST,
+                                self._parse_predicates())
+        if cur.take("."):
+            return _SurfaceStep("self", NODE_TEST, self._parse_predicates())
+        if cur.take("*"):
+            axis = default_axis if default_axis is not None else "@first-child"
+            return _SurfaceStep(axis, WILDCARD_TEST, self._parse_predicates())
+        name = cur.peek_name()
+        if name is None:
+            raise cur.error("expected a path step")
+        explicit_axis: str | None = None
+        if name in _AXES or name in _SURFACE_AXES:
+            save = cur.pos
+            cur.pos += len(name)
+            if cur.take("::"):
+                explicit_axis = name
+            else:
+                cur.pos = save
+        if explicit_axis is not None:
+            test = self._parse_node_test()
+            return _SurfaceStep(explicit_axis, test,
+                                self._parse_predicates())
+        test = self._parse_node_test()
+        axis = default_axis or "child"
+        marker = axis if default_axis is not None else "@first-child"
+        return _SurfaceStep(marker, test, self._parse_predicates())
+
+    def _parse_node_test(self) -> NodeTest:
+        cur = self.cursor
+        if cur.take("*"):
+            return WILDCARD_TEST
+        name = cur.take_name()
+        if name == "text" and cur.take("("):
+            cur.expect(")")
+            return TEXT_TEST
+        if name == "node" and cur.take("("):
+            cur.expect(")")
+            return NODE_TEST
+        return NameTest(name)
+
+    # -- predicates ------------------------------------------------------
+
+    def _parse_predicates(self) -> list:
+        preds: list = []
+        while self.cursor.take("["):
+            preds.append(self._parse_pred_or())
+            self.cursor.expect("]")
+        return preds
+
+    def _parse_pred_or(self):
+        parts = [self._parse_pred_and()]
+        while self.cursor.take_keyword("or"):
+            parts.append(self._parse_pred_and())
+        return parts[0] if len(parts) == 1 else _PredOr(parts)
+
+    def _parse_pred_and(self):
+        parts = [self._parse_pred_atom()]
+        while self.cursor.take_keyword("and"):
+            parts.append(self._parse_pred_atom())
+        return parts[0] if len(parts) == 1 else _PredAnd(parts)
+
+    def _parse_pred_atom(self):
+        cur = self.cursor
+        if cur.take_keyword("not"):
+            cur.expect("(")
+            inner = self._parse_pred_or()
+            cur.expect(")")
+            return _PredNot(inner)
+        if cur.peek("("):
+            cur.expect("(")
+            inner = self._parse_pred_or()
+            cur.expect(")")
+            return inner
+        head, absolute, leading, steps = self._parse_surface_path(
+            allow_relative=True
+        )
+        return _PredPath(head, absolute, leading, steps)
+
+    # -- desugaring --------------------------------------------------------
+
+    def _desugar_path(
+        self,
+        head: str | None,
+        absolute: bool,
+        leading_descendant: bool,
+        steps: list[_SurfaceStep],
+        context_var: str | None,
+    ) -> Query:
+        if head is not None:
+            base_var = head
+        elif absolute:
+            base_var = ROOT_VAR
+        elif context_var is not None:
+            base_var = context_var
+        else:
+            raise QueryParseError("relative path outside a predicate")
+        if steps and steps[0].axis == "@first-child":
+            # A defaulted first step of an absolute path matches the root
+            # element itself (the root variable is bound to it); everywhere
+            # else a defaulted step is a child step.
+            first = steps[0]
+            fixed_axis = "self" if (absolute and not leading_descendant
+                                    and head is None) else "child"
+            steps = [_SurfaceStep(fixed_axis, first.test, first.predicates)] \
+                + steps[1:]
+        if leading_descendant:
+            steps = [_SurfaceStep("descendant-or-self", NODE_TEST, [])] + steps
+        if not steps:
+            return Step(base_var, Axis.SELF, NODE_TEST)
+        return self._desugar_steps(base_var, steps)
+
+    def _desugar_steps(self, var: str, steps: list[_SurfaceStep]) -> Query:
+        step = steps[0]
+        expanded = self._expand_surface_axis(step)
+        if len(expanded) > 1:
+            return self._desugar_steps(var, expanded + steps[1:])
+        axis = _AXES[step.axis]
+        base: Query = Step(var, axis, step.test)
+        for pred in step.predicates:
+            pred_var = self.fresh_var()
+            base = For(
+                pred_var,
+                base,
+                If(self._desugar_pred(pred, pred_var),
+                   Step(pred_var, Axis.SELF, NODE_TEST),
+                   Empty()),
+            )
+        if len(steps) == 1:
+            return base
+        next_var = self.fresh_var()
+        return For(next_var, base, self._desugar_steps(next_var, steps[1:]))
+
+    def _expand_surface_axis(self, step: _SurfaceStep) -> list[_SurfaceStep]:
+        """Footnote-3 encodings for ``following`` and ``preceding``."""
+        if step.axis == "following":
+            return [
+                _SurfaceStep("ancestor-or-self", NODE_TEST, []),
+                _SurfaceStep("following-sibling", NODE_TEST, []),
+                _SurfaceStep("descendant-or-self", step.test,
+                             step.predicates),
+            ]
+        if step.axis == "preceding":
+            return [
+                _SurfaceStep("ancestor-or-self", NODE_TEST, []),
+                _SurfaceStep("preceding-sibling", NODE_TEST, []),
+                _SurfaceStep("descendant-or-self", step.test,
+                             step.predicates),
+            ]
+        if step.axis == "attribute":
+            raise QueryParseError(
+                "attribute axis is not part of the fragment (the benchmark "
+                "rewriting removes attribute use)"
+            )
+        return [step]
+
+    def _desugar_pred(self, pred, context_var: str) -> Query:
+        if isinstance(pred, _PredPath):
+            return self._desugar_path(
+                pred.head, pred.absolute, pred.leading_descendant,
+                list(pred.steps), context_var,
+            )
+        if isinstance(pred, _PredOr):
+            parts = [self._desugar_pred(p, context_var) for p in pred.parts]
+            query = parts[0]
+            for part in parts[1:]:
+                query = Concat(query, part)
+            return query
+        if isinstance(pred, _PredAnd):
+            parts = [self._desugar_pred(p, context_var) for p in pred.parts]
+            query = parts[-1]
+            for part in reversed(parts[:-1]):
+                query = If(part, query, Empty())
+            return query
+        if isinstance(pred, _PredNot):
+            inner = self._desugar_pred(pred.inner, context_var)
+            return If(inner, Empty(), StringLit("true"))
+        raise TypeError(f"unknown predicate node {pred!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse surface query text into the core AST.
+
+    >>> parse_query("$x/child::a")
+    Step(var='$x', axis=<Axis.CHILD: 'child'>, test=NameTest(name='a'))
+    """
+    return QueryParser(text).parse()

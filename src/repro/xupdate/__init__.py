@@ -1,0 +1,58 @@
+"""XQuery Update Facility fragment: AST, parser, UPL, evaluation."""
+
+from .ast import (
+    Delete,
+    Insert,
+    InsertPos,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+    update_free_variables,
+    update_size,
+)
+from .evaluator import apply_update, apply_update_to_root, evaluate_update
+from .parser import UpdateParser, parse_update
+from .pul import (
+    Command,
+    Del,
+    Ins,
+    Ren,
+    Repl,
+    UpdateError,
+    apply_pul,
+    check_pul,
+)
+
+__all__ = [
+    "Delete",
+    "Insert",
+    "InsertPos",
+    "Rename",
+    "Replace",
+    "UConcat",
+    "UEmpty",
+    "UFor",
+    "UIf",
+    "ULet",
+    "Update",
+    "update_free_variables",
+    "update_size",
+    "apply_update",
+    "apply_update_to_root",
+    "evaluate_update",
+    "UpdateParser",
+    "parse_update",
+    "Command",
+    "Del",
+    "Ins",
+    "Ren",
+    "Repl",
+    "UpdateError",
+    "apply_pul",
+    "check_pul",
+]

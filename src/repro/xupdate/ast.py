@@ -1,0 +1,210 @@
+"""Core AST for the XQuery Update Facility fragment (Section 2).
+
+::
+
+    u ::= () | u,u | for x in q return u | let x := q return u
+        | if q then u1 else u2
+        | delete q0 | rename q0 as a
+        | insert q pos q0 | replace q0 with q
+
+    pos ::= before | after | into (as first | as last)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..xquery.ast import Query, free_variables as query_free_variables
+from ..xquery.ast import query_size
+
+
+class InsertPos(Enum):
+    """Insertion positions of the update grammar."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    INTO = "into"
+    INTO_FIRST = "as first into"
+    INTO_LAST = "as last into"
+
+    @property
+    def is_into(self) -> bool:
+        """True for the three child-insertion positions."""
+        return self in (InsertPos.INTO, InsertPos.INTO_FIRST,
+                        InsertPos.INTO_LAST)
+
+
+@dataclass(frozen=True)
+class Update:
+    """Base class of core update AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UEmpty(Update):
+    """The empty update ``()``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class UConcat(Update):
+    """Update sequence ``u1, u2``."""
+
+    left: Update
+    right: Update
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{self.left}, {self.right}"
+
+
+@dataclass(frozen=True)
+class UFor(Update):
+    """``for x in q return u``."""
+
+    var: str
+    source: Query
+    body: Update
+
+    __slots__ = ("var", "source", "body")
+
+    def __str__(self) -> str:
+        return f"for {self.var} in {self.source} return {self.body}"
+
+
+@dataclass(frozen=True)
+class ULet(Update):
+    """``let x := q return u``."""
+
+    var: str
+    source: Query
+    body: Update
+
+    __slots__ = ("var", "source", "body")
+
+    def __str__(self) -> str:
+        return f"let {self.var} := {self.source} return {self.body}"
+
+
+@dataclass(frozen=True)
+class UIf(Update):
+    """``if q then u1 else u2``."""
+
+    cond: Query
+    then: Update
+    orelse: Update
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) then {self.then} else {self.orelse}"
+
+
+@dataclass(frozen=True)
+class Delete(Update):
+    """``delete q0``."""
+
+    target: Query
+
+    __slots__ = ("target",)
+
+    def __str__(self) -> str:
+        return f"delete {self.target}"
+
+
+@dataclass(frozen=True)
+class Rename(Update):
+    """``rename q0 as a``."""
+
+    target: Query
+    tag: str
+
+    __slots__ = ("target", "tag")
+
+    def __str__(self) -> str:
+        return f"rename {self.target} as {self.tag}"
+
+
+@dataclass(frozen=True)
+class Insert(Update):
+    """``insert q pos q0`` (source, position, target)."""
+
+    source: Query
+    pos: InsertPos
+    target: Query
+
+    __slots__ = ("source", "pos", "target")
+
+    def __str__(self) -> str:
+        return f"insert {self.source} {self.pos.value} {self.target}"
+
+
+@dataclass(frozen=True)
+class Replace(Update):
+    """``replace q0 with q``."""
+
+    target: Query
+    source: Query
+
+    __slots__ = ("target", "source")
+
+    def __str__(self) -> str:
+        return f"replace {self.target} with {self.source}"
+
+
+def update_free_variables(u: Update) -> frozenset[str]:
+    """Free variables of a core update."""
+    if isinstance(u, UEmpty):
+        return frozenset()
+    if isinstance(u, UConcat):
+        return update_free_variables(u.left) | update_free_variables(u.right)
+    if isinstance(u, (UFor, ULet)):
+        return query_free_variables(u.source) | (
+            update_free_variables(u.body) - {u.var}
+        )
+    if isinstance(u, UIf):
+        return (
+            query_free_variables(u.cond)
+            | update_free_variables(u.then)
+            | update_free_variables(u.orelse)
+        )
+    if isinstance(u, Delete):
+        return query_free_variables(u.target)
+    if isinstance(u, Rename):
+        return query_free_variables(u.target)
+    if isinstance(u, Insert):
+        return query_free_variables(u.source) | query_free_variables(u.target)
+    if isinstance(u, Replace):
+        return query_free_variables(u.target) | query_free_variables(u.source)
+    raise TypeError(f"unknown update node {u!r}")
+
+
+def update_size(u: Update) -> int:
+    """``|u|``: number of AST nodes."""
+    if isinstance(u, UEmpty):
+        return 1
+    if isinstance(u, UConcat):
+        return 1 + update_size(u.left) + update_size(u.right)
+    if isinstance(u, (UFor, ULet)):
+        return 1 + query_size(u.source) + update_size(u.body)
+    if isinstance(u, UIf):
+        return (
+            1 + query_size(u.cond) + update_size(u.then)
+            + update_size(u.orelse)
+        )
+    if isinstance(u, Delete):
+        return 1 + query_size(u.target)
+    if isinstance(u, Rename):
+        return 1 + query_size(u.target)
+    if isinstance(u, Insert):
+        return 1 + query_size(u.source) + query_size(u.target)
+    if isinstance(u, Replace):
+        return 1 + query_size(u.target) + query_size(u.source)
+    raise TypeError(f"unknown update node {u!r}")

@@ -1,0 +1,103 @@
+"""Update evaluation: ``sigma, gamma |= u => sigma_w, w`` and application.
+
+:func:`evaluate_update` creates the UPL (phase i); :func:`apply_update`
+composes the three phases (``sigma, gamma |= u : sigma_u``).  Source
+expressions of insert/replace are deep-copied into the store at UPL
+creation time (W3C copy semantics), so the UPL's source locations are the
+fresh roots of ``sigma_w``.
+"""
+
+from __future__ import annotations
+
+from ..xmldm.store import Location, Store
+from ..xquery.ast import ROOT_VAR
+from ..xquery.evaluator import Environment, evaluate_query
+from .ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+from .pul import Command, Del, Ins, Ren, Repl, UpdateError, apply_pul, check_pul
+
+
+def evaluate_update(update: Update, store: Store, env: Environment
+                    ) -> list[Command]:
+    """Phase (i): build the UPL for ``update``; extends ``store`` to sigma_w."""
+    return _eval(update, store, env)
+
+
+def _eval(update: Update, store: Store, env: Environment) -> list[Command]:
+    if isinstance(update, UEmpty):
+        return []
+    if isinstance(update, UConcat):
+        return _eval(update.left, store, env) + _eval(update.right, store, env)
+    if isinstance(update, UFor):
+        source = evaluate_query(update.source, store, env)
+        commands: list[Command] = []
+        for item in source:
+            inner = dict(env)
+            inner[update.var] = [item]
+            commands.extend(_eval(update.body, store, inner))
+        return commands
+    if isinstance(update, ULet):
+        source = evaluate_query(update.source, store, env)
+        inner = dict(env)
+        inner[update.var] = source
+        return _eval(update.body, store, inner)
+    if isinstance(update, UIf):
+        cond = evaluate_query(update.cond, store, env)
+        branch = update.then if cond else update.orelse
+        return _eval(branch, store, env)
+    if isinstance(update, Delete):
+        targets = evaluate_query(update.target, store, env)
+        return [Del(target) for target in targets]
+    if isinstance(update, Rename):
+        target = _single_target(update.target, store, env, "rename")
+        return [Ren(target, update.tag)]
+    if isinstance(update, Insert):
+        sources = evaluate_query(update.source, store, env)
+        copies = tuple(store.copy_subtree(store, loc) for loc in sources)
+        target = _single_target(update.target, store, env, "insert")
+        return [Ins(copies, update.pos, target)]
+    if isinstance(update, Replace):
+        target = _single_target(update.target, store, env, "replace")
+        sources = evaluate_query(update.source, store, env)
+        copies = tuple(store.copy_subtree(store, loc) for loc in sources)
+        return [Repl(target, copies)]
+    raise UpdateError(f"unknown update node {update!r}")
+
+
+def _single_target(query, store: Store, env: Environment, kind: str
+                   ) -> Location:
+    """W3C: insert/replace/rename targets must be exactly one node."""
+    result = evaluate_query(query, store, env)
+    if len(result) != 1:
+        raise UpdateError(
+            f"{kind} target produced {len(result)} nodes (exactly 1 required)"
+        )
+    return result[0]
+
+
+def apply_update(update: Update, store: Store, env: Environment
+                 ) -> list[Command]:
+    """All three phases: ``sigma, gamma |= u : sigma_u`` (in place).
+
+    Returns the applied UPL (useful for inspection in tests).
+    """
+    commands = evaluate_update(update, store, env)
+    check_pul(store, commands)
+    apply_pul(store, commands)
+    return commands
+
+
+def apply_update_to_root(update: Update, store: Store, root: Location
+                         ) -> list[Command]:
+    """Quasi-closed convenience: bind the root variable and apply."""
+    return apply_update(update, store, {ROOT_VAR: [root]})

@@ -1,0 +1,140 @@
+"""Parser for the update fragment, reusing the query parser's machinery.
+
+Accepts both the paper's concise syntax (``delete q0``,
+``insert q into q0``) and the W3C's keyworded forms (``delete nodes q0``,
+``insert node q as first into q0``, ``replace node q0 with q``,
+``rename node q0 as a``).
+"""
+
+from __future__ import annotations
+
+from ..xquery.parser import QueryParseError, QueryParser
+from .ast import (
+    Delete,
+    Insert,
+    InsertPos,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+
+
+class UpdateParser(QueryParser):
+    """Extends the query parser with the update grammar."""
+
+    def parse_update_text(self) -> Update:
+        update = self._parse_update_expr()
+        if not self.cursor.at_end():
+            raise self.cursor.error("trailing input")
+        return update
+
+    def _parse_update_expr(self) -> Update:
+        parts = [self._parse_update_single()]
+        while self.cursor.take(","):
+            parts.append(self._parse_update_single())
+        update = parts[0]
+        for part in parts[1:]:
+            update = UConcat(update, part)
+        return update
+
+    def _parse_update_single(self) -> Update:
+        cur = self.cursor
+        if cur.peek_keyword("for"):
+            cur.expect_keyword("for")
+            var = cur.take_variable()
+            cur.expect_keyword("in")
+            source = self.parse_single()
+            cur.expect_keyword("return")
+            body = self._parse_update_single()
+            return UFor(var, source, body)
+        if cur.peek_keyword("let"):
+            cur.expect_keyword("let")
+            var = cur.take_variable()
+            cur.expect(":=")
+            source = self.parse_single()
+            cur.expect_keyword("return")
+            body = self._parse_update_single()
+            return ULet(var, source, body)
+        if cur.peek_keyword("if"):
+            cur.expect_keyword("if")
+            cur.expect("(")
+            cond = self.parse_expr()
+            cur.expect(")")
+            cur.expect_keyword("then")
+            then = self._parse_update_single()
+            cur.expect_keyword("else")
+            orelse = self._parse_update_single()
+            return UIf(cond, then, orelse)
+        if cur.peek_keyword("delete"):
+            cur.expect_keyword("delete")
+            self._skip_node_keyword()
+            return Delete(self.parse_single())
+        if cur.peek_keyword("rename"):
+            cur.expect_keyword("rename")
+            self._skip_node_keyword()
+            target = self.parse_single()
+            cur.expect_keyword("as")
+            return Rename(target, cur.take_name())
+        if cur.peek_keyword("insert"):
+            cur.expect_keyword("insert")
+            self._skip_node_keyword()
+            source = self.parse_single()
+            pos = self._parse_insert_pos()
+            return Insert(source, pos, self.parse_single())
+        if cur.peek_keyword("replace"):
+            cur.expect_keyword("replace")
+            self._skip_node_keyword()
+            target = self.parse_single()
+            cur.expect_keyword("with")
+            return Replace(target, self.parse_single())
+        if cur.peek("("):
+            cur.expect("(")
+            if cur.take(")"):
+                return UEmpty()
+            inner = self._parse_update_expr()
+            cur.expect(")")
+            return inner
+        raise cur.error("expected an update expression")
+
+    def _skip_node_keyword(self) -> None:
+        cur = self.cursor
+        if cur.peek_keyword("node") or cur.peek_keyword("nodes"):
+            save = cur.pos
+            word = cur.take_name()
+            # ``node()`` here would be a node test, not the keyword.
+            if cur.peek("("):
+                cur.pos = save
+                return
+            del word
+
+    def _parse_insert_pos(self) -> InsertPos:
+        cur = self.cursor
+        if cur.take_keyword("before"):
+            return InsertPos.BEFORE
+        if cur.take_keyword("after"):
+            return InsertPos.AFTER
+        if cur.take_keyword("into"):
+            return InsertPos.INTO
+        if cur.take_keyword("as"):
+            if cur.take_keyword("first"):
+                cur.expect_keyword("into")
+                return InsertPos.INTO_FIRST
+            if cur.take_keyword("last"):
+                cur.expect_keyword("into")
+                return InsertPos.INTO_LAST
+            raise cur.error("expected 'first' or 'last'")
+        raise cur.error("expected an insert position")
+
+
+def parse_update(text: str) -> Update:
+    """Parse surface update text into the core update AST.
+
+    >>> parse_update("delete $x/child::a")
+    Delete(target=Step(var='$x', axis=<Axis.CHILD: 'child'>, test=NameTest(name='a')))
+    """
+    return UpdateParser(text).parse_update_text()

@@ -1,0 +1,188 @@
+"""Update pending lists (UPLs) and their application (Section 2).
+
+Update evaluation is split into the W3C's three phases:
+
+1. creation of the UPL ``w`` (:mod:`repro.xupdate.evaluator`);
+2. sanity checks on ``w`` (:func:`check_pul`);
+3. application ``sigma_w |- w ~> sigma_u`` (:func:`apply_pul`).
+
+Commands mirror the paper's grammar::
+
+    iota ::= ins(L, pos, l) | del(l) | repl(l, L) | ren(l, a)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xmldm.store import Location, Store
+from .ast import InsertPos
+
+
+class UpdateError(ValueError):
+    """Raised on dynamic update errors (W3C sanity-check failures)."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for elementary update commands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Ins(Command):
+    """``ins(L, pos, l)``: insert roots ``sources`` at ``pos`` w.r.t. ``target``."""
+
+    sources: tuple[Location, ...]
+    pos: InsertPos
+    target: Location
+
+    __slots__ = ("sources", "pos", "target")
+
+
+@dataclass(frozen=True)
+class Del(Command):
+    """``del(l)``: delete the subtree rooted at ``target``."""
+
+    target: Location
+
+    __slots__ = ("target",)
+
+
+@dataclass(frozen=True)
+class Repl(Command):
+    """``repl(l, L)``: replace ``target`` with roots ``sources``."""
+
+    target: Location
+    sources: tuple[Location, ...]
+
+    __slots__ = ("target", "sources")
+
+
+@dataclass(frozen=True)
+class Ren(Command):
+    """``ren(l, a)``: rename element ``target`` to ``tag``."""
+
+    target: Location
+    tag: str
+
+    __slots__ = ("target", "tag")
+
+
+def check_pul(store: Store, commands: list[Command]) -> None:
+    """Phase (ii) sanity checks; raises :class:`UpdateError` on violation.
+
+    Checks (after the W3C XQUF compatibility rules):
+
+    * no two ``ren`` commands on the same target (err:XUDY0015);
+    * no two ``repl`` commands on the same target (err:XUDY0016);
+    * every target exists in the store;
+    * ``repl`` and sibling-position ``ins`` targets must have a parent;
+    * ``ren`` targets must be element nodes.
+    """
+    renamed: set[Location] = set()
+    replaced: set[Location] = set()
+    for command in commands:
+        if isinstance(command, Ren):
+            if command.target in renamed:
+                raise UpdateError(
+                    f"two rename commands target location {command.target}"
+                )
+            renamed.add(command.target)
+            if command.target not in store:
+                raise UpdateError(f"rename of unknown location {command.target}")
+            if not store.is_element(command.target):
+                raise UpdateError(
+                    f"rename target {command.target} is not an element"
+                )
+        elif isinstance(command, Repl):
+            if command.target in replaced:
+                raise UpdateError(
+                    f"two replace commands target location {command.target}"
+                )
+            replaced.add(command.target)
+            if command.target not in store:
+                raise UpdateError(
+                    f"replace of unknown location {command.target}"
+                )
+            if store.parent(command.target) is None:
+                raise UpdateError(
+                    f"replace target {command.target} has no parent"
+                )
+        elif isinstance(command, Ins):
+            if command.target not in store:
+                raise UpdateError(
+                    f"insert at unknown location {command.target}"
+                )
+            if command.pos.is_into:
+                if not store.is_element(command.target):
+                    raise UpdateError(
+                        f"insert-into target {command.target} is not an element"
+                    )
+            elif store.parent(command.target) is None:
+                raise UpdateError(
+                    f"insert-{command.pos.value} target {command.target} "
+                    "has no parent"
+                )
+        elif isinstance(command, Del):
+            if command.target not in store:
+                raise UpdateError(
+                    f"delete of unknown location {command.target}"
+                )
+        else:
+            raise UpdateError(f"unknown command {command!r}")
+
+
+def apply_pul(store: Store, commands: list[Command]) -> None:
+    """Phase (iii): apply ``commands`` to ``store`` in place.
+
+    Application order follows the W3C's staging: renames, then inserts,
+    then replaces, then deletes.  This makes combinations such as "insert
+    next to a node that is also deleted" deterministic.
+    """
+    for command in commands:
+        if isinstance(command, Ren):
+            store.rename(command.target, command.tag)
+    for command in commands:
+        if isinstance(command, Ins):
+            _apply_insert(store, command)
+    for command in commands:
+        if isinstance(command, Repl):
+            _apply_replace(store, command)
+    for command in commands:
+        if isinstance(command, Del):
+            store.detach(command.target)
+
+
+def _apply_insert(store: Store, command: Ins) -> None:
+    sources = list(command.sources)
+    if command.pos.is_into:
+        kids = store.children(command.target)
+        if command.pos is InsertPos.INTO_FIRST:
+            store.replace_children(command.target, sources + kids)
+        else:  # INTO and INTO_LAST both append.
+            store.replace_children(command.target, kids + sources)
+        return
+    parent = store.parent(command.target)
+    if parent is None:
+        raise UpdateError(
+            f"insert-{command.pos.value} target {command.target} lost its parent"
+        )
+    kids = store.children(parent)
+    index = kids.index(command.target)
+    if command.pos is InsertPos.BEFORE:
+        new_kids = kids[:index] + sources + kids[index:]
+    else:
+        new_kids = kids[:index + 1] + sources + kids[index + 1:]
+    store.replace_children(parent, new_kids)
+
+
+def _apply_replace(store: Store, command: Repl) -> None:
+    parent = store.parent(command.target)
+    if parent is None:
+        raise UpdateError(f"replace target {command.target} lost its parent")
+    kids = store.children(parent)
+    index = kids.index(command.target)
+    new_kids = kids[:index] + list(command.sources) + kids[index + 1:]
+    store.replace_children(parent, new_kids)

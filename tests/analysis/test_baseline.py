@@ -1,0 +1,99 @@
+"""The type-based baseline [6]: behavior on documented cases, and the
+dominance of the chain analysis."""
+
+from repro.analysis.baseline import TypeAnalysis, baseline_analyze
+from repro.analysis.independence import analyze
+from repro.xquery.ast import ROOT_VAR
+from repro.xquery.parser import parse_query
+
+
+class TestDocumentedBehaviour:
+    def test_q2_accessed_types(self, bib):
+        """Section 1: [6] infers bib, book and title as traced by //title."""
+        report = baseline_analyze(
+            "//title", "delete //price", bib
+        )
+        assert {"bib", "book", "title"} <= set(report.accessed)
+        assert "author" not in report.accessed
+
+    def test_u2_impacted_types(self, bib):
+        """Section 1: book is impacted by the author insertion."""
+        u2 = "for $x in //book return insert <author/> into $x"
+        report = baseline_analyze("//title", u2, bib)
+        assert "book" in report.impacted
+        assert "author" in report.impacted
+        assert report.overlap == frozenset({"book"})
+
+    def test_q1_u1_overlap_on_c(self, doc_dtd):
+        """Section 1: type c is inferred for both paths."""
+        report = baseline_analyze("//a//c", "delete //b//c", doc_dtd)
+        assert "c" in report.overlap
+        assert not report.independent
+
+    def test_detects_trivial_disjointness(self, bib):
+        report = baseline_analyze("//title", "delete //author/first", bib)
+        assert report.independent
+
+    def test_backward_axis_coarseness(self, doc_dtd):
+        """Context-free ancestor typing: from c, [6] reaches both a and b
+        regardless of the navigated path."""
+        analysis = TypeAnalysis(doc_dtd)
+        q = parse_query("/doc/a/c/ancestor::node()")
+        triple = analysis.infer_query(q, {ROOT_VAR: frozenset({"doc"})})
+        assert {"a", "b", "doc"} <= set(triple.returns)
+
+
+class TestDominance:
+    """The chain analysis is never less precise than the type baseline."""
+
+    PAIRS = [
+        ("//title", "delete //price"),
+        ("//title", "for $x in //book return insert <author/> into $x"),
+        ("//author/last", "delete //author/first"),
+        ("//book", "delete //book/price"),
+        ("//price", "for $x in //price return replace $x with <price/>"),
+        ("//editor", "for $x in //author return rename $x as editor"),
+    ]
+
+    def test_chains_dominate_types_on_bib(self, bib):
+        for query, update in self.PAIRS:
+            chain_verdict = analyze(query, update, bib).independent
+            type_verdict = baseline_analyze(query, update, bib).independent
+            if type_verdict:
+                assert chain_verdict, (query, update)
+
+    def test_chains_strictly_better_somewhere(self, bib, doc_dtd):
+        wins = 0
+        cases = [
+            ("//a//c", "delete //b//c", doc_dtd),
+            ("//title",
+             "for $x in //book return insert <author/> into $x", bib),
+        ]
+        for query, update, schema in cases:
+            if (analyze(query, update, schema).independent
+                    and not baseline_analyze(query, update,
+                                             schema).independent):
+                wins += 1
+        assert wins == len(cases)
+
+
+class TestTextHandling:
+    def test_text_typed_by_parent(self, bib):
+        analysis = TypeAnalysis(bib)
+        q = parse_query("//title/text()")
+        triple = analysis.infer_query(q, {ROOT_VAR: frozenset({"bib"})})
+        assert triple.returns == frozenset({"title"})
+
+    def test_string_literal_no_type(self, bib):
+        analysis = TypeAnalysis(bib)
+        triple = analysis.infer_query(
+            parse_query('"hello"'), {ROOT_VAR: frozenset({"bib"})}
+        )
+        assert not triple.returns and not triple.elements
+
+    def test_text_replacement_conflicts_with_parent_query(self, bib):
+        u = ("for $x in //title/text() return "
+             "replace $x with <title/>")
+        # Replacing title text impacts type title; //title accesses it.
+        report = baseline_analyze("//title", u, bib)
+        assert not report.independent

@@ -1,0 +1,213 @@
+"""CDAG components: construction, trimming, steps, conflicts (Section 6.1)."""
+
+import pytest
+
+from repro.analysis.cdag import (
+    ChainExplosion,
+    Component,
+    Universe,
+    ancestor_step,
+    child_step,
+    components_conflict,
+    conflict_witness,
+    descendant_step,
+    graft,
+    make_component,
+    parent_step,
+    restrict_to_ends,
+    shift_component,
+    sibling_step,
+    singleton_component,
+)
+
+
+@pytest.fixture()
+def universe(doc_dtd):
+    return Universe(doc_dtd, depth_cap=4)
+
+
+@pytest.fixture()
+def root(universe):
+    return singleton_component(universe.root())
+
+
+class TestComponentBasics:
+    def test_singleton_denotes_root_chain(self, root):
+        assert root.enumerate_chains() == {("doc",)}
+
+    def test_empty_component(self):
+        component = make_component((0, "doc"), set(), set())
+        assert component.is_empty()
+        assert component.enumerate_chains() == set()
+
+    def test_make_trims_unreachable_ends(self):
+        component = make_component(
+            (0, "doc"), set(), {(0, "doc"), (5, "ghost")}
+        )
+        assert component.ends == frozenset({(0, "doc")})
+
+    def test_make_trims_dead_edges(self):
+        edges = {((0, "doc"), (1, "a")), ((0, "doc"), (1, "b"))}
+        component = make_component((0, "doc"), edges, {(1, "a")})
+        assert ((0, "doc"), (1, "b")) not in component.edges
+
+    def test_nodes(self, universe, root):
+        stepped = child_step(root, universe)
+        assert (0, "doc") in stepped.nodes()
+        assert (1, "a") in stepped.nodes()
+
+    def test_enumeration_cap(self, d1_dtd):
+        universe = Universe(d1_dtd, depth_cap=30)
+        component = descendant_step(
+            singleton_component(universe.root()), universe, or_self=True
+        )
+        with pytest.raises(ChainExplosion):
+            component.enumerate_chains(limit=50)
+
+
+class TestSteps:
+    def test_child(self, universe, root):
+        stepped = child_step(root, universe)
+        assert stepped.enumerate_chains() == {("doc", "a"), ("doc", "b")}
+
+    def test_child_twice(self, universe, root):
+        stepped = child_step(child_step(root, universe), universe)
+        assert stepped.enumerate_chains() == {
+            ("doc", "a", "c"), ("doc", "b", "c")
+        }
+
+    def test_descendant(self, universe, root):
+        stepped = descendant_step(root, universe, or_self=False)
+        assert stepped.enumerate_chains() == {
+            ("doc", "a"), ("doc", "b"), ("doc", "a", "c"), ("doc", "b", "c")
+        }
+
+    def test_descendant_or_self(self, universe, root):
+        stepped = descendant_step(root, universe, or_self=True)
+        assert ("doc",) in stepped.enumerate_chains()
+
+    def test_parent(self, universe, root):
+        down = child_step(child_step(root, universe), universe)
+        up = parent_step(down)
+        assert up.enumerate_chains() == {("doc", "a"), ("doc", "b")}
+
+    def test_parent_of_root_is_empty(self, root):
+        assert parent_step(root).is_empty()
+
+    def test_ancestor(self, universe, root):
+        down = child_step(child_step(root, universe), universe)
+        up = ancestor_step(down, or_self=False)
+        assert up.enumerate_chains() == {
+            ("doc",), ("doc", "a"), ("doc", "b")
+        }
+
+    def test_ancestor_or_self(self, universe, root):
+        down = child_step(root, universe)
+        up = ancestor_step(down, or_self=True)
+        assert up.enumerate_chains() == {
+            ("doc",), ("doc", "a"), ("doc", "b")
+        }
+
+    def test_sibling_following(self, sibling_dtd):
+        """Over {a<-(b,f*)}: following-siblings of b chains are f chains."""
+        universe = Universe(sibling_dtd, depth_cap=5)
+        root = singleton_component(universe.root())
+        b_chains = restrict_to_ends(
+            child_step(root, universe), {(1, "b")}
+        )
+        siblings = sibling_step(b_chains, universe, following=True)
+        assert siblings.enumerate_chains() == {("a", "f")}
+
+    def test_sibling_preceding(self, sibling_dtd):
+        universe = Universe(sibling_dtd, depth_cap=5)
+        root = singleton_component(universe.root())
+        f_chains = restrict_to_ends(
+            child_step(root, universe), {(1, "f")}
+        )
+        siblings = sibling_step(f_chains, universe, following=False)
+        # b before f, and f* allows f before f.
+        assert siblings.enumerate_chains() == {("a", "b"), ("a", "f")}
+
+    def test_depth_cap_limits_descendants(self, d1_dtd):
+        universe = Universe(d1_dtd, depth_cap=3)
+        closure = descendant_step(
+            singleton_component(universe.root()), universe, or_self=False
+        )
+        assert all(len(c) <= 3 for c in closure.enumerate_chains())
+
+
+class TestShiftAndGraft:
+    def test_shift(self, root, universe):
+        stepped = child_step(root, universe)
+        shifted = shift_component(stepped, 2)
+        assert shifted.root == (2, "doc")
+        assert all(e[0] >= 2 for e in shifted.ends)
+
+    def test_graft_concatenates(self, universe):
+        prefix = child_step(singleton_component(universe.root()), universe)
+        prefix = restrict_to_ends(prefix, {(1, "a")})
+        suffix = singleton_component((0, "x"))
+        full = graft(prefix, (1, "a"), suffix)
+        assert full.enumerate_chains() == {("doc", "a", "x")}
+
+    def test_graft_empty_suffix(self, root):
+        from repro.analysis.cdag import EMPTY_COMPONENT
+
+        assert graft(root, (0, "doc"), EMPTY_COMPONENT).is_empty()
+
+
+class TestConflicts:
+    def _chains_component(self, universe, *dotted):
+        """Build a component denoting exactly the given chains."""
+        edges = set()
+        ends = set()
+        for text in dotted:
+            parts = text.split(".")
+            for i in range(len(parts) - 1):
+                edges.add(((i, parts[i]), (i + 1, parts[i + 1])))
+            ends.add((len(parts) - 1, parts[-1]))
+        return make_component((0, dotted[0].split(".")[0]), edges, ends)
+
+    def test_disjoint_chains_no_conflict(self, universe):
+        q = self._chains_component(universe, "doc.a.c")
+        u = self._chains_component(universe, "doc.b.c")
+        assert not components_conflict(q, u)
+        assert not components_conflict(u, q)
+
+    def test_equal_chain_conflicts(self, universe):
+        q = self._chains_component(universe, "doc.a.c")
+        assert components_conflict(q, q)
+
+    def test_prefix_conflicts_one_way(self, universe):
+        short = self._chains_component(universe, "doc.a")
+        long = self._chains_component(universe, "doc.a.c")
+        assert components_conflict(short, long)
+        assert not components_conflict(long, short)
+
+    def test_root_chain_conflicts_with_everything(self, universe):
+        root_chain = self._chains_component(universe, "doc")
+        other = self._chains_component(universe, "doc.b.c")
+        assert components_conflict(root_chain, other)
+
+    def test_different_roots_never_conflict(self, universe):
+        a = self._chains_component(universe, "doc.a")
+        b = self._chains_component(universe, "other.a")
+        assert not components_conflict(a, b)
+
+    def test_witness(self, universe):
+        short = self._chains_component(universe, "doc.a")
+        long = self._chains_component(universe, "doc.a.c")
+        assert conflict_witness(short, long) == ("doc", "a")
+        assert conflict_witness(long, short) is None
+
+    def test_figure2_no_artifact(self):
+        """Figure 2: merging q1's chains must not fabricate a.b.c.f."""
+        universe = None  # not needed for raw components
+        q1 = self._chains_component(universe, "a.b.c.e", "a.d.c.e")
+        q2 = self._chains_component(universe, "a.d.c.f")
+        # a.b.c.f is not in either component's language.
+        assert ("a", "b", "c", "f") not in q1.enumerate_chains()
+        assert ("a", "b", "c", "f") not in q2.enumerate_chains()
+        # And the two components do not conflict (no chain of one prefixes
+        # a chain of the other: they diverge at depth 3 / depth 1).
+        assert not components_conflict(q1, q2)

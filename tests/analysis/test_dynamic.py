@@ -1,0 +1,72 @@
+"""Dynamic (semantic) independence oracle."""
+
+from repro.analysis.dynamic import (
+    differs_on,
+    dynamic_independent,
+    dynamic_independent_generated,
+)
+from repro.xmldm import parse_xml, serialize
+from repro.xquery.parser import parse_query
+from repro.xupdate.parser import parse_update
+
+
+class TestDiffersOn:
+    def test_detects_change(self, figure1_tree):
+        assert differs_on(
+            parse_query("//c"), parse_update("delete //a//c"),
+            figure1_tree,
+        )
+
+    def test_detects_no_change(self, figure1_tree):
+        assert not differs_on(
+            parse_query("//a//c"), parse_update("delete //b//c"),
+            figure1_tree,
+        )
+
+    def test_original_untouched(self, figure1_tree):
+        before = serialize(figure1_tree.store, figure1_tree.root)
+        differs_on(parse_query("//c"), parse_update("delete //c"),
+                   figure1_tree)
+        assert serialize(figure1_tree.store, figure1_tree.root) == before
+
+    def test_failing_update_is_noop(self, figure1_tree):
+        """Multi-node rename target raises -> treated as no change."""
+        assert not differs_on(
+            parse_query("//c"), parse_update("rename //a as z"),
+            figure1_tree,
+        )
+
+    def test_order_sensitive_change(self):
+        tree = parse_xml("<doc><a><c/></a><b><c/></b></doc>")
+        # Inserting before b shifts b's preceding siblings.
+        assert differs_on(
+            parse_query("/doc/b/preceding-sibling::node()"),
+            parse_update("insert <a><c/></a> before /doc/b"),
+            tree,
+        )
+
+
+class TestVerdicts:
+    def test_witness_index_reported(self, doc_dtd):
+        trees = [
+            parse_xml("<doc/>"),
+            parse_xml("<doc><a><c/></a></doc>"),
+        ]
+        verdict = dynamic_independent("//a//c", "delete //a//c", trees)
+        assert not verdict.independent
+        assert verdict.witness_index == 1
+        assert verdict.documents_tested == 2
+
+    def test_independent_scans_all(self, doc_dtd):
+        trees = [parse_xml("<doc/>")] * 3
+        verdict = dynamic_independent("//a//c", "delete //b//c", trees)
+        assert verdict.independent
+        assert verdict.documents_tested == 3
+        assert bool(verdict)
+
+    def test_generated_corpus(self, doc_dtd):
+        verdict = dynamic_independent_generated(
+            "//a//c", "delete //a//c", doc_dtd, documents=6,
+            target_bytes=500,
+        )
+        assert not verdict.independent

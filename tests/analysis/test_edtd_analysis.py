@@ -1,0 +1,70 @@
+"""Independence analysis over Extended DTDs (Section 7).
+
+The killer case for EDTDs: two types with the same label but different
+content models.  A DTD must merge their content (losing precision); an
+EDTD keeps them apart, so the chain analysis can separate ``a`` elements
+below ``r1`` from ``a`` elements below ``r2`` even though they carry the
+same label.
+"""
+
+import pytest
+
+from repro.analysis.baseline import baseline_analyze
+from repro.analysis.independence import analyze, is_independent
+from repro.schema import DTD, EDTD
+
+
+@pytest.fixture()
+def schema() -> EDTD:
+    """root -> (r1, r2); r1's a-children contain b, r2's contain c."""
+    core = DTD.from_dict(
+        "root",
+        {
+            "root": "(r1, r2)",
+            "r1": "a1*",
+            "r2": "a2*",
+            "a1": "b",
+            "a2": "c",
+            "b": "(#PCDATA)",
+            "c": "(#PCDATA)",
+        },
+    )
+    return EDTD(
+        core,
+        {"root": "root", "r1": "r1", "r2": "r2", "a1": "a", "a2": "a",
+         "b": "b", "c": "c"},
+    )
+
+
+class TestEDTDAnalysis:
+    def test_same_label_different_context_independent(self, schema):
+        """//r1//a vs deleting r2's a elements: type chains diverge at
+        r1/r2, even though both ends are labeled 'a'."""
+        assert is_independent("//r1//a", "delete //r2/a", schema)
+
+    def test_same_label_same_context_dependent(self, schema):
+        assert not is_independent("//r1/a", "delete //r1/a", schema)
+
+    def test_label_level_query_spans_both_types(self, schema):
+        """//a touches both a1 and a2 chains: depends on either delete."""
+        assert not is_independent("//a", "delete //r1/a", schema)
+        assert not is_independent("//a", "delete //r2/a", schema)
+
+    def test_content_distinguishes_types(self, schema):
+        """//a/b only matches a1 elements (a2 has c content)."""
+        assert is_independent("//a/b", "delete //a/c", schema)
+
+    def test_report_runs(self, schema):
+        report = analyze("//a/b", "delete //a/c", schema)
+        assert report.independent
+        assert report.k >= 1
+
+    def test_baseline_works_on_edtd(self, schema):
+        report = baseline_analyze("//r1/a", "delete //r2/a", schema)
+        # Type-level: a1 vs a2 are distinct types, so even the baseline
+        # separates them (EDTD types are the alphabet).
+        assert report.independent
+
+    def test_baseline_label_matching(self, schema):
+        report = baseline_analyze("//a", "delete //r1/a", schema)
+        assert not report.independent

@@ -1,0 +1,179 @@
+"""Query chain inference (Table 1) against explicitly expected chain sets."""
+
+import pytest
+
+from repro.analysis.cdag import Universe
+from repro.analysis.independence import build_universe, chains_of
+from repro.analysis.infer_query import QueryInference
+from repro.xquery.ast import ROOT_VAR
+from repro.xquery.parser import parse_query
+
+
+def infer(text: str, schema, k: int = 3):
+    engine = QueryInference(build_universe(schema, k))
+    result = engine.infer_root(parse_query(text), ROOT_VAR)
+    return (
+        chains_of(result.returns),
+        chains_of(result.used),
+        chains_of(result.elements),
+    )
+
+
+class TestSteps:
+    def test_root_self(self, doc_dtd):
+        returns, used, elements = infer("/doc", doc_dtd)
+        assert returns == {("doc",)}
+        assert used == set()
+        assert elements == set()
+
+    def test_child(self, doc_dtd):
+        returns, _, _ = infer("/doc/a", doc_dtd)
+        assert returns == {("doc", "a")}
+
+    def test_paper_q1_chains(self, doc_dtd):
+        """Section 1: //a//c infers chain doc.a.c."""
+        returns, used, _ = infer("//a//c", doc_dtd)
+        assert returns == {("doc", "a", "c")}
+        # Iterated context chains become used (FOR rule).
+        assert used == {("doc",), ("doc", "a")}
+
+    def test_paper_u1_path(self, doc_dtd):
+        returns, _, _ = infer("//b//c", doc_dtd)
+        assert returns == {("doc", "b", "c")}
+
+    def test_bib_title(self, bib):
+        """Section 1: //title infers bib.book.title."""
+        returns, used, _ = infer("//title", bib)
+        assert returns == {("bib", "book", "title")}
+        # Only book ends can produce a title child, so of all the
+        # //node() iteration chains only bib.book becomes used.
+        assert used == {("bib", "book")}
+
+    def test_descendant_step_produces_used(self, doc_dtd):
+        """(STEPUH) applies to descendant (it is not in the STEPF list)."""
+        returns, used, _ = infer("/descendant::c", doc_dtd)
+        assert returns == {("doc", "a", "c"), ("doc", "b", "c")}
+        assert used == {("doc",)}
+
+    def test_ancestor_used_chains(self, doc_dtd):
+        returns, used, _ = infer("//c/ancestor::a", doc_dtd)
+        assert returns == {("doc", "a")}
+        assert ("doc", "a", "c") in used
+
+
+class TestForFiltering:
+    def test_filter_keeps_productive_only(self, doc_dtd):
+        """Section 3.2's example: for x in //node() return if x/b then x/a
+        only keeps used chains leading to an a or b child."""
+        returns, used, _ = infer(
+            "for $x in //node() return if ($x/b) then $x/a else ()",
+            doc_dtd,
+        )
+        # Only the doc node can have a- or b-children, so of all the
+        # //node() chains only ("doc",) survives as used.
+        assert ("doc",) in used
+        assert ("doc", "a", "c") not in used
+        assert ("doc", "b", "c") not in used
+
+    def test_unproductive_iteration_drops_source(self, doc_dtd):
+        returns, used, _ = infer(
+            "for $x in //c return $x/zzz", doc_dtd
+        )
+        assert returns == set()
+        # No c chain can produce a zzz child: nothing becomes used.
+        assert all(c[-1] != "c" for c in used)
+
+    def test_string_body_keeps_everything(self, doc_dtd):
+        _, used, elements = infer('for $x in /doc/a return "s"', doc_dtd)
+        assert ("doc", "a") in used
+        assert ("#S",) in elements
+
+    def test_if_condition_chains_are_used(self, doc_dtd):
+        _, used, _ = infer(
+            "for $x in /doc return if ($x/b) then $x/a else ()", doc_dtd
+        )
+        assert ("doc", "b") in used
+
+
+class TestLet:
+    def test_let_converts_returns_to_used(self, doc_dtd):
+        returns, used, _ = infer(
+            "let $x := /doc/b return /doc/a", doc_dtd
+        )
+        assert returns == {("doc", "a")}
+        assert ("doc", "b") in used
+
+
+class TestElementChains:
+    def test_bare_element(self, doc_dtd):
+        _, _, elements = infer("<x/>", doc_dtd)
+        assert elements == {("x",)}
+
+    def test_string_content(self, doc_dtd):
+        _, _, elements = infer("<x>hi</x>", doc_dtd)
+        assert elements == {("x", "#S")}
+
+    def test_element_over_returns_closes_descendants(self, doc_dtd):
+        _, _, elements = infer("<x>{/doc/a}</x>", doc_dtd)
+        # a's schema descendants (c) are embodied below the new x.
+        assert elements == {("x", "a"), ("x", "a", "c")}
+
+    def test_nested_elements_paper_example(self, bib):
+        """Section 3.2: q = <r1>(x/a , <r2>x/b</r2>)</r1>-style nesting
+        must not fabricate chain r1.a.b."""
+        _, _, elements = infer(
+            "for $x in /bib/book return "
+            "<r1>{($x/title, <r2>{$x/price}</r2>)}</r1>",
+            bib,
+        )
+        assert ("r1", "title") in elements
+        assert ("r1", "r2", "price") in elements
+        assert ("r1", "title", "price") not in elements
+        assert ("r1", "price") not in elements
+
+    def test_element_returns_become_used(self, doc_dtd):
+        _, used, _ = infer("<x>{/doc/a}</x>", doc_dtd)
+        # r-bar: the returned chain and its descendants are used.
+        assert ("doc", "a") in used
+        assert ("doc", "a", "c") in used
+
+    def test_author_element_chain(self, bib):
+        """Section 3: <author>q'</author> with nested first/last."""
+        _, _, elements = infer(
+            "<author>{(<first>Umberto</first>, <second>Eco</second>)}"
+            "</author>",
+            bib,
+        )
+        assert ("author", "first", "#S") in elements
+        assert ("author", "second", "#S") in elements
+
+
+class TestIfConcat:
+    def test_if_unions_branches(self, doc_dtd):
+        returns, used, _ = infer(
+            "if (/doc/b) then /doc/a else /doc/b", doc_dtd
+        )
+        assert returns == {("doc", "a"), ("doc", "b")}
+        assert ("doc", "b") in used  # condition returns
+
+    def test_concat_unions(self, doc_dtd):
+        returns, _, _ = infer("(/doc/a, /doc/b)", doc_dtd)
+        assert returns == {("doc", "a"), ("doc", "b")}
+
+
+class TestMemoization:
+    def test_memo_hit_same_query(self, doc_dtd):
+        engine = QueryInference(build_universe(doc_dtd, 2))
+        q = parse_query("//a//c")
+        first = engine.infer_root(q, ROOT_VAR)
+        second = engine.infer_root(q, ROOT_VAR)
+        assert first is second
+
+    def test_depth_cap_respected(self, d1_dtd):
+        universe = Universe(d1_dtd, depth_cap=4)
+        engine = QueryInference(universe)
+        result = engine.infer_root(parse_query("/descendant::node()"),
+                                   ROOT_VAR)
+        for component in result.returns:
+            for c in component.enumerate_chains():
+                assert len(c) <= 4

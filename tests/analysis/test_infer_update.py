@@ -1,0 +1,132 @@
+"""Update chain inference (Table 2) against expected full chains."""
+
+from repro.analysis.independence import build_universe, chains_of
+from repro.analysis.infer_query import QueryInference
+from repro.analysis.infer_update import UpdateInference
+from repro.xquery.ast import ROOT_VAR
+from repro.xupdate.parser import parse_update
+
+
+def infer(text: str, schema, k: int = 3):
+    queries = QueryInference(build_universe(schema, k))
+    engine = UpdateInference(queries)
+    return chains_of(engine.infer_root(parse_update(text), ROOT_VAR))
+
+
+class TestDelete:
+    def test_full_chain_is_target_chain(self, doc_dtd):
+        """(DELETE): delete //b//c gives update chain doc.b:c."""
+        assert infer("delete //b//c", doc_dtd) == {("doc", "b", "c")}
+
+    def test_delete_root(self, doc_dtd):
+        assert infer("delete /doc", doc_dtd) == {("doc",)}
+
+    def test_delete_empty_target(self, doc_dtd):
+        assert infer("delete /doc/zzz", doc_dtd) == set()
+
+
+class TestRename:
+    def test_old_and_new_chains(self, doc_dtd):
+        chains = infer("for $x in /doc/b return rename $x as a", doc_dtd)
+        assert ("doc", "b") in chains      # c:alpha (old)
+        assert ("doc", "a") in chains      # c:b (new tag)
+
+    def test_rename_leaf(self, doc_dtd):
+        chains = infer(
+            "for $x in /doc/a/c return rename $x as d", doc_dtd
+        )
+        assert ("doc", "a", "c") in chains
+        assert ("doc", "a", "d") in chains
+
+
+class TestInsert:
+    def test_paper_u2(self, bib):
+        """Section 3: insert <author/> into book -> bib.book:author."""
+        chains = infer(
+            "for $x in //book return insert <author/> into $x", bib
+        )
+        assert chains == {("bib", "book", "author")}
+
+    def test_nested_source_chains(self, bib):
+        """Section 3: nested construction gives bib.book:author.first.#S."""
+        chains = infer(
+            "for $x in //book return insert "
+            "<author>{(<first>Umberto</first>, <second>Eco</second>)}"
+            "</author> into $x",
+            bib,
+        )
+        # Section 3: "we end up with the following two update chains" --
+        # exactly bib.book:author.first.S and bib.book:author.second.S.
+        assert chains == {
+            ("bib", "book", "author", "first", "#S"),
+            ("bib", "book", "author", "second", "#S"),
+        }
+
+    def test_insert_before_anchors_at_parent(self, bib):
+        """(INSERT-2): siblings insert below the target's parent."""
+        chains = infer(
+            "for $x in //title return insert <author/> before $x", bib
+        )
+        assert chains == {("bib", "book", "author")}
+
+    def test_insert_input_data_closes_schema(self, doc_dtd):
+        """Inserting existing nodes: suffix closes over the schema."""
+        chains = infer(
+            "for $x in /doc/b return insert /doc/a into $x", doc_dtd
+        )
+        # a inserted below b: chains doc.b.a and the schema closure a.c.
+        assert ("doc", "b", "a") in chains
+        assert ("doc", "b", "a", "c") in chains
+
+    def test_nested_insert_recursive_schema(self):
+        """Section 5: insert <b><b><c/></b></b> into /a/b children gives
+        the chain a.b:b.b.c for the finite analysis."""
+        from repro.schema import DTD
+
+        dtd = DTD.from_dict("a", {"a": "b", "b": "(b?, c?)", "c": "EMPTY"})
+        chains = infer(
+            "for $x in /a/b return insert <b><b><c/></b></b> into $x",
+            dtd,
+        )
+        assert ("a", "b", "b", "b", "c") in chains
+
+
+class TestReplace:
+    def test_replace_chains(self, bib):
+        chains = infer(
+            "for $x in /bib/book/price return replace $x with <price/>",
+            bib,
+        )
+        # c:alpha for the replaced node, and the new content below the
+        # parent (our (REPLACE) typo fix).
+        assert ("bib", "book", "price") in chains
+
+    def test_replace_new_content_at_parent_level(self, bib):
+        chains = infer(
+            "for $x in /bib/book/price return replace $x with <title/>",
+            bib,
+        )
+        assert ("bib", "book", "title") in chains
+        # Not below the replaced node itself:
+        assert ("bib", "book", "price", "title") not in chains
+
+
+class TestComposition:
+    def test_sequence_unions(self, doc_dtd):
+        chains = infer("delete //a//c, delete //b//c", doc_dtd)
+        assert chains == {("doc", "a", "c"), ("doc", "b", "c")}
+
+    def test_if_unions_branches(self, doc_dtd):
+        chains = infer(
+            "if (/doc/b) then delete /doc/b else delete /doc/a", doc_dtd
+        )
+        assert chains == {("doc", "a"), ("doc", "b")}
+
+    def test_let_binding(self, doc_dtd):
+        chains = infer(
+            "let $x := /doc/b return delete $x/c", doc_dtd
+        )
+        assert chains == {("doc", "b", "c")}
+
+    def test_empty_update(self, doc_dtd):
+        assert infer("()", doc_dtd) == set()

@@ -1,0 +1,112 @@
+"""Multiplicity bounds F, R and k (Section 5, Table 3) -- paper examples."""
+
+from repro.analysis.kbound import (
+    multiplicity,
+    pair_multiplicity,
+    recursive_steps,
+    tag_frequency,
+)
+from repro.xquery.parser import parse_query
+from repro.xupdate.parser import parse_update
+
+
+class TestPaperExamples:
+    def test_child_path_frequency(self):
+        """Section 5: for /r/a/b/f/a maximal tag frequency is 2."""
+        q = parse_query("/r/a/b/f/a")
+        assert tag_frequency("a", q) == 2
+        assert tag_frequency("b", q) == 1
+        assert recursive_steps(q) == 0
+        assert multiplicity(q) == 2
+
+    def test_parent_step_keeps_k2(self):
+        """Section 5: /r/a/b/f/a/parent::f also has k=2."""
+        q = parse_query("/r/a/b/f/a/parent::f")
+        assert multiplicity(q) == 2
+
+    def test_wildcard_counts_every_tag(self):
+        """Section 5: /r/a/b/f/* has kp=2 (the wildcard stands for any
+        label)."""
+        q = parse_query("/r/a/b/f/*")
+        assert multiplicity(q) == 2
+
+    def test_three_descendants(self):
+        """Section 5: /descendant::b/descendant::c/descendant::e -> kp=3."""
+        q = parse_query("/descendant::b/descendant::c/descendant::e")
+        assert recursive_steps(q) == 3
+        assert tag_frequency("b", q) == 0
+        assert multiplicity(q) == 3
+
+    def test_mixed_recursive_and_child(self):
+        """Section 5: /descendant::b/a/b -> kp=2 (freq 1 + 1 recursive)."""
+        q = parse_query("/descendant::b/a/b")
+        assert multiplicity(q) == 2
+
+    def test_descendant_then_ancestor(self):
+        """Section 5: /descendant::b/ancestor::c -> two recursive steps."""
+        q = parse_query("/descendant::b/ancestor::c")
+        assert recursive_steps(q) == 2
+        assert multiplicity(q) == 2
+
+    def test_for_sums_frequencies(self):
+        """Section 5's q': nested fors over /a/a and /a/b give F(a)=3."""
+        q = parse_query(
+            "for $x in /a/a return for $y in /a/b return ($x, $y)"
+        )
+        # /a/a contributes 2, /a/b contributes 1; for-nesting sums, and
+        # the bare-variable desugaring ($x -> self::node()) adds 1 more.
+        assert tag_frequency("a", q) >= 3
+
+    def test_nested_insert_example(self):
+        """Section 5: insert <b><b><c/></b></b> into /a/b children gives
+        k_u=3 (two constructed b's plus the b step)."""
+        u = parse_update(
+            "for $x in /a/b return insert <b><b><c/></b></b> into $x"
+        )
+        assert tag_frequency("b", u) == 3
+        assert multiplicity(u) >= 3
+
+    def test_rename_counts_new_tag(self):
+        u = parse_update("for $x in /a/b return rename $x as a")
+        # target path /a/b has F(a)=1, rename-as-a adds 1.
+        assert tag_frequency("a", u) == 2
+
+
+class TestStructuralRules:
+    def test_concat_takes_max(self):
+        q = parse_query("(/a/a, /a)")
+        assert tag_frequency("a", q) == 2
+
+    def test_if_takes_max(self):
+        q = parse_query("if (/a/a) then /a else /a/a/a")
+        assert tag_frequency("a", q) == 3
+
+    def test_recursive_axis_has_zero_frequency(self):
+        q = parse_query("/descendant::a")
+        assert tag_frequency("a", q) == 0
+        assert recursive_steps(q) == 1
+
+    def test_element_construction_counts(self):
+        q = parse_query("<a><a/></a>")
+        assert tag_frequency("a", q) == 2
+
+    def test_empty_and_string(self):
+        assert multiplicity(parse_query("()")) == 0
+        assert multiplicity(parse_query('"s"')) == 0
+
+    def test_pair_multiplicity_at_least_one(self):
+        assert pair_multiplicity(parse_query("()"),
+                                 parse_update("()")) == 1
+
+    def test_pair_multiplicity_sums(self):
+        q = parse_query("/descendant::b")
+        u = parse_update("delete /descendant::c")
+        assert pair_multiplicity(q, u) == 2
+
+    def test_delete_uses_target(self):
+        u = parse_update("delete /a/a")
+        assert tag_frequency("a", u) == 2
+
+    def test_replace_sums_target_and_source(self):
+        u = parse_update("replace /a/a with <a/>")
+        assert tag_frequency("a", u) == 3

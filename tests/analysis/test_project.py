@@ -1,0 +1,103 @@
+"""Empirical check of Theorem 3.2: chain-driven projection preserves
+query answers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.project import project_for_query
+from repro.schema import bib_dtd, paper_doc_dtd, xmark_dtd
+from repro.xmldm import generate_document, sequences_equivalent
+from repro.xquery import ROOT_VAR, evaluate_query, parse_query
+
+#: Queries spanning all chain classes: downward, upward, horizontal,
+#: conditional, constructing.
+_QUERIES = [
+    "//a//c",
+    "//b//c",
+    "/doc/a",
+    "/descendant::c",
+    "//c/parent::node()",
+    "//c/ancestor::node()",
+    "for $x in /doc return if ($x/b) then $x/a else ()",
+    "for $x in //a return <wrap>{$x/c}</wrap>",
+]
+
+_BIB_QUERIES = [
+    "//title",
+    "//author/last",
+    "/bib/book[author]/title",
+    "//last/parent::author",
+    "//title/following-sibling::node()",
+    "for $b in /bib/book return if ($b/editor) then $b/title else ()",
+]
+
+
+def _answers_equal(query_text, tree, projected):
+    query = parse_query(query_text)
+    original = evaluate_query(query, tree.store, {ROOT_VAR: [tree.root]})
+    shrunk = evaluate_query(query, projected.store,
+                            {ROOT_VAR: [projected.root]})
+    return sequences_equivalent(tree.store, original,
+                                projected.store, shrunk)
+
+
+class TestTheorem32:
+    @pytest.mark.parametrize("query_text", _QUERIES)
+    def test_projection_preserves_answer_doc_dtd(self, query_text):
+        dtd = paper_doc_dtd()
+        tree = generate_document(dtd, 1200, seed=11)
+        projected = project_for_query(query_text, tree, dtd)
+        assert _answers_equal(query_text, tree, projected)
+
+    @pytest.mark.parametrize("query_text", _BIB_QUERIES)
+    def test_projection_preserves_answer_bib(self, query_text):
+        dtd = bib_dtd()
+        tree = generate_document(dtd, 3000, seed=13)
+        projected = project_for_query(query_text, tree, dtd)
+        assert _answers_equal(query_text, tree, projected)
+
+    def test_projection_actually_shrinks(self):
+        dtd = bib_dtd()
+        tree = generate_document(dtd, 4000, seed=17)
+        projected = project_for_query("//title", tree, dtd)
+        assert projected.size() < tree.size()
+
+    def test_projection_on_xmark(self):
+        dtd = xmark_dtd()
+        tree = generate_document(dtd, 15_000, seed=19)
+        for query_text in ("/site/people/person/name",
+                           "/site/regions//item/name"):
+            projected = project_for_query(query_text, tree, dtd)
+            assert _answers_equal(query_text, tree, projected)
+            assert projected.size() <= tree.size()
+
+    def test_huge_chain_sets_fall_back_to_identity(self):
+        from repro.bench.rbench import recursive_schema
+
+        dtd = recursive_schema(4)
+        tree = generate_document(dtd, 800, seed=23)
+        projected = project_for_query("/descendant::node()", tree, dtd,
+                                      k=6)
+        # Enumeration explodes -> sound no-op.
+        assert projected.size() == tree.size()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 300),
+       query_text=st.sampled_from(_QUERIES))
+def test_projection_soundness_property(seed, query_text):
+    dtd = paper_doc_dtd()
+    tree = generate_document(dtd, 900, seed=seed)
+    projected = project_for_query(query_text, tree, dtd)
+    assert _answers_equal(query_text, tree, projected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 300),
+       query_text=st.sampled_from(_BIB_QUERIES))
+def test_projection_soundness_property_bib(seed, query_text):
+    dtd = bib_dtd()
+    tree = generate_document(dtd, 1500, seed=seed)
+    projected = project_for_query(query_text, tree, dtd)
+    assert _answers_equal(query_text, tree, projected)

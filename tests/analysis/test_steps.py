@@ -1,0 +1,158 @@
+"""Step inference AC/TC over components, against explicit chain sets."""
+
+import pytest
+
+from repro.analysis.cdag import Universe, singleton_component
+from repro.analysis.steps import (
+    productive_ends,
+    step_on_component,
+)
+from repro.xquery.ast import (
+    Axis,
+    NameTest,
+    NodeKindTest,
+    TextTest,
+    WildcardTest,
+)
+
+
+@pytest.fixture()
+def doc_universe(doc_dtd):
+    return Universe(doc_dtd, depth_cap=4)
+
+
+@pytest.fixture()
+def doc_root(doc_universe):
+    return singleton_component(doc_universe.root())
+
+
+def chains(component):
+    return component.enumerate_chains()
+
+
+class TestAC_TC:
+    def test_child_with_name_test(self, doc_universe, doc_root):
+        result = step_on_component(
+            doc_root, Axis.CHILD, NameTest("a"), doc_universe
+        )
+        assert chains(result) == {("doc", "a")}
+
+    def test_child_no_match(self, doc_universe, doc_root):
+        result = step_on_component(
+            doc_root, Axis.CHILD, NameTest("c"), doc_universe
+        )
+        assert result.is_empty()
+
+    def test_descendant_name(self, doc_universe, doc_root):
+        result = step_on_component(
+            doc_root, Axis.DESCENDANT, NameTest("c"), doc_universe
+        )
+        assert chains(result) == {("doc", "a", "c"), ("doc", "b", "c")}
+
+    def test_self_node(self, doc_universe, doc_root):
+        result = step_on_component(
+            doc_root, Axis.SELF, NodeKindTest(), doc_universe
+        )
+        assert chains(result) == {("doc",)}
+
+    def test_self_name_mismatch(self, doc_universe, doc_root):
+        result = step_on_component(
+            doc_root, Axis.SELF, NameTest("a"), doc_universe
+        )
+        assert result.is_empty()
+
+    def test_wildcard_excludes_text(self, doc_dtd):
+        text_dtd_universe = Universe(doc_dtd, depth_cap=4)
+        root = singleton_component(text_dtd_universe.root())
+        all_nodes = step_on_component(
+            root, Axis.DESCENDANT_OR_SELF, NodeKindTest(),
+            text_dtd_universe,
+        )
+        elements_only = step_on_component(
+            root, Axis.DESCENDANT_OR_SELF, WildcardTest(),
+            text_dtd_universe,
+        )
+        assert chains(elements_only) <= chains(all_nodes)
+
+    def test_text_test(self, bib):
+        universe = Universe(bib, depth_cap=5)
+        root = singleton_component(universe.root())
+        titles = step_on_component(
+            step_on_component(root, Axis.DESCENDANT, NameTest("title"),
+                              universe),
+            Axis.CHILD, TextTest(), universe,
+        )
+        assert chains(titles) == {("bib", "book", "title", "#S")}
+
+    def test_paper_sibling_example(self, sibling_dtd):
+        """Section 3.2: over {a <- (b+, c*)} ... /a/b/following-sibling::c
+        has used chain a.b and return chain a.c."""
+        dtd_universe = Universe(
+            __import__("repro.schema", fromlist=["DTD"]).DTD.from_dict(
+                "a", {"a": "(b+, c*)", "b": "EMPTY", "c": "EMPTY"}
+            ),
+            depth_cap=3,
+        )
+        root = singleton_component(dtd_universe.root())
+        b_chains = step_on_component(root, Axis.CHILD, NameTest("b"),
+                                     dtd_universe)
+        result = step_on_component(
+            b_chains, Axis.FOLLOWING_SIBLING, NameTest("c"), dtd_universe
+        )
+        assert chains(result) == {("a", "c")}
+        good = productive_ends(b_chains, Axis.FOLLOWING_SIBLING,
+                               NameTest("c"), dtd_universe)
+        assert good == frozenset({(1, "b")})
+
+
+class TestProductiveEnds:
+    def test_child_productive(self, doc_universe, doc_root):
+        import repro.analysis.cdag as cdag
+
+        all_chains = cdag.descendant_step(doc_root, doc_universe,
+                                          or_self=True)
+        good = productive_ends(all_chains, Axis.CHILD, NameTest("c"),
+                               doc_universe)
+        # Only a- and b-ends have a c child.
+        assert {n[1] for n in good} == {"a", "b"}
+
+    def test_descendant_productive(self, doc_universe, doc_root):
+        good = productive_ends(doc_root, Axis.DESCENDANT, NameTest("c"),
+                               doc_universe)
+        assert good == frozenset({(0, "doc")})
+
+    def test_descendant_unproductive(self, doc_universe, doc_root):
+        good = productive_ends(doc_root, Axis.DESCENDANT, NameTest("zzz"),
+                               doc_universe)
+        assert good == frozenset()
+
+    def test_self_productive(self, doc_universe, doc_root):
+        assert productive_ends(
+            doc_root, Axis.SELF, NameTest("doc"), doc_universe
+        ) == frozenset({(0, "doc")})
+
+    def test_parent_productive(self, doc_universe, doc_root):
+        import repro.analysis.cdag as cdag
+
+        down = cdag.child_step(doc_root, doc_universe)
+        good = productive_ends(down, Axis.PARENT, NameTest("doc"),
+                               doc_universe)
+        assert good == down.ends
+
+    def test_ancestor_productive(self, doc_universe, doc_root):
+        import repro.analysis.cdag as cdag
+
+        down = cdag.child_step(cdag.child_step(doc_root, doc_universe),
+                               doc_universe)
+        good = productive_ends(down, Axis.ANCESTOR, NameTest("doc"),
+                               doc_universe)
+        assert good == down.ends
+        none = productive_ends(down, Axis.ANCESTOR, NameTest("zzz"),
+                               doc_universe)
+        assert none == frozenset()
+
+    def test_root_has_no_siblings(self, doc_universe, doc_root):
+        good = productive_ends(
+            doc_root, Axis.FOLLOWING_SIBLING, NodeKindTest(), doc_universe
+        )
+        assert good == frozenset()

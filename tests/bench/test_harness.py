@@ -1,0 +1,77 @@
+"""Smoke tests for the Figure 3 experiment harness (reduced parameters)."""
+
+import io
+
+import pytest
+
+from repro.bench.harness import (
+    PairGrid,
+    compute_grid,
+    run_fig3b,
+    run_fig3c,
+    run_fig3d,
+)
+
+
+@pytest.fixture(scope="module")
+def grid() -> PairGrid:
+    return compute_grid()
+
+
+class TestGrid:
+    def test_covers_all_pairs(self, grid):
+        assert len(grid.chains_independent) == 31 * 36
+        assert len(grid.types_independent) == 31 * 36
+
+    def test_chains_dominate_types(self, grid):
+        """Figure 3.b's headline: [6] is always outperformed by chains."""
+        for pair, type_independent in grid.types_independent.items():
+            if type_independent:
+                assert grid.chains_independent[pair], pair
+
+    def test_timings_recorded(self, grid):
+        assert len(grid.chains_seconds) == 31
+        assert all(t > 0 for t in grid.chains_seconds.values())
+
+    def test_chains_detect_most_up_updates(self, grid):
+        """Replace updates target narrow paths: chains should clear
+        almost all views."""
+        for update in ("UP2", "UP4", "UP5"):
+            detected = sum(
+                1 for (u, v), ind in grid.chains_independent.items()
+                if u == update and ind
+            )
+            assert detected >= 30, update
+
+
+class TestExperiments:
+    def test_fig3b_output(self, grid):
+        # Tiny synthetic ground truth: everything independent.
+        truth = {pair: True for pair in grid.chains_independent}
+        out = io.StringIO()
+        results = run_fig3b(grid, truth, out=out)
+        assert len(results) == 31
+        for chains_pct, types_pct in results.values():
+            assert 0 <= types_pct <= chains_pct <= 100
+
+    def test_fig3c_savings_shape(self, grid):
+        out = io.StringIO()
+        results = run_fig3c(grid, scales=(("tiny", 8_000),), out=out)
+        averages = results["tiny"]
+        # The paper's fig 3.c shape: full > types-guided > chains-guided.
+        assert averages["full"] > averages["types"] > averages["chains"]
+
+    def test_fig3d_reduced_sweep(self):
+        out = io.StringIO()
+        points = run_fig3d(
+            out=out,
+            schema_sizes=(1, 3),
+            path_lengths=(1, 3),
+            k_offsets=(0,),
+            include_xmark=False,
+        )
+        assert len(points) == 4
+        assert all(p.seconds >= 0 for p in points)
+        # Inference time grows with schema size at fixed m (shape check).
+        by_config = {(p.n, p.m): p.seconds for p in points}
+        assert by_config[(3, 3)] >= by_config[(1, 1)]

@@ -1,0 +1,152 @@
+"""Benchmark workloads: 36 views, 31 updates, rich document, R-benchmark."""
+
+import pytest
+
+from repro.bench.rbench import descendant_path, recursive_schema
+from repro.bench.updates import (
+    ALL_UPDATES,
+    parsed_updates,
+    update_names,
+)
+from repro.bench.views import (
+    ALL_VIEWS,
+    XMARK_VIEWS,
+    XPATHMARK_A_VIEWS,
+    XPATHMARK_B_VIEWS,
+    parsed_views,
+    view_names,
+)
+from repro.bench.xmark_data import rich_xmark_document
+from repro.xmldm import validate
+from repro.xquery import ROOT_VAR, evaluate_query
+from repro.xquery.ast import Axis, Query, Step
+from repro.xupdate.ast import Delete, Insert, Rename, Replace, UFor
+
+
+class TestViews:
+    def test_thirty_six_views(self):
+        assert len(ALL_VIEWS) == 36
+        assert len(XMARK_VIEWS) == 20
+        assert len(XPATHMARK_A_VIEWS) == 8
+        assert len(XPATHMARK_B_VIEWS) == 8
+
+    def test_all_views_parse(self):
+        views = parsed_views()
+        assert all(isinstance(q, Query) for q in views.values())
+
+    def test_a_views_downward_only(self):
+        downward = {Axis.SELF, Axis.CHILD, Axis.DESCENDANT,
+                    Axis.DESCENDANT_OR_SELF}
+
+        def axes(q):
+            if isinstance(q, Step):
+                yield q.axis
+            for field in ("left", "right", "cond", "then", "orelse",
+                          "source", "body", "content", "target"):
+                child = getattr(q, field, None)
+                if isinstance(child, Query):
+                    yield from axes(child)
+
+        for name in XPATHMARK_A_VIEWS:
+            assert set(axes(parsed_views()[name])) <= downward, name
+
+    def test_b_views_use_other_axes(self):
+        downward = {Axis.SELF, Axis.CHILD, Axis.DESCENDANT,
+                    Axis.DESCENDANT_OR_SELF}
+
+        def axes(q):
+            if isinstance(q, Step):
+                yield q.axis
+            for field in ("left", "right", "cond", "then", "orelse",
+                          "source", "body", "content", "target"):
+                child = getattr(q, field, None)
+                if isinstance(child, Query):
+                    yield from axes(child)
+
+        count = sum(
+            1 for name in XPATHMARK_B_VIEWS
+            if set(axes(parsed_views()[name])) - downward
+        )
+        assert count == len(XPATHMARK_B_VIEWS)
+
+    def test_view_names_order(self):
+        names = view_names()
+        assert names[0] == "q1"
+        assert names[-1] == "B8"
+
+
+class TestUpdates:
+    def test_thirty_one_updates(self):
+        assert len(ALL_UPDATES) == 31
+
+    def test_groups(self):
+        names = update_names()
+        assert sum(1 for n in names if n.startswith("UA")) == 8
+        assert sum(1 for n in names if n.startswith("UB")) == 8
+        assert sum(1 for n in names if n.startswith("UI")) == 5
+        assert sum(1 for n in names if n.startswith("UN")) == 5
+        assert sum(1 for n in names if n.startswith("UP")) == 5
+
+    def test_all_updates_parse(self):
+        updates = parsed_updates()
+        assert len(updates) == 31
+
+    def test_operator_kinds(self):
+        updates = parsed_updates()
+
+        def core_op(u):
+            while isinstance(u, UFor):
+                u = u.body
+            return u
+
+        for name, update in updates.items():
+            op = core_op(update)
+            if name.startswith(("UA", "UB")):
+                assert isinstance(op, Delete), name
+            elif name.startswith("UI"):
+                assert isinstance(op, Insert), name
+            elif name.startswith("UN"):
+                assert isinstance(op, Rename), name
+            else:
+                assert isinstance(op, Replace), name
+
+
+class TestRichDocument:
+    def test_valid(self, xmark):
+        validate(rich_xmark_document(), xmark)
+
+    def test_every_view_nonempty(self):
+        tree = rich_xmark_document()
+        for name, view in parsed_views().items():
+            result = evaluate_query(view, tree.store,
+                                    {ROOT_VAR: [tree.root]})
+            assert result, f"view {name} empty on the rich document"
+
+    def test_fresh_copies(self):
+        one = rich_xmark_document()
+        two = rich_xmark_document()
+        one.store.rename(one.root, "zzz")
+        assert two.store.tag(two.root) == "site"
+
+
+class TestRBench:
+    def test_recursive_schema_shape(self):
+        dn = recursive_schema(3)
+        assert dn.size() == 3
+        assert dn.children_of("a2") == frozenset({"a1", "a2", "a3"})
+        assert dn.is_recursive()
+
+    def test_d1_self_recursive(self):
+        d1 = recursive_schema(1)
+        assert d1.children_of("a1") == frozenset({"a1"})
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            recursive_schema(0)
+        with pytest.raises(ValueError):
+            descendant_path(0)
+
+    def test_descendant_path_structure(self):
+        from repro.analysis.kbound import recursive_steps
+
+        assert recursive_steps(descendant_path(5)) == 5

@@ -1,0 +1,70 @@
+"""Shared fixtures: paper schemas, documents, and analysis engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.xmark_data import rich_xmark_document
+from repro.schema import (
+    DTD,
+    bib_dtd,
+    paper_d1_dtd,
+    paper_doc_dtd,
+    paper_sibling_dtd,
+    xmark_dtd,
+)
+from repro.xmldm import parse_xml
+
+
+@pytest.fixture(scope="session")
+def doc_dtd() -> DTD:
+    """Figure 1 DTD: ``{doc <- (a|b)*, a <- c, b <- c}``."""
+    return paper_doc_dtd()
+
+
+@pytest.fixture(scope="session")
+def d1_dtd() -> DTD:
+    """Section 5 recursive DTD d1."""
+    return paper_d1_dtd()
+
+
+@pytest.fixture(scope="session")
+def sibling_dtd() -> DTD:
+    """Section 5 sibling-axis schema."""
+    return paper_sibling_dtd()
+
+
+@pytest.fixture(scope="session")
+def bib() -> DTD:
+    return bib_dtd()
+
+
+@pytest.fixture(scope="session")
+def xmark() -> DTD:
+    return xmark_dtd()
+
+
+@pytest.fixture()
+def figure1_tree():
+    """The document of Figure 1."""
+    return parse_xml(
+        "<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>"
+    )
+
+
+@pytest.fixture()
+def bib_tree():
+    return parse_xml(
+        "<bib>"
+        "<book><title>T1</title><author><last>L1</last><first>F1</first>"
+        "</author><publisher>P1</publisher><price>10</price></book>"
+        "<book><title>T2</title><editor><last>L2</last><first>F2</first>"
+        "<affiliation>A2</affiliation></editor><publisher>P2</publisher>"
+        "<price>20</price></book>"
+        "</bib>"
+    )
+
+
+@pytest.fixture()
+def rich_xmark():
+    return rich_xmark_document()

@@ -1,0 +1,151 @@
+"""Glushkov automaton membership tests, incl. a brute-force property check."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema.automata import GlushkovAutomaton
+from repro.schema.regex import (
+    Alt,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Sym,
+    nullable,
+    parse_content_model,
+)
+
+
+def _auto(text: str) -> GlushkovAutomaton:
+    return GlushkovAutomaton(parse_content_model(text))
+
+
+class TestMembership:
+    def test_single_symbol(self):
+        auto = _auto("a")
+        assert auto.matches(["a"])
+        assert not auto.matches([])
+        assert not auto.matches(["b"])
+        assert not auto.matches(["a", "a"])
+
+    def test_sequence(self):
+        auto = _auto("(a, b)")
+        assert auto.matches(["a", "b"])
+        assert not auto.matches(["b", "a"])
+        assert not auto.matches(["a"])
+
+    def test_alternation(self):
+        auto = _auto("(a | b)")
+        assert auto.matches(["a"])
+        assert auto.matches(["b"])
+        assert not auto.matches(["a", "b"])
+
+    def test_star(self):
+        auto = _auto("(a | b)*")
+        assert auto.matches([])
+        assert auto.matches(["a", "b", "a", "a"])
+        assert not auto.matches(["a", "c"])
+
+    def test_plus(self):
+        auto = _auto("a+")
+        assert not auto.matches([])
+        assert auto.matches(["a"])
+        assert auto.matches(["a", "a", "a"])
+
+    def test_optional(self):
+        auto = _auto("(a, b?)")
+        assert auto.matches(["a"])
+        assert auto.matches(["a", "b"])
+        assert not auto.matches(["b"])
+
+    def test_empty_model(self):
+        auto = _auto("EMPTY")
+        assert auto.matches([])
+        assert not auto.matches(["a"])
+
+    def test_bib_book_model(self):
+        auto = _auto("(title, (author+ | editor+), publisher, price)")
+        assert auto.matches(["title", "author", "publisher", "price"])
+        assert auto.matches(
+            ["title", "author", "author", "publisher", "price"]
+        )
+        assert auto.matches(["title", "editor", "publisher", "price"])
+        assert not auto.matches(
+            ["title", "author", "editor", "publisher", "price"]
+        )
+        assert not auto.matches(["title", "publisher", "price"])
+
+    def test_xmark_person_model(self):
+        auto = _auto(
+            "(name, emailaddress, phone?, address?, homepage?, "
+            "creditcard?, profile?, watches?)"
+        )
+        assert auto.matches(["name", "emailaddress"])
+        assert auto.matches(["name", "emailaddress", "phone", "watches"])
+        assert not auto.matches(["name", "emailaddress", "watches", "phone"])
+
+    def test_accepts_empty_agrees_with_nullable(self):
+        for text in ("EMPTY", "a", "a*", "a?", "(a, b)", "(a | b)*"):
+            model = parse_content_model(text)
+            assert _auto(text).accepts_empty() == nullable(model)
+
+
+# -- property test against a brute-force regex oracle ------------------------
+
+_SYMBOLS = ["a", "b"]
+
+
+def _regexes():
+    base = st.sampled_from(_SYMBOLS).map(Sym)
+    return st.recursive(
+        base,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda p: Seq(*p)),
+            st.tuples(inner, inner).map(lambda p: Alt(*p)),
+            inner.map(Star),
+            inner.map(Plus),
+            inner.map(Opt),
+        ),
+        max_leaves=6,
+    )
+
+
+def _language_upto(model, max_len: int) -> set[tuple[str, ...]]:
+    """Brute-force enumeration of L(model) up to a word length."""
+    if isinstance(model, Sym):
+        return {(model.name,)} if max_len >= 1 else set()
+    if isinstance(model, Seq):
+        left = _language_upto(model.left, max_len)
+        right = _language_upto(model.right, max_len)
+        return {
+            l + r for l in left for r in right if len(l) + len(r) <= max_len
+        }
+    if isinstance(model, Alt):
+        return _language_upto(model.left, max_len) | _language_upto(
+            model.right, max_len
+        )
+    if isinstance(model, (Star, Plus)):
+        single = _language_upto(model.inner, max_len)
+        words = {()} if isinstance(model, Star) else set(single)
+        grown = True
+        while grown:
+            grown = False
+            for w in list(words):
+                for s in single:
+                    candidate = w + s
+                    if len(candidate) <= max_len and candidate not in words:
+                        words.add(candidate)
+                        grown = True
+        if isinstance(model, Plus):
+            words |= single
+        return words
+    if isinstance(model, Opt):
+        return {()} | _language_upto(model.inner, max_len)
+    return {()}  # Epsilon
+
+
+@given(_regexes(), st.lists(st.sampled_from(_SYMBOLS), max_size=5))
+def test_automaton_agrees_with_bruteforce(model, word):
+    auto = GlushkovAutomaton(model)
+    language = _language_upto(model, 5)
+    assert auto.matches(word) == (tuple(word) in language)

@@ -1,0 +1,51 @@
+"""The built-in schema catalog."""
+
+from repro.schema import (
+    bib_dtd,
+    paper_d1_dtd,
+    paper_doc_dtd,
+    paper_sibling_dtd,
+    xmark_dtd,
+)
+
+
+class TestCatalog:
+    def test_caching(self):
+        assert xmark_dtd() is xmark_dtd()
+        assert bib_dtd() is bib_dtd()
+
+    def test_doc_dtd_shape(self):
+        dtd = paper_doc_dtd()
+        assert dtd.start == "doc"
+        assert dtd.children_of("a") == frozenset({"c"})
+        assert dtd.children_of("b") == frozenset({"c"})
+
+    def test_d1_shape(self):
+        dtd = paper_d1_dtd()
+        assert dtd.children_of("r") == frozenset({"a"})
+        assert dtd.children_of("a") == frozenset({"b", "c", "e"})
+        assert dtd.children_of("f") == frozenset({"a", "g"})
+
+    def test_sibling_dtd_shape(self):
+        dtd = paper_sibling_dtd()
+        assert dtd.children_of("a") == frozenset({"b", "f"})
+        assert dtd.children_of("b") == frozenset({"b", "c"})
+
+    def test_bib_book_content(self):
+        dtd = bib_dtd()
+        assert dtd.children_of("book") == frozenset(
+            {"title", "author", "editor", "publisher", "price"}
+        )
+
+    def test_xmark_core_paths(self):
+        dtd = xmark_dtd()
+        assert "item" in dtd.children_of("europe")
+        assert "description" in dtd.children_of("item")
+        assert dtd.children_of("description") == frozenset(
+            {"text", "parlist"}
+        )
+        assert "keyword" in dtd.children_of("text")
+        assert "annotation" in dtd.children_of("closed_auction")
+
+    def test_xmark_start(self):
+        assert xmark_dtd().start == "site"

@@ -1,0 +1,120 @@
+"""Chains, k-chains and bounded enumeration (Definitions 2.1-2.2, Section 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema import (
+    chain,
+    chains_from_root,
+    concat,
+    dotted,
+    enumerate_chains,
+    is_chain,
+    is_k_chain,
+    is_prefix,
+    max_multiplicity,
+)
+
+
+class TestChainBasics:
+    def test_parse_dotted(self):
+        assert chain("doc.a.c") == ("doc", "a", "c")
+
+    def test_dotted_roundtrip(self):
+        assert dotted(chain("doc.a.c")) == "doc.a.c"
+
+    def test_concat(self):
+        assert concat(("doc",), ("a", "c")) == ("doc", "a", "c")
+
+    def test_prefix_reflexive(self):
+        assert is_prefix(chain("doc.a"), chain("doc.a"))
+
+    def test_prefix_proper(self):
+        assert is_prefix(chain("doc"), chain("doc.a.c"))
+        assert not is_prefix(chain("doc.a.c"), chain("doc"))
+
+    def test_prefix_mismatch(self):
+        assert not is_prefix(chain("doc.b"), chain("doc.a.c"))
+
+
+class TestMembership:
+    def test_paper_chains(self, doc_dtd):
+        """Section 2: Cd includes doc.a, a.c, doc.a.c, doc.b, b.c, doc.b.c."""
+        for text in ("doc.a", "a.c", "doc.a.c", "doc.b", "b.c", "doc.b.c"):
+            assert is_chain(doc_dtd, chain(text)), text
+
+    def test_non_chains(self, doc_dtd):
+        assert not is_chain(doc_dtd, chain("doc.c"))
+        assert not is_chain(doc_dtd, chain("a.b"))
+        assert not is_chain(doc_dtd, ())
+        assert not is_chain(doc_dtd, chain("ghost"))
+
+    def test_chain_may_start_anywhere(self, doc_dtd):
+        assert is_chain(doc_dtd, chain("b.c"))
+
+
+class TestKChains:
+    def test_empty_is_k_chain(self):
+        assert is_k_chain((), 1)
+
+    def test_within_bound(self):
+        assert is_k_chain(chain("r.a.b.f.a"), 2)
+        assert not is_k_chain(chain("r.a.b.f.a"), 1)
+
+    def test_max_multiplicity(self):
+        assert max_multiplicity(chain("r.a.b.f.a")) == 2
+        assert max_multiplicity(chain("r")) == 1
+        assert max_multiplicity(()) == 0
+
+    def test_paper_3chain(self, d1_dtd):
+        """Section 5: r.a.b.f.a.c.f.a.e is the shortest chain for the
+        three-descendant path -- a 3-chain of d1."""
+        witness = chain("r.a.b.f.a.c.f.a.e")
+        assert is_chain(d1_dtd, witness)
+        assert is_k_chain(witness, 3)
+        assert not is_k_chain(witness, 2)
+
+
+class TestEnumeration:
+    def test_needs_bound(self, doc_dtd):
+        with pytest.raises(ValueError):
+            list(enumerate_chains(doc_dtd))
+
+    def test_rooted_chains_non_recursive(self, doc_dtd):
+        chains = chains_from_root(doc_dtd, k=2)
+        expected = {
+            ("doc",), ("doc", "a"), ("doc", "b"),
+            ("doc", "a", "c"), ("doc", "b", "c"),
+        }
+        assert chains == expected
+
+    def test_all_enumerated_are_chains(self, d1_dtd):
+        for c in enumerate_chains(d1_dtd, k=1):
+            assert is_chain(d1_dtd, c)
+            assert is_k_chain(c, 1)
+
+    def test_k_increases_chain_count(self, d1_dtd):
+        k1 = len(chains_from_root(d1_dtd, k=1))
+        k2 = len(chains_from_root(d1_dtd, k=2))
+        assert k2 > k1
+
+    def test_max_length_bound(self, d1_dtd):
+        for c in enumerate_chains(d1_dtd, max_length=3):
+            assert len(c) <= 3
+
+    def test_roots_restriction(self, doc_dtd):
+        chains = set(
+            enumerate_chains(doc_dtd, k=1, roots=frozenset({"a"}))
+        )
+        assert chains == {("a",), ("a", "c")}
+
+
+@given(st.integers(min_value=1, max_value=3))
+def test_k_chains_nest(k):
+    from repro.schema import paper_d1_dtd
+
+    dtd = paper_d1_dtd()
+    smaller = chains_from_root(dtd, k=k)
+    larger = chains_from_root(dtd, k=k + 1)
+    assert smaller <= larger

@@ -1,0 +1,137 @@
+"""DTD construction, reachability, sibling order, validation helpers."""
+
+import pytest
+
+from repro.schema import DTD, DTDError, TEXT_SYMBOL
+
+
+@pytest.fixture()
+def small() -> DTD:
+    return DTD.from_dict(
+        "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, small):
+        assert small.start == "doc"
+        assert small.alphabet == frozenset({"doc", "a", "b", "c"})
+
+    def test_symbols_include_text(self, small):
+        assert TEXT_SYMBOL in small.symbols
+
+    def test_start_must_have_rule(self):
+        with pytest.raises(DTDError):
+            DTD.from_dict("missing", {"doc": "EMPTY"})
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(DTDError):
+            DTD.from_dict("doc", {"doc": "ghost"})
+
+    def test_from_dtd_text(self):
+        dtd = DTD.from_dtd_text(
+            "doc",
+            """
+            <!ELEMENT doc (a | b)*>
+            <!ELEMENT a (c)>
+            <!ELEMENT b (c)>
+            <!ELEMENT c EMPTY>
+            <!ATTLIST a id CDATA #REQUIRED>
+            """,
+        )
+        assert dtd.alphabet == frozenset({"doc", "a", "b", "c"})
+        assert dtd.children_of("doc") == frozenset({"a", "b"})
+
+    def test_from_dtd_text_requires_declarations(self):
+        with pytest.raises(DTDError):
+            DTD.from_dtd_text("doc", "no declarations here")
+
+    def test_pcdata_content(self):
+        dtd = DTD.from_dict("doc", {"doc": "(#PCDATA)"})
+        assert dtd.children_of("doc") == frozenset({TEXT_SYMBOL})
+
+    def test_equality_and_hash(self, small):
+        twin = DTD.from_dict(
+            "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
+        )
+        assert small == twin
+        assert hash(small) == hash(twin)
+
+    def test_size(self, small):
+        assert small.size() == 4
+
+
+class TestReachability:
+    def test_children(self, small):
+        assert small.children_of("doc") == frozenset({"a", "b"})
+        assert small.children_of("a") == frozenset({"c"})
+        assert small.children_of("c") == frozenset()
+
+    def test_text_has_no_children(self, small):
+        assert small.children_of(TEXT_SYMBOL) == frozenset()
+
+    def test_unknown_symbol_raises(self, small):
+        with pytest.raises(DTDError):
+            small.children_of("ghost")
+
+    def test_descendants(self, small):
+        assert small.descendants_of("doc") == frozenset({"a", "b", "c"})
+        assert small.descendants_of("a") == frozenset({"c"})
+
+    def test_not_recursive(self, small):
+        assert not small.is_recursive()
+        assert small.recursive_symbols() == frozenset()
+
+    def test_recursive_detection(self, d1_dtd):
+        assert d1_dtd.is_recursive()
+        assert {"a", "b", "c", "e", "f"} <= set(d1_dtd.recursive_symbols())
+        assert "r" not in d1_dtd.recursive_symbols()
+        assert "g" not in d1_dtd.recursive_symbols()
+
+    def test_xmark_recursive_cliques(self, xmark):
+        """The paper: 5 mutually recursive types in cliques of size 2 and 3."""
+        recursive = xmark.recursive_symbols()
+        assert recursive == frozenset(
+            {"parlist", "listitem", "bold", "keyword", "emph"}
+        )
+
+    def test_xmark_size(self, xmark):
+        # |d| = 74 element types after attribute removal (the paper reports
+        # 76 for the attribute-bearing DTD).
+        assert xmark.size() == 74
+
+
+class TestSiblingOrder:
+    def test_order_of_star(self, small):
+        rel = small.sibling_order("doc")
+        assert ("a", "b") in rel and ("b", "a") in rel
+        assert ("a", "a") in rel
+
+    def test_order_cached(self, small):
+        assert small.sibling_order("doc") is small.sibling_order("doc")
+
+    def test_sequence_order(self, bib):
+        rel = bib.sibling_order("book")
+        assert ("title", "publisher") in rel
+        assert ("publisher", "title") not in rel
+        assert ("author", "editor") not in rel  # exclusive alternation
+
+
+class TestValidationHelpers:
+    def test_accepts_children(self, small):
+        assert small.accepts_children("doc", ["a", "b", "a"])
+        assert not small.accepts_children("doc", ["c"])
+        assert small.accepts_children("c", [])
+
+    def test_shortest_content(self, small, bib):
+        assert small.shortest_content("doc") == ()
+        assert bib.shortest_content("book") == (
+            "title", "author", "publisher", "price"
+        )
+
+    def test_allows_empty(self, small):
+        assert small.allows_empty("doc")
+        assert not small.allows_empty("a")
+
+    def test_automaton_cached(self, small):
+        assert small.automaton("doc") is small.automaton("doc")

@@ -1,0 +1,48 @@
+"""Extended DTDs (Section 7)."""
+
+import pytest
+
+from repro.schema import DTD, DTDError, EDTD, TEXT_SYMBOL, label_of
+
+
+@pytest.fixture()
+def edtd() -> EDTD:
+    """Two 'a' types with different content models (XML Schema style)."""
+    core = DTD.from_dict(
+        "r",
+        {"r": "(a1, a2)", "a1": "b", "a2": "c", "b": "EMPTY", "c": "EMPTY"},
+    )
+    return EDTD(core, {"r": "r", "a1": "a", "a2": "a", "b": "b", "c": "c"})
+
+
+class TestEDTD:
+    def test_labeling(self, edtd):
+        assert edtd.label_of("a1") == "a"
+        assert edtd.label_of("a2") == "a"
+        assert edtd.label_of("b") == "b"
+
+    def test_text_label_fixed(self, edtd):
+        assert edtd.label_of(TEXT_SYMBOL) == TEXT_SYMBOL
+
+    def test_types_with_label(self, edtd):
+        assert edtd.types_with_label("a") == frozenset({"a1", "a2"})
+
+    def test_missing_labeling_rejected(self):
+        core = DTD.from_dict("r", {"r": "a", "a": "EMPTY"})
+        with pytest.raises(DTDError):
+            EDTD(core, {"r": "r"})
+
+    def test_unknown_type_raises(self, edtd):
+        with pytest.raises(DTDError):
+            edtd.label_of("ghost")
+
+    def test_schema_interface_delegates(self, edtd):
+        assert edtd.start == "r"
+        assert edtd.children_of("r") == frozenset({"a1", "a2"})
+        assert edtd.descendants_of("r") == frozenset({"a1", "a2", "b", "c"})
+        assert edtd.size() == 5
+
+    def test_label_of_helper(self, edtd):
+        assert label_of(edtd, "a1") == "a"
+        dtd = DTD.from_dict("r", {"r": "EMPTY"})
+        assert label_of(dtd, "r") == "r"

@@ -1,0 +1,239 @@
+"""Unit and property tests for content-model regexes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema.regex import (
+    EPSILON,
+    TEXT_SYMBOL,
+    Alt,
+    Opt,
+    Plus,
+    RegexError,
+    Seq,
+    Star,
+    Sym,
+    alt,
+    nullable,
+    occurring,
+    order_relation,
+    parse_content_model,
+    seq,
+    shortest_word,
+)
+
+
+class TestParsing:
+    def test_single_symbol(self):
+        assert parse_content_model("a") == Sym("a")
+
+    def test_empty_keyword(self):
+        assert parse_content_model("EMPTY") == EPSILON
+
+    def test_pcdata(self):
+        # DTD semantics: (#PCDATA) is text-only, possibly empty content.
+        assert parse_content_model("(#PCDATA)") == Star(Sym(TEXT_SYMBOL))
+
+    def test_sequence(self):
+        assert parse_content_model("(a, b)") == Seq(Sym("a"), Sym("b"))
+
+    def test_alternation(self):
+        assert parse_content_model("(a | b)") == Alt(Sym("a"), Sym("b"))
+
+    def test_star(self):
+        assert parse_content_model("(a | b)*") == Star(Alt(Sym("a"), Sym("b")))
+
+    def test_plus(self):
+        assert parse_content_model("a+") == Plus(Sym("a"))
+
+    def test_optional(self):
+        assert parse_content_model("a?") == Opt(Sym("a"))
+
+    def test_nested(self):
+        model = parse_content_model("(a, (b | c)*, d?)")
+        assert model == Seq(
+            Seq(Sym("a"), Star(Alt(Sym("b"), Sym("c")))), Opt(Sym("d"))
+        )
+
+    def test_mixed_content(self):
+        model = parse_content_model("(#PCDATA | bold | keyword)*")
+        assert TEXT_SYMBOL in occurring(model)
+        assert {"bold", "keyword"} <= occurring(model)
+
+    def test_whitespace_insensitive(self):
+        assert parse_content_model(" ( a , b ) ") == parse_content_model(
+            "(a,b)"
+        )
+
+    def test_hyphenated_names(self):
+        assert parse_content_model("open-auction") == Sym("open-auction")
+
+    def test_rejects_any(self):
+        with pytest.raises(RegexError):
+            parse_content_model("ANY")
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(RegexError):
+            parse_content_model("(a, b) extra")
+
+    def test_rejects_unbalanced_paren(self):
+        with pytest.raises(RegexError):
+            parse_content_model("(a, b")
+
+    def test_rejects_unknown_hash_token(self):
+        with pytest.raises(RegexError):
+            parse_content_model("#FOO")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(RegexError):
+            parse_content_model("")
+
+
+class TestNullable:
+    def test_epsilon_nullable(self):
+        assert nullable(EPSILON)
+
+    def test_symbol_not_nullable(self):
+        assert not nullable(Sym("a"))
+
+    def test_star_nullable(self):
+        assert nullable(Star(Sym("a")))
+
+    def test_opt_nullable(self):
+        assert nullable(Opt(Sym("a")))
+
+    def test_plus_not_nullable(self):
+        assert not nullable(Plus(Sym("a")))
+
+    def test_plus_of_nullable_is_nullable(self):
+        assert nullable(Plus(Opt(Sym("a"))))
+
+    def test_seq_requires_both(self):
+        assert not nullable(Seq(Star(Sym("a")), Sym("b")))
+        assert nullable(Seq(Star(Sym("a")), Opt(Sym("b"))))
+
+    def test_alt_requires_one(self):
+        assert nullable(Alt(Sym("a"), Star(Sym("b"))))
+        assert not nullable(Alt(Sym("a"), Sym("b")))
+
+
+class TestOccurring:
+    def test_symbol(self):
+        assert occurring(Sym("a")) == frozenset({"a"})
+
+    def test_epsilon(self):
+        assert occurring(EPSILON) == frozenset()
+
+    def test_complex(self):
+        model = parse_content_model("(a, (b | c)*, d?)")
+        assert occurring(model) == frozenset({"a", "b", "c", "d"})
+
+
+class TestOrderRelation:
+    def test_paper_example(self):
+        """The paper's Section 3.1 example: <_{a,(b|c)*}."""
+        model = parse_content_model("(a, (b | c)*)")
+        assert order_relation(model) == frozenset(
+            {("a", "b"), ("a", "c"), ("b", "c"), ("c", "b"),
+             ("c", "c"), ("b", "b")}
+        )
+
+    def test_simple_sequence(self):
+        assert order_relation(parse_content_model("(a, b)")) == frozenset(
+            {("a", "b")}
+        )
+
+    def test_alternation_has_no_pairs(self):
+        assert order_relation(parse_content_model("(a | b)")) == frozenset()
+
+    def test_star_self_pairs(self):
+        assert order_relation(parse_content_model("a*")) == frozenset(
+            {("a", "a")}
+        )
+
+    def test_opt_no_self_pair(self):
+        assert order_relation(parse_content_model("a?")) == frozenset()
+
+    def test_plus_self_pairs(self):
+        assert order_relation(parse_content_model("a+")) == frozenset(
+            {("a", "a")}
+        )
+
+    def test_seq_of_stars(self):
+        rel = order_relation(parse_content_model("(b+, c*)"))
+        assert ("b", "c") in rel
+        assert ("b", "b") in rel
+        assert ("c", "c") in rel
+        assert ("c", "b") not in rel
+
+
+class TestShortestWord:
+    def test_symbol(self):
+        assert shortest_word(Sym("a")) == ("a",)
+
+    def test_star_empty(self):
+        assert shortest_word(Star(Sym("a"))) == ()
+
+    def test_alt_picks_shorter(self):
+        model = parse_content_model("((a, b) | c)")
+        assert shortest_word(model) == ("c",)
+
+    def test_plus_one_copy(self):
+        assert shortest_word(parse_content_model("(a, b)+")) == ("a", "b")
+
+    def test_xmark_person(self):
+        model = parse_content_model(
+            "(name, emailaddress, phone?, address?, homepage?, "
+            "creditcard?, profile?, watches?)"
+        )
+        assert shortest_word(model) == ("name", "emailaddress")
+
+
+class TestConstructors:
+    def test_seq_empty_is_epsilon(self):
+        assert seq() == EPSILON
+
+    def test_seq_single(self):
+        assert seq(Sym("a")) == Sym("a")
+
+    def test_alt_requires_branch(self):
+        with pytest.raises(RegexError):
+            alt()
+
+
+# -- property tests ---------------------------------------------------------
+
+_SYMBOLS = st.sampled_from(["a", "b", "c", "d"])
+
+
+def _regexes(depth: int = 3):
+    base = _SYMBOLS.map(Sym)
+    return st.recursive(
+        base,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda p: Seq(*p)),
+            st.tuples(inner, inner).map(lambda p: Alt(*p)),
+            inner.map(Star),
+            inner.map(Plus),
+            inner.map(Opt),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_regexes())
+def test_shortest_word_only_uses_occurring_symbols(model):
+    assert set(shortest_word(model)) <= set(occurring(model))
+
+
+@given(_regexes())
+def test_nullable_iff_shortest_word_empty(model):
+    assert nullable(model) == (len(shortest_word(model)) == 0)
+
+
+@given(_regexes())
+def test_order_relation_symbols_occur(model):
+    occ = occurring(model)
+    for a, b in order_relation(model):
+        assert a in occ and b in occ

@@ -1,0 +1,130 @@
+"""CLI subcommands (exercised in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_independent_pair_exit_zero(self, capsys):
+        code = main([
+            "analyze", "--builtin", "paper-doc",
+            "--query", "//a//c", "--update", "delete //b//c",
+        ])
+        assert code == 0
+        assert "independent" in capsys.readouterr().out
+
+    def test_dependent_pair_exit_one(self, capsys):
+        code = main([
+            "analyze", "--builtin", "paper-doc",
+            "--query", "//a//c", "--update", "delete //a//c",
+        ])
+        assert code == 1
+
+    def test_explain_output(self, capsys):
+        main([
+            "analyze", "--builtin", "paper-doc", "--explain",
+            "--query", "//a//c", "--update", "delete //b//c",
+        ])
+        out = capsys.readouterr().out
+        assert "INDEPENDENT" in out
+        assert "doc.a.c" in out
+        assert "doc.b.c" in out
+
+    def test_types_flag(self, capsys):
+        main([
+            "analyze", "--builtin", "paper-doc", "--types",
+            "--query", "//a//c", "--update", "delete //b//c",
+        ])
+        out = capsys.readouterr().out
+        assert "type baseline" in out
+        assert "dependent" in out
+
+    def test_k_override(self, capsys):
+        code = main([
+            "analyze", "--builtin", "paper-d1", "--k", "4",
+            "--query", "/descendant::b",
+            "--update", "delete /descendant::c",
+        ])
+        assert code == 1
+
+    def test_missing_schema_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--query", "//a", "--update", "delete //b"])
+
+
+class TestFileCommands:
+    @pytest.fixture()
+    def dtd_file(self, tmp_path):
+        path = tmp_path / "schema.dtd"
+        path.write_text(
+            "<!ELEMENT doc (a | b)*>\n<!ELEMENT a (c)>\n"
+            "<!ELEMENT b (c)>\n<!ELEMENT c EMPTY>\n"
+        )
+        return str(path)
+
+    def test_generate_and_validate(self, dtd_file, tmp_path, capsys):
+        out_file = str(tmp_path / "doc.xml")
+        code = main([
+            "generate", "--dtd", dtd_file, "--root", "doc",
+            "--bytes", "400", "--seed", "3", "--out", out_file,
+        ])
+        assert code == 0
+        code = main(["validate", "--dtd", dtd_file, "--root", "doc",
+                     out_file])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_invalid(self, dtd_file, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<doc><a/></doc>")  # a requires a c child
+        code = main(["validate", "--dtd", dtd_file, "--root", "doc",
+                     str(bad)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_infer_dtd(self, tmp_path, capsys):
+        doc = tmp_path / "d.xml"
+        doc.write_text("<doc><a><c/></a><b><c/></b></doc>")
+        code = main(["infer-dtd", str(doc)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT doc" in out
+        assert "<!ELEMENT c EMPTY>" in out
+
+    def test_dtd_file_analysis(self, dtd_file, capsys):
+        code = main([
+            "analyze", "--dtd", dtd_file, "--root", "doc",
+            "--query", "//a//c", "--update", "delete //b//c",
+        ])
+        assert code == 0
+
+
+class TestExplainModule:
+    def test_explain_dependent(self):
+        from repro.analysis.explain import explain
+        from repro.schema import paper_doc_dtd
+
+        text = explain("//a//c", "delete //a//c", paper_doc_dtd())
+        assert "DEPENDENT" in text
+        assert "return-update" in text
+
+    def test_explain_multiplicity(self):
+        from repro.analysis.explain import explain_multiplicity
+        from repro.schema import paper_d1_dtd
+        from repro.xquery.parser import parse_query
+
+        text = explain_multiplicity(
+            parse_query("/descendant::b"), paper_d1_dtd()
+        )
+        assert "k = 1" in text
+        assert "1 recursive" in text
+
+    def test_explain_handles_huge_chain_sets(self):
+        from repro.analysis.explain import explain
+        from repro.bench.rbench import recursive_schema
+
+        text = explain("/descendant::node()",
+                       "delete /descendant::node()",
+                       recursive_schema(5))
+        assert "DEPENDENT" in text

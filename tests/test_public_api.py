@@ -1,0 +1,58 @@
+"""The package's public API surface (what README/examples rely on)."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet(self):
+        """The README quickstart, verbatim."""
+        dtd = repro.DTD.from_dict(
+            "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
+        )
+        report = repro.analyze("//a//c", "delete //b//c", dtd)
+        assert report.independent
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_end_to_end_workflow(self):
+        """Parse, validate, query, statically analyze, update, re-query."""
+        dtd = repro.bib_dtd()
+        tree = repro.parse_xml(
+            "<bib><book><title>t</title><author><last>l</last>"
+            "<first>f</first></author><publisher>p</publisher>"
+            "<price>9</price></book></bib>"
+        )
+        repro.validate(tree, dtd)
+        query = repro.parse_query("//title")
+        update = repro.parse_update(
+            "for $x in //book return insert <author><last>x</last>"
+            "<first>y</first></author> into $x"
+        )
+        report = repro.analyze(query, update, dtd)
+        assert report.independent
+
+        before = repro.evaluate_query(
+            query, tree.store, {repro.ROOT_VAR: [tree.root]}
+        )
+        repro.apply_update_to_root(update, tree.store, tree.root)
+        after = repro.evaluate_query(
+            query, tree.store, {repro.ROOT_VAR: [tree.root]}
+        )
+        from repro.xmldm import sequences_equivalent
+
+        assert sequences_equivalent(tree.store, before, tree.store, after)
+
+    def test_baseline_and_dynamic_exports(self):
+        dtd = repro.paper_doc_dtd()
+        assert not repro.baseline_is_independent(
+            "//a//c", "delete //b//c", dtd
+        )
+        verdict = repro.dynamic_independent_generated(
+            "//a//c", "delete //b//c", dtd, documents=3, target_bytes=300
+        )
+        assert verdict.independent

@@ -1,0 +1,72 @@
+"""Access control: soundness (never admit a violating update)."""
+
+import pytest
+
+from repro.analysis.dynamic import differs_on
+from repro.schema import bib_dtd
+from repro.viewmaint import AccessController
+from repro.xmldm import parse_xml
+from repro.xquery.parser import parse_query
+from repro.xupdate.parser import parse_update
+
+
+@pytest.fixture()
+def guard():
+    controller = AccessController(bib_dtd())
+    controller.protect("pricing", "//price")
+    controller.protect("titles", "//title")
+    return controller
+
+
+class TestDecisions:
+    def test_harmless_update_allowed(self, guard):
+        assert guard.check("delete //author/first").allowed
+
+    def test_direct_violation_rejected(self, guard):
+        decision = guard.check(
+            "for $x in //price return replace $x with <price>0</price>"
+        )
+        assert not decision.allowed
+        assert decision.violated_policies == ("pricing",)
+
+    def test_ancestor_violation_rejected(self, guard):
+        decision = guard.check("delete //book")
+        assert not decision.allowed
+        assert set(decision.violated_policies) == {"pricing", "titles"}
+
+    def test_multiple_policies_reported(self, guard):
+        decision = guard.check("delete /bib")
+        assert set(decision.violated_policies) == {"pricing", "titles"}
+
+    def test_decision_is_truthy(self, guard):
+        assert bool(guard.check("delete //author/first"))
+        assert not bool(guard.check("delete //price"))
+
+    def test_policies_listed(self, guard):
+        assert guard.policies() == ["pricing", "titles"]
+
+
+class TestSoundness:
+    def test_allowed_updates_never_touch_protected_data(self, guard):
+        """Dynamic confirmation on a concrete document."""
+        tree = parse_xml(
+            "<bib><book><title>t</title><author><last>l</last>"
+            "<first>f</first></author><publisher>p</publisher>"
+            "<price>9</price></book></bib>"
+        )
+        candidates = [
+            "delete //author/first",
+            "for $x in //book return insert <author><last>n</last>"
+            "<first>m</first></author> into $x",
+            "delete //publisher",
+            "for $x in //price return replace $x with <price>0</price>",
+            "delete //book/title",
+        ]
+        for update_text in candidates:
+            if not guard.check(update_text).allowed:
+                continue
+            update = parse_update(update_text)
+            for policy in ("//price", "//title"):
+                assert not differs_on(parse_query(policy), update, tree), (
+                    f"admitted update {update_text!r} changed {policy}"
+                )

@@ -1,0 +1,90 @@
+"""View cache: refresh-skipping correctness and bookkeeping."""
+
+import pytest
+
+from repro.schema import bib_dtd
+from repro.viewmaint import ViewCache
+from repro.xmldm import parse_xml, sequences_equivalent
+from repro.xquery import ROOT_VAR, evaluate_query, parse_query
+
+
+@pytest.fixture()
+def tree():
+    return parse_xml(
+        "<bib>"
+        "<book><title>T1</title><author><last>L</last><first>F</first>"
+        "</author><publisher>P</publisher><price>10</price></book>"
+        "</bib>"
+    )
+
+
+@pytest.fixture()
+def cache(tree):
+    cache = ViewCache(bib_dtd(), tree)
+    cache.register("titles", "//title")
+    cache.register("prices", "//price")
+    cache.register("authors", "//author/last")
+    return cache
+
+
+class TestRefreshSkipping:
+    def test_initial_materialization(self, cache):
+        assert len(cache.result("titles")) == 1
+        assert cache.view_names() == ["titles", "prices", "authors"]
+
+    def test_independent_update_skips_all(self, cache):
+        refreshed = cache.apply("delete //author/first")
+        assert refreshed == []
+        assert cache.stats.refreshes_skipped == 3
+
+    def test_dependent_update_refreshes_one(self, cache):
+        refreshed = cache.apply(
+            "for $x in //price return replace $x with <price>0</price>"
+        )
+        assert refreshed == ["prices"]
+        assert cache.stats.refreshes_done == 1
+        assert cache.stats.refreshes_skipped == 2
+
+    def test_results_always_correct(self, cache, tree):
+        """The invariant that matters: cached results equal fresh
+        evaluation after every update, refreshed or skipped."""
+        updates = [
+            "delete //author/first",
+            "for $x in //book return insert <author><last>n</last>"
+            "<first>m</first></author> into $x",
+            "for $x in //price return replace $x with <price>1</price>",
+        ]
+        for update in updates:
+            cache.apply(update)
+            for name in cache.view_names():
+                fresh = evaluate_query(
+                    parse_query({"titles": "//title", "prices": "//price",
+                                 "authors": "//author/last"}[name]),
+                    tree.store, {ROOT_VAR: [tree.root]},
+                )
+                assert sequences_equivalent(
+                    tree.store, cache.result(name), tree.store, fresh
+                ), (name, update)
+
+    def test_verdicts_memoized(self, cache):
+        from repro.xupdate.parser import parse_update
+
+        update = parse_update("delete //author/first")
+        cache.apply(update)
+        before = cache.stats.analysis_seconds
+        cache.apply(update)  # same expression object: memo hit
+        assert cache.stats.analysis_seconds == before
+
+    def test_skip_ratio(self, cache):
+        cache.apply("delete //author/first")
+        assert cache.stats.skip_ratio == 1.0
+        cache.apply(
+            "for $x in //title return replace $x with <title>x</title>"
+        )
+        assert 0 < cache.stats.skip_ratio < 1.0
+
+    def test_skipped_by_view_counts(self, cache):
+        cache.apply("delete //author/first")
+        assert cache.stats.skipped_by_view == {
+            "titles": 1, "prices": 1, "authors": 1
+        }

@@ -1,0 +1,70 @@
+"""Isolation scheduler: wave construction and conflict semantics."""
+
+import pytest
+
+from repro.schema import bib_dtd
+from repro.viewmaint import IsolationScheduler
+
+
+@pytest.fixture()
+def scheduler():
+    return IsolationScheduler(bib_dtd())
+
+
+class TestConflicts:
+    def test_queries_never_conflict(self, scheduler):
+        scheduler.add_query("q1", "//title")
+        scheduler.add_query("q2", "//title")
+        first, second = scheduler._operations
+        assert not scheduler.conflicts(first, second)
+
+    def test_updates_always_conflict(self, scheduler):
+        scheduler.add_update("u1", "delete //price")
+        scheduler.add_update("u2", "delete //title")
+        first, second = scheduler._operations
+        assert scheduler.conflicts(first, second)
+
+    def test_independent_query_update(self, scheduler):
+        scheduler.add_query("q", "//title")
+        scheduler.add_update("u", "delete //price")
+        first, second = scheduler._operations
+        assert not scheduler.conflicts(first, second)
+
+    def test_dependent_query_update(self, scheduler):
+        scheduler.add_query("q", "//title")
+        scheduler.add_update("u", "delete //book")
+        first, second = scheduler._operations
+        assert scheduler.conflicts(first, second)
+
+
+class TestWaves:
+    def test_all_queries_one_wave(self, scheduler):
+        scheduler.add_query("q1", "//title")
+        scheduler.add_query("q2", "//price")
+        scheduler.add_query("q3", "//author")
+        assert scheduler.schedule() == [["q1", "q2", "q3"]]
+
+    def test_dependent_query_waits(self, scheduler):
+        scheduler.add_update("u", "delete //price")
+        scheduler.add_query("q-price", "//price")
+        scheduler.add_query("q-title", "//title")
+        waves = scheduler.schedule()
+        assert waves == [["u", "q-title"], ["q-price"]]
+
+    def test_two_updates_two_waves(self, scheduler):
+        scheduler.add_update("u1", "delete //price")
+        scheduler.add_update("u2", "delete //author/first")
+        waves = scheduler.schedule()
+        assert waves == [["u1"], ["u2"]]
+
+    def test_order_preserved_for_conflicts(self, scheduler):
+        scheduler.add_query("q1", "//price")
+        scheduler.add_update("u", "delete //price")
+        scheduler.add_query("q2", "//price")
+        waves = scheduler.schedule()
+        # q1 reads before u; q2 must wait until after u.
+        assert waves.index(next(w for w in waves if "q1" in w)) \
+            < waves.index(next(w for w in waves if "q2" in w))
+
+    def test_empty_schedule(self, scheduler):
+        assert scheduler.schedule() == []

@@ -1,0 +1,112 @@
+"""Random document generator: validity, determinism, sizing, coverage."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import bib_dtd, paper_d1_dtd, paper_doc_dtd, xmark_dtd
+from repro.xmldm import (
+    DocumentGenerator,
+    document_bytes,
+    generate_corpus,
+    generate_document,
+    is_valid,
+    validate,
+)
+
+
+class TestValidity:
+    def test_doc_dtd(self, doc_dtd):
+        validate(generate_document(doc_dtd, 500, seed=1), doc_dtd)
+
+    def test_bib(self, bib):
+        validate(generate_document(bib, 2000, seed=2), bib)
+
+    def test_recursive_d1(self, d1_dtd):
+        validate(generate_document(d1_dtd, 2000, seed=3), d1_dtd)
+
+    def test_xmark(self, xmark):
+        validate(generate_document(xmark, 20_000, seed=4), xmark)
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self, xmark):
+        from repro.xmldm import serialize
+
+        one = generate_document(xmark, 5000, seed=7)
+        two = generate_document(xmark, 5000, seed=7)
+        assert serialize(one.store, one.root) == serialize(
+            two.store, two.root
+        )
+
+    def test_different_seeds_differ(self, xmark):
+        from repro.xmldm import serialize
+
+        one = generate_document(xmark, 5000, seed=7)
+        two = generate_document(xmark, 5000, seed=8)
+        assert serialize(one.store, one.root) != serialize(
+            two.store, two.root
+        )
+
+
+class TestSizing:
+    def test_size_tracks_target(self, xmark):
+        small = document_bytes(generate_document(xmark, 10_000, seed=1))
+        large = document_bytes(generate_document(xmark, 100_000, seed=1))
+        assert large > 3 * small
+
+    def test_target_roughly_met(self, xmark):
+        size = document_bytes(generate_document(xmark, 50_000, seed=42))
+        assert 20_000 < size < 150_000
+
+
+class TestCoverage:
+    def test_all_types_present(self, xmark):
+        tree = generate_document(xmark, 10_000, seed=0,
+                                 ensure_coverage=True)
+        present = {
+            tree.store.tag(loc)
+            for loc in tree.store.descendants_or_self(tree.root)
+            if tree.store.is_element(loc)
+        }
+        reachable = {
+            s for s in xmark.descendants_of("site") if s in xmark.alphabet
+        }
+        missing = reachable - present
+        # Coverage is best-effort; the overwhelming majority must land.
+        assert len(missing) <= 2, f"missing types: {sorted(missing)}"
+
+    def test_corpus_seeds_distinct(self, doc_dtd):
+        corpus = generate_corpus(doc_dtd, 3, target_bytes=300, seed=5)
+        assert len(corpus) == 3
+        for tree in corpus:
+            assert is_valid(tree, doc_dtd)
+
+
+class TestGeneratorObject:
+    def test_depth_limit_respected(self, d1_dtd):
+        generator = DocumentGenerator(d1_dtd, seed=1, max_depth=6)
+        tree = generator.generate(100_000, ensure_coverage=False)
+        store = tree.store
+        max_depth = max(
+            store.depth(loc)
+            for loc in store.descendants_or_self(tree.root)
+        )
+        # After the cutoff, shortest-word expansion still needs a few
+        # levels to bottom out (d1's shortest recursion exit is short).
+        assert max_depth <= 6 + 4
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000),
+       st.sampled_from([200, 2000]))
+def test_generated_documents_always_valid(seed, target):
+    for dtd in (paper_doc_dtd(), paper_d1_dtd(), bib_dtd()):
+        tree = generate_document(dtd, target, seed=seed)
+        assert is_valid(tree, dtd)
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=100))
+def test_xmark_generated_documents_valid(seed):
+    tree = generate_document(xmark_dtd(), 4000, seed=seed)
+    assert is_valid(tree, xmark_dtd())

@@ -1,0 +1,95 @@
+"""XML parser tests."""
+
+import pytest
+
+from repro.xmldm import XMLParseError, parse_xml, serialize
+
+
+class TestParsing:
+    def test_empty_element(self):
+        tree = parse_xml("<doc/>")
+        assert tree.store.tag(tree.root) == "doc"
+        assert tree.store.children(tree.root) == []
+
+    def test_nested(self):
+        tree = parse_xml("<doc><a><c/></a></doc>")
+        store = tree.store
+        a = store.children(tree.root)[0]
+        assert store.tag(a) == "a"
+        assert store.tag(store.children(a)[0]) == "c"
+
+    def test_text_content(self):
+        tree = parse_xml("<t>hello world</t>")
+        kid = tree.store.children(tree.root)[0]
+        assert tree.store.text(kid) == "hello world"
+
+    def test_mixed_content(self):
+        tree = parse_xml("<t>pre<b/>post</t>")
+        kids = tree.store.children(tree.root)
+        assert tree.store.text(kids[0]) == "pre"
+        assert tree.store.tag(kids[1]) == "b"
+        assert tree.store.text(kids[2]) == "post"
+
+    def test_whitespace_stripped_by_default(self):
+        tree = parse_xml("<doc>\n  <a/>\n</doc>")
+        kids = tree.store.children(tree.root)
+        assert len(kids) == 1
+
+    def test_whitespace_kept_on_request(self):
+        tree = parse_xml("<doc>\n  <a/>\n</doc>", strip_whitespace=False)
+        assert len(tree.store.children(tree.root)) == 3
+
+    def test_attributes_discarded(self):
+        tree = parse_xml('<doc id="1" class=\'x\'><a href="u"/></doc>')
+        assert tree.store.tag(tree.root) == "doc"
+        assert len(tree.store.children(tree.root)) == 1
+
+    def test_entities_decoded(self):
+        tree = parse_xml("<t>a &lt; b &amp; c</t>")
+        kid = tree.store.children(tree.root)[0]
+        assert tree.store.text(kid) == "a < b & c"
+
+    def test_comments_skipped(self):
+        tree = parse_xml("<doc><!-- note --><a/></doc>")
+        assert len(tree.store.children(tree.root)) == 1
+
+    def test_prolog_skipped(self):
+        tree = parse_xml(
+            '<?xml version="1.0"?><!DOCTYPE doc SYSTEM "d.dtd"><doc/>'
+        )
+        assert tree.store.tag(tree.root) == "doc"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b></a></b>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a/><b/>")
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a id=1/>")
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><!-- oops</a>")
+
+
+class TestRoundTrip:
+    def test_compact_roundtrip(self):
+        text = "<doc><a><c/></a><b>hi</b></doc>"
+        tree = parse_xml(text)
+        assert serialize(tree.store, tree.root) == text
+
+    def test_indented_output(self):
+        tree = parse_xml("<doc><a/></doc>")
+        pretty = serialize(tree.store, tree.root, indent=2)
+        assert pretty == "<doc>\n  <a/>\n</doc>\n"
+
+    def test_entity_roundtrip(self):
+        tree = parse_xml("<t>a &amp; b</t>")
+        out = serialize(tree.store, tree.root)
+        reparsed = parse_xml(out)
+        kid = reparsed.store.children(reparsed.root)[0]
+        assert reparsed.store.text(kid) == "a & b"

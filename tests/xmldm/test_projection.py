@@ -1,0 +1,76 @@
+"""XML projection t|L (Section 3.4)."""
+
+from repro.xmldm import (
+    parse_xml,
+    project,
+    typed_locations,
+    upward_closure,
+    value_equivalent,
+)
+
+
+class TestUpwardClosure:
+    def test_adds_ancestors(self, figure1_tree):
+        store = figure1_tree.store
+        a = store.children(figure1_tree.root)[0]
+        c = store.children(a)[0]
+        closed = upward_closure(store, {c})
+        assert closed == {c, a, figure1_tree.root}
+
+    def test_idempotent(self, figure1_tree):
+        store = figure1_tree.store
+        once = upward_closure(store, {figure1_tree.root})
+        assert upward_closure(store, once) == once
+
+
+class TestProject:
+    def test_keep_all_is_identity(self, figure1_tree):
+        keep = set(
+            figure1_tree.store.descendants_or_self(figure1_tree.root)
+        )
+        projected = project(figure1_tree, keep)
+        assert value_equivalent(
+            projected.store, projected.root,
+            figure1_tree.store, figure1_tree.root,
+        )
+
+    def test_prunes_subtrees(self, figure1_tree):
+        store = figure1_tree.store
+        kids = store.children(figure1_tree.root)
+        b_kid = kids[2]
+        projected = project(figure1_tree, {b_kid})
+        expected = parse_xml("<doc><b/></doc>")
+        assert value_equivalent(
+            projected.store, projected.root,
+            expected.store, expected.root,
+        )
+
+    def test_preserves_order(self, figure1_tree):
+        store = figure1_tree.store
+        kids = store.children(figure1_tree.root)
+        projected = project(figure1_tree, {kids[0], kids[3]})
+        tags = [
+            projected.store.tag(k)
+            for k in projected.store.children(projected.root)
+        ]
+        assert tags == ["a", "a"]
+
+    def test_projection_is_fresh(self, figure1_tree):
+        projected = project(figure1_tree, set())
+        projected.store.rename(projected.root, "z")
+        assert figure1_tree.store.tag(figure1_tree.root) == "doc"
+
+
+class TestTypedLocations:
+    def test_exact_chains(self, figure1_tree):
+        locs = typed_locations(figure1_tree, {("doc", "b")})
+        assert len(locs) == 1
+        (b,) = locs
+        assert figure1_tree.store.tag(b) == "b"
+
+    def test_with_descendants(self, figure1_tree):
+        locs = typed_locations(
+            figure1_tree, {("doc", "b")}, include_descendants=True
+        )
+        tags = sorted(figure1_tree.store.typ(loc) for loc in locs)
+        assert tags == ["b", "c"]

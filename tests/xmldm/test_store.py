@@ -1,0 +1,206 @@
+"""Store data-model tests (Section 2's formalization)."""
+
+import pytest
+
+from repro.schema.regex import TEXT_SYMBOL
+from repro.xmldm import (
+    Store,
+    StoreError,
+    Tree,
+    sequences_equivalent,
+    value_equivalent,
+)
+
+
+@pytest.fixture()
+def figure1() -> Tree:
+    """Hand-built Figure 1 store."""
+    store = Store()
+    c1 = store.new_element("c")
+    c2 = store.new_element("c")
+    c3 = store.new_element("c")
+    c4 = store.new_element("c")
+    a1 = store.new_element("a", [c1])
+    a2 = store.new_element("a", [c2])
+    b3 = store.new_element("b", [c3])
+    a4 = store.new_element("a", [c4])
+    root = store.new_element("doc", [a1, a2, b3, a4])
+    return Tree(store, root)
+
+
+class TestBasics:
+    def test_typ(self, figure1):
+        store = figure1.store
+        assert store.typ(figure1.root) == "doc"
+        text = store.new_text("hello")
+        assert store.typ(text) == TEXT_SYMBOL
+
+    def test_children_order(self, figure1):
+        store = figure1.store
+        tags = [store.tag(c) for c in store.children(figure1.root)]
+        assert tags == ["a", "a", "b", "a"]
+
+    def test_parent(self, figure1):
+        store = figure1.store
+        first_a = store.children(figure1.root)[0]
+        assert store.parent(first_a) == figure1.root
+        assert store.parent(figure1.root) is None
+
+    def test_node_chain_matches_paper(self, figure1):
+        """Definition 2.2: chains of Figure 1's locations."""
+        store = figure1.store
+        kids = store.children(figure1.root)
+        assert store.node_chain(kids[0]) == ("doc", "a")
+        assert store.node_chain(kids[2]) == ("doc", "b")
+        c_loc = store.children(kids[0])[0]
+        assert store.node_chain(c_loc) == ("doc", "a", "c")
+
+    def test_depth(self, figure1):
+        store = figure1.store
+        c_loc = store.children(store.children(figure1.root)[0])[0]
+        assert store.depth(figure1.root) == 0
+        assert store.depth(c_loc) == 2
+
+    def test_unknown_location(self, figure1):
+        with pytest.raises(StoreError):
+            figure1.store.node(9999)
+
+    def test_text_accessors(self):
+        store = Store()
+        loc = store.new_text("v")
+        assert store.text(loc) == "v"
+        with pytest.raises(StoreError):
+            store.tag(loc)
+        elem = store.new_element("a")
+        with pytest.raises(StoreError):
+            store.text(elem)
+
+    def test_size(self, figure1):
+        assert figure1.size() == 9
+        assert len(figure1.store) == 9
+
+
+class TestTraversal:
+    def test_descendants_document_order(self, figure1):
+        store = figure1.store
+        tags = [store.tag(d) for d in store.descendants(figure1.root)]
+        assert tags == ["a", "c", "a", "c", "b", "c", "a", "c"]
+
+    def test_descendants_or_self(self, figure1):
+        store = figure1.store
+        nodes = list(store.descendants_or_self(figure1.root))
+        assert nodes[0] == figure1.root
+        assert len(nodes) == 9
+
+    def test_ancestors(self, figure1):
+        store = figure1.store
+        c_loc = store.children(store.children(figure1.root)[0])[0]
+        assert [store.tag(a) for a in store.ancestors(c_loc)] == ["a", "doc"]
+
+    def test_siblings(self, figure1):
+        store = figure1.store
+        kids = store.children(figure1.root)
+        assert store.siblings_after(kids[1]) == kids[2:]
+        assert store.siblings_before(kids[1]) == kids[:1]
+        assert store.siblings_after(figure1.root) == []
+
+
+class TestMutation:
+    def test_replace_children_updates_parents(self, figure1):
+        store = figure1.store
+        kids = store.children(figure1.root)
+        store.replace_children(figure1.root, kids[:2])
+        assert store.parent(kids[3]) is None
+        assert store.children(figure1.root) == kids[:2]
+
+    def test_rename(self, figure1):
+        store = figure1.store
+        kid = store.children(figure1.root)[2]
+        store.rename(kid, "a")
+        assert store.tag(kid) == "a"
+
+    def test_rename_text_rejected(self):
+        store = Store()
+        loc = store.new_text("x")
+        with pytest.raises(StoreError):
+            store.rename(loc, "a")
+
+    def test_detach(self, figure1):
+        store = figure1.store
+        kid = store.children(figure1.root)[0]
+        store.detach(kid)
+        assert store.parent(kid) is None
+        assert len(store.children(figure1.root)) == 3
+        assert kid in store  # detached, not deleted from the store
+
+    def test_detach_root_is_noop(self, figure1):
+        figure1.store.detach(figure1.root)
+        assert figure1.root in figure1.store
+
+
+class TestCopying:
+    def test_copy_subtree_is_value_equivalent(self, figure1):
+        store = figure1.store
+        copy = store.copy_subtree(store, figure1.root)
+        assert copy != figure1.root
+        assert value_equivalent(store, copy, store, figure1.root)
+
+    def test_copy_is_detached(self, figure1):
+        store = figure1.store
+        kid = store.children(figure1.root)[0]
+        copy = store.copy_subtree(store, kid)
+        assert store.parent(copy) is None
+
+    def test_clone_independent(self, figure1):
+        clone = figure1.store.clone()
+        kid = clone.children(figure1.root)[0]
+        clone.rename(kid, "z")
+        original_kid = figure1.store.children(figure1.root)[0]
+        assert figure1.store.tag(original_kid) == "a"
+
+    def test_restrict_to(self, figure1):
+        store = figure1.store
+        kid = store.children(figure1.root)[0]
+        sub = store.restrict_to(kid)
+        assert kid in sub
+        assert figure1.root not in sub
+        assert len(sub) == 2
+
+
+class TestValueEquivalence:
+    def test_reflexive(self, figure1):
+        assert value_equivalent(
+            figure1.store, figure1.root, figure1.store, figure1.root
+        )
+
+    def test_different_tag(self):
+        s = Store()
+        a = s.new_element("a")
+        b = s.new_element("b")
+        assert not value_equivalent(s, a, s, b)
+
+    def test_different_text(self):
+        s = Store()
+        t1 = s.new_text("x")
+        t2 = s.new_text("y")
+        assert not value_equivalent(s, t1, s, t2)
+
+    def test_child_order_matters(self):
+        s = Store()
+        ab = s.new_element("r", [s.new_element("a"), s.new_element("b")])
+        ba = s.new_element("r", [s.new_element("b"), s.new_element("a")])
+        assert not value_equivalent(s, ab, s, ba)
+
+    def test_text_vs_element(self):
+        s = Store()
+        assert not value_equivalent(
+            s, s.new_text("a"), s, s.new_element("a")
+        )
+
+    def test_sequences(self):
+        s = Store()
+        a1, a2 = s.new_element("a"), s.new_element("a")
+        b = s.new_element("b")
+        assert sequences_equivalent(s, [a1, b], s, [a2, b])
+        assert not sequences_equivalent(s, [a1, b], s, [b, a1])
+        assert not sequences_equivalent(s, [a1], s, [a1, b])

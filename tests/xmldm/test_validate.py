@@ -1,0 +1,83 @@
+"""Validation against DTDs and EDTDs."""
+
+import pytest
+
+from repro.schema import DTD, EDTD
+from repro.xmldm import (
+    ValidationError,
+    is_valid,
+    is_valid_edtd,
+    parse_xml,
+    typing,
+    validate,
+)
+
+
+class TestDTDValidation:
+    def test_figure1_valid(self, figure1_tree, doc_dtd):
+        validate(figure1_tree, doc_dtd)
+
+    def test_wrong_root(self, doc_dtd):
+        tree = parse_xml("<a><c/></a>")
+        with pytest.raises(ValidationError):
+            validate(tree, doc_dtd)
+
+    def test_unknown_element(self, doc_dtd):
+        tree = parse_xml("<doc><z/></doc>")
+        with pytest.raises(ValidationError):
+            validate(tree, doc_dtd)
+
+    def test_content_model_violation(self, doc_dtd):
+        tree = parse_xml("<doc><a/></doc>")  # a requires a c child
+        assert not is_valid(tree, doc_dtd)
+
+    def test_text_where_element_expected(self, doc_dtd):
+        tree = parse_xml("<doc>text</doc>")
+        assert not is_valid(tree, doc_dtd)
+
+    def test_pcdata_allowed(self):
+        dtd = DTD.from_dict("t", {"t": "(#PCDATA)"})
+        assert is_valid(parse_xml("<t>hello</t>"), dtd)
+        assert is_valid(parse_xml("<t/>"), dtd)
+
+    def test_bib_fixture_valid(self, bib_tree, bib):
+        validate(bib_tree, bib)
+
+    def test_error_carries_location(self, doc_dtd):
+        tree = parse_xml("<doc><a/></doc>")
+        with pytest.raises(ValidationError) as exc:
+            validate(tree, doc_dtd)
+        assert exc.value.loc in tree.store
+
+
+class TestEDTDValidation:
+    @pytest.fixture()
+    def schema(self) -> EDTD:
+        """a1 has a b child, a2 has a c child; both labeled 'a'."""
+        core = DTD.from_dict(
+            "r",
+            {"r": "(a1, a2)", "a1": "b", "a2": "c", "b": "EMPTY",
+             "c": "EMPTY"},
+        )
+        return EDTD(core, {"r": "r", "a1": "a", "a2": "a", "b": "b",
+                           "c": "c"})
+
+    def test_valid_assignment(self, schema):
+        tree = parse_xml("<r><a><b/></a><a><c/></a></r>")
+        assignment = typing(tree, schema)
+        assert assignment is not None
+        kids = tree.store.children(tree.root)
+        assert assignment[kids[0]] == "a1"
+        assert assignment[kids[1]] == "a2"
+
+    def test_order_matters(self, schema):
+        tree = parse_xml("<r><a><c/></a><a><b/></a></r>")
+        assert not is_valid_edtd(tree, schema)
+
+    def test_wrong_label(self, schema):
+        tree = parse_xml("<r><x/><a><c/></a></r>")
+        assert not is_valid_edtd(tree, schema)
+
+    def test_root_label(self, schema):
+        tree = parse_xml("<nope/>")
+        assert typing(tree, schema) is None

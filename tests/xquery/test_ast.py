@@ -1,0 +1,66 @@
+"""Core AST helpers: free variables, sizes, node tests, axis classes."""
+
+from repro.schema.regex import TEXT_SYMBOL
+from repro.xquery.ast import (
+    Axis,
+    NameTest,
+    NodeKindTest,
+    TextTest,
+    WildcardTest,
+    query_size,
+    node_test_matches,
+)
+from repro.xquery.parser import parse_query
+
+
+class TestAxisClasses:
+    def test_recursive_axes(self):
+        recursive = {a for a in Axis if a.is_recursive}
+        assert recursive == {
+            Axis.DESCENDANT,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF,
+        }
+
+    def test_stepf_axes(self):
+        """Rule (STEPF) covers self, child, descendant-or-self (Table 1)."""
+        forward = {a for a in Axis if a.is_forward_downward}
+        assert forward == {Axis.SELF, Axis.CHILD, Axis.DESCENDANT_OR_SELF}
+
+    def test_descendant_goes_to_stepuh(self):
+        assert not Axis.DESCENDANT.is_forward_downward
+
+
+class TestNodeTests:
+    def test_name_test(self):
+        assert node_test_matches(NameTest("a"), "a")
+        assert not node_test_matches(NameTest("a"), "b")
+        assert not node_test_matches(NameTest("a"), TEXT_SYMBOL)
+
+    def test_text_test(self):
+        assert node_test_matches(TextTest(), TEXT_SYMBOL)
+        assert not node_test_matches(TextTest(), "a")
+
+    def test_node_test(self):
+        assert node_test_matches(NodeKindTest(), "a")
+        assert node_test_matches(NodeKindTest(), TEXT_SYMBOL)
+
+    def test_wildcard(self):
+        assert node_test_matches(WildcardTest(), "a")
+        assert not node_test_matches(WildcardTest(), TEXT_SYMBOL)
+
+
+class TestQuerySize:
+    def test_single_step(self):
+        assert query_size(parse_query("$x/child::a")) == 1
+
+    def test_grows_with_structure(self):
+        small = query_size(parse_query("$x/a"))
+        large = query_size(parse_query("for $y in $x/a return ($y/b, $y/c)"))
+        assert large > small
+
+    def test_str_rendering_stable(self):
+        q = parse_query("for $x in $y/child::a return $x/child::b")
+        assert "for $x in" in str(q)
+        assert "child::b" in str(q)

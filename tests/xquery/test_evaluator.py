@@ -1,0 +1,165 @@
+"""Dynamic query semantics over stores."""
+
+import pytest
+
+from repro.xmldm import parse_xml, value_equivalent
+from repro.xquery import (
+    ROOT_VAR,
+    EvaluationError,
+    evaluate_query,
+    parse_query,
+)
+
+
+def run(query_text: str, tree):
+    return evaluate_query(
+        parse_query(query_text), tree.store, {ROOT_VAR: [tree.root]}
+    )
+
+
+def tags(tree, locs):
+    return [tree.store.typ(loc) for loc in locs]
+
+
+@pytest.fixture()
+def doc():
+    return parse_xml(
+        "<doc>"
+        "<a><c>one</c></a>"
+        "<a><c>two</c></a>"
+        "<b><c>three</c></b>"
+        "<a><c>four</c></a>"
+        "</doc>"
+    )
+
+
+class TestAxes:
+    def test_child(self, doc):
+        assert tags(doc, run("/doc/a", doc)) == ["a", "a", "a"]
+
+    def test_child_name_filter(self, doc):
+        assert tags(doc, run("/doc/b", doc)) == ["b"]
+
+    def test_self_mismatch_is_empty(self, doc):
+        assert run("/nope", doc) == []
+
+    def test_descendant(self, doc):
+        result = run("/doc/descendant::c", doc)
+        assert tags(doc, result) == ["c", "c", "c", "c"]
+
+    def test_descendant_or_self(self, doc):
+        result = run("/descendant-or-self::node()", doc)
+        assert len(result) == doc.size()
+        assert result[0] == doc.root
+
+    def test_parent(self, doc):
+        result = run("/doc/a/c/parent::a", doc)
+        assert tags(doc, result) == ["a", "a", "a"]
+
+    def test_parent_of_root_empty(self, doc):
+        assert run("/doc/parent::node()", doc) == []
+
+    def test_ancestor(self, doc):
+        result = run("/doc/a/c/ancestor::node()", doc)
+        # Each of the three a/c nodes contributes doc and its a parent.
+        assert tags(doc, result) == ["doc", "a"] * 3
+
+    def test_ancestor_or_self(self, doc):
+        result = run("/doc/b/ancestor-or-self::node()", doc)
+        assert tags(doc, result) == ["doc", "b"]
+
+    def test_following_sibling(self, doc):
+        result = run("/doc/b/following-sibling::node()", doc)
+        assert tags(doc, result) == ["a"]
+
+    def test_preceding_sibling(self, doc):
+        result = run("/doc/b/preceding-sibling::node()", doc)
+        assert tags(doc, result) == ["a", "a"]
+
+    def test_following_encoded(self, doc):
+        result = run("/doc/b/following::c", doc)
+        assert tags(doc, result) == ["c"]
+
+    def test_text_test(self, doc):
+        result = run("/doc/a/c/text()", doc)
+        values = [doc.store.text(loc) for loc in result]
+        assert values == ["one", "two", "four"]
+
+    def test_wildcard_excludes_text(self, doc):
+        result = run("/doc/a/*", doc)
+        assert tags(doc, result) == ["c", "c", "c"]
+
+    def test_node_includes_text(self, doc):
+        result = run("/doc/a/c/node()", doc)
+        assert all(doc.store.is_text(loc) for loc in result)
+
+
+class TestCompound:
+    def test_double_slash(self, doc):
+        assert tags(doc, run("//c", doc)) == ["c"] * 4
+
+    def test_paper_q1(self, doc):
+        assert len(run("//a//c", doc)) == 3
+
+    def test_sequence_concat(self, doc):
+        result = run("(/doc/b, /doc/a)", doc)
+        assert tags(doc, result) == ["b", "a", "a", "a"]
+
+    def test_if_then_else(self, doc):
+        assert tags(doc, run("if (/doc/b) then /doc/a else ()", doc)) == [
+            "a", "a", "a"
+        ]
+        assert run("if (/doc/z) then /doc/a else ()", doc) == []
+
+    def test_let_binds_sequence(self, doc):
+        result = run("let $x := /doc/a return ($x/c, $x/c)", doc)
+        assert len(result) == 6
+
+    def test_for_iterates_in_order(self, doc):
+        result = run("for $x in /doc/a return $x/c/text()", doc)
+        assert [doc.store.text(l) for l in result] == ["one", "two", "four"]
+
+    def test_predicate_filters(self, doc):
+        result = run("/doc/a[c]", doc)
+        assert len(result) == 3
+        assert run("/doc/a[z]", doc) == []
+
+    def test_not_predicate(self, doc):
+        assert len(run("/doc/a[not(z)]", doc)) == 3
+        assert run("/doc/a[not(c)]", doc) == []
+
+
+class TestConstruction:
+    def test_string_literal_makes_text_node(self, doc):
+        (loc,) = run('"hi"', doc)
+        assert doc.store.text(loc) == "hi"
+
+    def test_element_copies_content(self, doc):
+        (loc,) = run("<wrap>{/doc/b}</wrap>", doc)
+        store = doc.store
+        assert store.tag(loc) == "wrap"
+        (copy,) = store.children(loc)
+        original = run("/doc/b", doc)[0]
+        assert copy != original
+        assert value_equivalent(store, copy, store, original)
+
+    def test_construction_does_not_mutate_input(self, doc):
+        before = doc.size()
+        run("<wrap>{/doc/a}</wrap>", doc)
+        # New nodes were allocated, but the original tree is unchanged.
+        assert doc.size() == before
+        assert tags(doc, run("/doc/a", doc)) == ["a", "a", "a"]
+
+    def test_nested_construction(self, doc):
+        (loc,) = run("<r1><r2>{/doc/b/c/text()}</r2></r1>", doc)
+        store = doc.store
+        (r2,) = store.children(loc)
+        assert store.tag(r2) == "r2"
+        (t,) = store.children(r2)
+        assert store.text(t) == "three"
+
+
+class TestErrors:
+    def test_unbound_variable(self, doc):
+        with pytest.raises(EvaluationError):
+            evaluate_query(parse_query("$nope/a"), doc.store, {})

@@ -1,0 +1,115 @@
+"""Property-based checks of the dynamic semantics (axis dualities)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import bib_dtd, paper_d1_dtd, paper_doc_dtd
+from repro.xmldm import generate_document
+from repro.xmldm.store import Tree
+
+
+def _all_elements(tree: Tree):
+    return [
+        loc for loc in tree.store.descendants_or_self(tree.root)
+        if tree.store.is_element(loc)
+    ]
+
+
+def _tree(seed: int) -> Tree:
+    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
+    return generate_document(dtds[seed % 3], 900, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_child_parent_duality(seed):
+    tree = _tree(seed)
+    store = tree.store
+    for loc in _all_elements(tree):
+        for child in store.children(loc):
+            assert store.parent(child) == loc
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_descendant_ancestor_duality(seed):
+    tree = _tree(seed)
+    store = tree.store
+    for loc in _all_elements(tree)[:40]:
+        for descendant in store.descendants(loc):
+            assert loc in set(store.ancestors(descendant))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_sibling_duality(seed):
+    tree = _tree(seed)
+    store = tree.store
+    for loc in _all_elements(tree)[:40]:
+        for sibling in store.siblings_after(loc):
+            assert loc in store.siblings_before(sibling)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_descendants_partition(seed):
+    """descendants-or-self = self + children's descendants-or-self,
+    in document order."""
+    tree = _tree(seed)
+    store = tree.store
+    for loc in _all_elements(tree)[:25]:
+        expected = [loc]
+        for child in store.children(loc):
+            expected.extend(store.descendants_or_self(child))
+        assert list(store.descendants_or_self(loc)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_node_chains_follow_dtd(seed):
+    """Every node chain of a valid generated document is a DTD chain
+    rooted at the start symbol (Proposition 2.3)."""
+    from repro.schema import is_chain
+
+    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
+    dtd = dtds[seed % 3]
+    tree = generate_document(dtd, 900, seed=seed)
+    store = tree.store
+    for loc in store.descendants_or_self(tree.root):
+        chain = store.node_chain(loc)
+        assert chain[0] == dtd.start
+        assert is_chain(dtd, chain)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_evaluation_is_deterministic(seed):
+    from repro.xquery import ROOT_VAR, evaluate_query, parse_query
+
+    tree = _tree(seed)
+    query = parse_query("/descendant-or-self::node()")
+    first = evaluate_query(query, tree.store, {ROOT_VAR: [tree.root]})
+    second = evaluate_query(query, tree.store, {ROOT_VAR: [tree.root]})
+    assert first == second
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_order_relation_covers_observed_sibling_orders(seed):
+    """Dynamic check of the <r relation: every ordered sibling-tag pair
+    observed in a valid document is in the content model's relation."""
+    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
+    dtd = dtds[seed % 3]
+    tree = generate_document(dtd, 1200, seed=seed)
+    store = tree.store
+    for loc in store.descendants_or_self(tree.root):
+        if not store.is_element(loc):
+            continue
+        relation = dtd.sibling_order(store.tag(loc))
+        kids = store.children(loc)
+        symbols = [store.typ(k) for k in kids]
+        for i, first in enumerate(symbols):
+            for second in symbols[i + 1:]:
+                assert (first, second) in relation, (
+                    store.tag(loc), first, second
+                )

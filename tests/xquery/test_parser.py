@@ -1,0 +1,222 @@
+"""Surface-syntax parsing and desugaring to the core fragment."""
+
+import pytest
+
+from repro.xquery.ast import (
+    Axis,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    NameTest,
+    NodeKindTest,
+    ROOT_VAR,
+    Step,
+    StringLit,
+    TextTest,
+    WildcardTest,
+    free_variables,
+)
+from repro.xquery.parser import QueryParseError, parse_query
+
+
+class TestCoreForms:
+    def test_empty(self):
+        assert parse_query("()") == Empty()
+
+    def test_string(self):
+        assert parse_query('"hello"') == StringLit("hello")
+        assert parse_query("'hi'") == StringLit("hi")
+
+    def test_sequence(self):
+        q = parse_query('"a", "b"')
+        assert q == Concat(StringLit("a"), StringLit("b"))
+
+    def test_explicit_step(self):
+        q = parse_query("$x/child::a")
+        assert q == Step("$x", Axis.CHILD, NameTest("a"))
+
+    def test_for(self):
+        q = parse_query("for $x in $y/child::a return $x/child::b")
+        assert isinstance(q, For)
+        assert q.var == "$x"
+
+    def test_let(self):
+        q = parse_query("let $x := $y/child::a return $x/child::b")
+        assert isinstance(q, Let)
+
+    def test_if(self):
+        q = parse_query('if ($x/child::a) then "y" else "n"')
+        assert isinstance(q, If)
+        assert q.then == StringLit("y")
+
+    def test_element_empty(self):
+        assert parse_query("<a/>") == Element("a", Empty())
+
+    def test_element_with_text(self):
+        assert parse_query("<a>hi</a>") == Element("a", StringLit("hi"))
+
+    def test_element_nested(self):
+        q = parse_query("<a><b/><c/></a>")
+        assert q == Element("a", Concat(Element("b", Empty()),
+                                        Element("c", Empty())))
+
+    def test_element_enclosed_expr(self):
+        q = parse_query("<a>{$x/child::b}</a>")
+        assert q == Element("a", Step("$x", Axis.CHILD, NameTest("b")))
+
+
+class TestPathDesugaring:
+    def test_bare_variable(self):
+        assert parse_query("$x") == Step("$x", Axis.SELF, NodeKindTest())
+
+    def test_absolute_first_step_is_self(self):
+        q = parse_query("/site")
+        assert q == Step(ROOT_VAR, Axis.SELF, NameTest("site"))
+
+    def test_two_step_path_nests_for(self):
+        q = parse_query("/site/people")
+        assert isinstance(q, For)
+        assert q.source == Step(ROOT_VAR, Axis.SELF, NameTest("site"))
+        assert isinstance(q.body, Step)
+        assert q.body.axis is Axis.CHILD
+        assert q.body.test == NameTest("people")
+
+    def test_double_slash_encoding(self):
+        """// = /descendant-or-self::node()/child::phi (the paper)."""
+        q = parse_query("//a")
+        assert isinstance(q, For)
+        assert q.source == Step(ROOT_VAR, Axis.DESCENDANT_OR_SELF,
+                                NodeKindTest())
+        assert q.body == Step(q.var, Axis.CHILD, NameTest("a"))
+
+    def test_relative_step_from_variable(self):
+        q = parse_query("$x/a")
+        assert q == Step("$x", Axis.CHILD, NameTest("a"))
+
+    def test_variable_double_slash(self):
+        q = parse_query("$x//b")
+        assert isinstance(q, For)
+        assert q.source.axis is Axis.DESCENDANT_OR_SELF
+
+    def test_dot_and_dotdot(self):
+        assert parse_query("$x/.") == Step("$x", Axis.SELF, NodeKindTest())
+        assert parse_query("$x/..") == Step("$x", Axis.PARENT,
+                                            NodeKindTest())
+
+    def test_explicit_descendant_from_root(self):
+        q = parse_query("/descendant::b")
+        assert q == Step(ROOT_VAR, Axis.DESCENDANT, NameTest("b"))
+
+    def test_wildcard(self):
+        q = parse_query("$x/*")
+        assert q == Step("$x", Axis.CHILD, WildcardTest())
+
+    def test_text_test(self):
+        q = parse_query("$x/text()")
+        assert q == Step("$x", Axis.CHILD, TextTest())
+
+    def test_following_encoding(self):
+        """Footnote 3: ancestor-or-self / following-sibling /
+        descendant-or-self."""
+        q = parse_query("$x/following::a")
+        assert isinstance(q, For)
+        assert q.source.axis is Axis.ANCESTOR_OR_SELF
+        inner = q.body
+        assert inner.source.axis is Axis.FOLLOWING_SIBLING
+        assert inner.body.axis is Axis.DESCENDANT_OR_SELF
+        assert inner.body.test == NameTest("a")
+
+    def test_preceding_encoding(self):
+        q = parse_query("$x/preceding::a")
+        assert q.body.source.axis is Axis.PRECEDING_SIBLING
+
+    def test_attribute_axis_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("$x/attribute::id")
+
+    def test_parenthesized_path_continuation(self):
+        q = parse_query("($x/a, $x/b)/c")
+        assert isinstance(q, For)
+        assert isinstance(q.source, Concat)
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        q = parse_query("$x/a[b]")
+        assert isinstance(q, For)
+        body = q.body
+        assert isinstance(body, If)
+        assert body.cond == Step(q.var, Axis.CHILD, NameTest("b"))
+        assert body.then == Step(q.var, Axis.SELF, NodeKindTest())
+        assert body.orelse == Empty()
+
+    def test_or_predicate_is_sequence(self):
+        q = parse_query("$x/a[b or c]")
+        assert isinstance(q.body.cond, Concat)
+
+    def test_and_predicate_nests_if(self):
+        q = parse_query("$x/a[b and c]")
+        cond = q.body.cond
+        assert isinstance(cond, If)
+        assert cond.orelse == Empty()
+
+    def test_not_predicate_swaps_branches(self):
+        q = parse_query("$x/a[not(b)]")
+        cond = q.body.cond
+        assert isinstance(cond, If)
+        assert cond.then == Empty()
+        assert cond.orelse == StringLit("true")
+
+    def test_axis_in_predicate(self):
+        q = parse_query("$x/a[descendant::k]")
+        assert q.body.cond.axis is Axis.DESCENDANT
+
+    def test_absolute_path_in_predicate(self):
+        q = parse_query("$x/a[/site/b]")
+        cond = q.body.cond
+        assert isinstance(cond, For)
+        assert cond.source.var == ROOT_VAR
+
+    def test_top_level_not(self):
+        q = parse_query("not($x/a)")
+        assert isinstance(q, If)
+        assert q.then == Empty()
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError):
+            parse_query("$x/a extra")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryParseError):
+            parse_query('"open')
+
+    def test_missing_return(self):
+        with pytest.raises(QueryParseError):
+            parse_query("for $x in $y/a")
+
+    def test_bare_name_is_not_a_path(self):
+        with pytest.raises(QueryParseError):
+            parse_query("site/people")
+
+    def test_mismatched_constructor(self):
+        with pytest.raises(QueryParseError):
+            parse_query("<a></b>")
+
+
+class TestFreeVariables:
+    def test_quasi_closed(self):
+        q = parse_query("//a//c")
+        assert free_variables(q) == {ROOT_VAR}
+
+    def test_for_binds(self):
+        q = parse_query("for $x in $y/a return $x/b")
+        assert free_variables(q) == {"$y"}
+
+    def test_fresh_variables_do_not_leak(self):
+        q = parse_query("/site/people/person[phone or homepage]/name")
+        assert free_variables(q) == {ROOT_VAR}

@@ -1,0 +1,153 @@
+"""Update dynamic semantics: UPL creation and application."""
+
+import pytest
+
+from repro.xmldm import parse_xml, serialize
+from repro.xquery import ROOT_VAR
+from repro.xupdate import (
+    Del,
+    Ins,
+    Ren,
+    Repl,
+    UpdateError,
+    apply_update_to_root,
+    evaluate_update,
+    parse_update,
+)
+
+
+def apply(text: str, tree):
+    return apply_update_to_root(parse_update(text), tree.store, tree.root)
+
+
+def xml(tree) -> str:
+    return serialize(tree.store, tree.root)
+
+
+@pytest.fixture()
+def doc():
+    return parse_xml("<doc><a><c/></a><b><c/></b><a><c/></a></doc>")
+
+
+class TestDelete:
+    def test_delete_single(self, doc):
+        apply("delete /doc/b", doc)
+        assert xml(doc) == "<doc><a><c/></a><a><c/></a></doc>"
+
+    def test_delete_many(self, doc):
+        apply("delete //c", doc)
+        assert xml(doc) == "<doc><a/><b/><a/></doc>"
+
+    def test_delete_nothing(self, doc):
+        commands = apply("delete /doc/z", doc)
+        assert commands == []
+
+    def test_paper_u1(self, doc):
+        apply("delete //b//c", doc)
+        assert xml(doc) == "<doc><a><c/></a><b/><a><c/></a></doc>"
+
+
+class TestInsert:
+    def test_insert_into_appends(self, doc):
+        apply("insert <d/> into /doc/b", doc)
+        assert "<b><c/><d/></b>" in xml(doc)
+
+    def test_insert_as_first(self, doc):
+        apply("insert <d/> as first into /doc/b", doc)
+        assert "<b><d/><c/></b>" in xml(doc)
+
+    def test_insert_before(self, doc):
+        apply("insert <d/> before /doc/b", doc)
+        assert xml(doc) == "<doc><a><c/></a><d/><b><c/></b><a><c/></a></doc>"
+
+    def test_insert_after(self, doc):
+        apply("insert <d/> after /doc/b", doc)
+        assert xml(doc) == "<doc><a><c/></a><b><c/></b><d/><a><c/></a></doc>"
+
+    def test_insert_copies_source(self, doc):
+        """W3C copy semantics: inserting an existing node copies it."""
+        apply("insert /doc/b into /doc/a[following-sibling::b]", doc)
+        assert xml(doc) == (
+            "<doc><a><c/><b><c/></b></a><b><c/></b><a><c/></a></doc>"
+        )
+
+    def test_insert_multi_target_rejected(self, doc):
+        with pytest.raises(UpdateError):
+            apply("insert <d/> into /doc/a", doc)
+
+    def test_insert_sequence_source(self, doc):
+        apply("insert (<d/>, <e/>) into /doc/b", doc)
+        assert "<b><c/><d/><e/></b>" in xml(doc)
+
+    def test_for_loop_insert(self, doc):
+        apply("for $x in /doc/a return insert <d/> into $x", doc)
+        assert xml(doc) == (
+            "<doc><a><c/><d/></a><b><c/></b><a><c/><d/></a></doc>"
+        )
+
+
+class TestRenameReplace:
+    def test_rename(self, doc):
+        apply("rename /doc/b as a", doc)
+        assert xml(doc) == "<doc><a><c/></a><a><c/></a><a><c/></a></doc>"
+
+    def test_rename_multi_target_rejected(self, doc):
+        with pytest.raises(UpdateError):
+            apply("rename /doc/a as z", doc)
+
+    def test_replace(self, doc):
+        apply("replace /doc/b with <z>new</z>", doc)
+        assert xml(doc) == (
+            "<doc><a><c/></a><z>new</z><a><c/></a></doc>"
+        )
+
+    def test_replace_with_sequence(self, doc):
+        apply("replace /doc/b with (<y/>, <z/>)", doc)
+        assert "<y/><z/>" in xml(doc)
+
+    def test_replace_root_rejected(self, doc):
+        with pytest.raises(UpdateError):
+            apply("replace /doc with <z/>", doc)
+
+    def test_paper_u2(self, bib_tree):
+        apply(
+            "for $x in //book return insert <author><last>E</last>"
+            "<first>U</first></author> into $x",
+            bib_tree,
+        )
+        out = xml(bib_tree)
+        assert out.count("<author>") == 3  # one original + two inserted
+
+
+class TestUPL:
+    def test_commands_created_without_mutation(self, doc):
+        before = xml(doc)
+        commands = evaluate_update(
+            parse_update("delete /doc/b"), doc.store,
+            {ROOT_VAR: [doc.root]},
+        )
+        assert [type(c) for c in commands] == [Del]
+        assert xml(doc) == before  # phase (i) does not modify the tree
+
+    def test_command_kinds(self, doc):
+        text = (
+            "delete /doc/b, rename /doc/b as z, "
+            "insert <d/> into /doc/b, replace /doc/b with <e/>"
+        )
+        commands = evaluate_update(
+            parse_update(text), doc.store, {ROOT_VAR: [doc.root]}
+        )
+        assert [type(c) for c in commands] == [Del, Ren, Ins, Repl]
+
+    def test_conditional_update(self, doc):
+        apply("if (/doc/b) then delete /doc/b else ()", doc)
+        assert "<b>" not in xml(doc)
+
+    def test_let_update(self, doc):
+        apply("let $x := /doc/b return delete $x/c", doc)
+        assert "<b/>" in xml(doc)
+
+    def test_empty_update(self, doc):
+        before = xml(doc)
+        apply("()", doc)
+        assert xml(doc) == before

@@ -1,0 +1,120 @@
+"""Update-fragment parsing."""
+
+import pytest
+
+from repro.xquery.ast import Element, Empty, Step
+from repro.xquery.parser import QueryParseError
+from repro.xupdate.ast import (
+    Delete,
+    Insert,
+    InsertPos,
+    Rename,
+    Replace,
+    UConcat,
+    UFor,
+    UIf,
+    ULet,
+    update_free_variables,
+    update_size,
+)
+from repro.xupdate.parser import parse_update
+
+
+class TestOperators:
+    def test_delete(self):
+        u = parse_update("delete $x/child::a")
+        assert isinstance(u, Delete)
+
+    def test_delete_nodes_keyword(self):
+        assert parse_update("delete nodes $x/a") == parse_update(
+            "delete $x/a"
+        )
+
+    def test_delete_node_test_not_swallowed(self):
+        u = parse_update("delete $x/child::node()")
+        assert isinstance(u.target, Step)
+
+    def test_rename(self):
+        u = parse_update("rename $x as b")
+        assert isinstance(u, Rename)
+        assert u.tag == "b"
+
+    def test_insert_into(self):
+        u = parse_update("insert <a/> into $x")
+        assert isinstance(u, Insert)
+        assert u.pos is InsertPos.INTO
+        assert u.source == Element("a", Empty())
+
+    def test_insert_positions(self):
+        assert parse_update("insert <a/> before $x").pos is InsertPos.BEFORE
+        assert parse_update("insert <a/> after $x").pos is InsertPos.AFTER
+        assert parse_update(
+            "insert <a/> as first into $x"
+        ).pos is InsertPos.INTO_FIRST
+        assert parse_update(
+            "insert <a/> as last into $x"
+        ).pos is InsertPos.INTO_LAST
+
+    def test_replace(self):
+        u = parse_update("replace $x/a with <b/>")
+        assert isinstance(u, Replace)
+
+    def test_w3c_keyword_forms(self):
+        u = parse_update("insert node <a/> into $x")
+        assert isinstance(u, Insert)
+        u2 = parse_update("replace node $x/a with <b/>")
+        assert isinstance(u2, Replace)
+
+
+class TestComposition:
+    def test_sequence(self):
+        u = parse_update("delete $x/a, delete $x/b")
+        assert isinstance(u, UConcat)
+
+    def test_for(self):
+        u = parse_update("for $x in //book return insert <author/> into $x")
+        assert isinstance(u, UFor)
+        assert isinstance(u.body, Insert)
+
+    def test_let(self):
+        u = parse_update("let $x := //book return delete $x/price")
+        assert isinstance(u, ULet)
+
+    def test_if(self):
+        u = parse_update(
+            "if ($x/a) then delete $x/a else rename $x/b as c"
+        )
+        assert isinstance(u, UIf)
+
+    def test_parenthesized_empty(self):
+        u = parse_update("if ($x/a) then delete $x/a else ()")
+        assert isinstance(u, UIf)
+
+    def test_free_variables(self):
+        u = parse_update("for $x in //book return insert <author/> into $x")
+        assert update_free_variables(u) == {"$doc"}
+
+    def test_update_size(self):
+        small = update_size(parse_update("delete $x/a"))
+        large = update_size(
+            parse_update("for $y in $x/a return delete $y/b")
+        )
+        assert large > small
+
+
+class TestErrors:
+    def test_missing_position(self):
+        with pytest.raises(QueryParseError):
+            parse_update("insert <a/> $x")
+
+    def test_missing_with(self):
+        with pytest.raises(QueryParseError):
+            parse_update("replace $x/a <b/>")
+
+    def test_bad_as_clause(self):
+        with pytest.raises(QueryParseError):
+            parse_update("insert <a/> as middle into $x")
+
+    def test_query_is_not_update(self):
+        with pytest.raises(QueryParseError):
+            parse_update("$x/child::a")

@@ -1,0 +1,93 @@
+"""UPL sanity checks and application order (W3C phases ii and iii)."""
+
+import pytest
+
+from repro.xmldm import parse_xml, serialize
+from repro.xupdate import (
+    Del,
+    Ins,
+    InsertPos,
+    Ren,
+    Repl,
+    UpdateError,
+    apply_pul,
+    check_pul,
+)
+
+
+@pytest.fixture()
+def doc():
+    return parse_xml("<doc><a/><b/></doc>")
+
+
+def loc_of(tree, tag):
+    return next(
+        l for l in tree.store.descendants(tree.root)
+        if tree.store.is_element(l) and tree.store.tag(l) == tag
+    )
+
+
+class TestChecks:
+    def test_double_rename_rejected(self, doc):
+        a = loc_of(doc, "a")
+        with pytest.raises(UpdateError):
+            check_pul(doc.store, [Ren(a, "x"), Ren(a, "y")])
+
+    def test_double_replace_rejected(self, doc):
+        a = loc_of(doc, "a")
+        new = doc.store.new_element("n")
+        with pytest.raises(UpdateError):
+            check_pul(doc.store, [Repl(a, (new,)), Repl(a, (new,))])
+
+    def test_rename_then_replace_allowed(self, doc):
+        a = loc_of(doc, "a")
+        new = doc.store.new_element("n")
+        check_pul(doc.store, [Ren(a, "x"), Repl(a, (new,))])
+
+    def test_unknown_target_rejected(self, doc):
+        with pytest.raises(UpdateError):
+            check_pul(doc.store, [Del(99999)])
+
+    def test_replace_root_rejected(self, doc):
+        new = doc.store.new_element("n")
+        with pytest.raises(UpdateError):
+            check_pul(doc.store, [Repl(doc.root, (new,))])
+
+    def test_insert_sibling_of_root_rejected(self, doc):
+        new = doc.store.new_element("n")
+        with pytest.raises(UpdateError):
+            check_pul(doc.store,
+                      [Ins((new,), InsertPos.BEFORE, doc.root)])
+
+    def test_rename_text_rejected(self, doc):
+        text = doc.store.new_text("t")
+        with pytest.raises(UpdateError):
+            check_pul(doc.store, [Ren(text, "x")])
+
+
+class TestApplicationOrder:
+    def test_insert_applied_before_delete(self, doc):
+        """Inserting next to a node that is also deleted still lands."""
+        a = loc_of(doc, "a")
+        new = doc.store.new_element("n")
+        apply_pul(doc.store, [Del(a), Ins((new,), InsertPos.AFTER, a)])
+        assert serialize(doc.store, doc.root) == "<doc><n/><b/></doc>"
+
+    def test_rename_applied_first(self, doc):
+        a = loc_of(doc, "a")
+        new = doc.store.new_element("n")
+        apply_pul(doc.store, [Ins((new,), InsertPos.INTO, a), Ren(a, "z")])
+        assert serialize(doc.store, doc.root) == "<doc><z><n/></z><b/></doc>"
+
+    def test_replace_and_delete_same_target(self, doc):
+        a = loc_of(doc, "a")
+        new = doc.store.new_element("n")
+        apply_pul(doc.store, [Repl(a, (new,)), Del(a)])
+        # Replace ran first (a swapped out), delete then detached a, which
+        # is already out of the tree.
+        assert serialize(doc.store, doc.root) == "<doc><n/><b/></doc>"
+
+    def test_empty_pul_is_noop(self, doc):
+        before = serialize(doc.store, doc.root)
+        apply_pul(doc.store, [])
+        assert serialize(doc.store, doc.root) == before
