@@ -15,11 +15,13 @@ Quickstart::
 from .analysis import (
     AnalysisEngine,
     IndependenceReport,
+    MatrixResult,
     analyze,
     baseline_analyze,
     baseline_is_independent,
     dynamic_independent,
     dynamic_independent_generated,
+    engine_for,
     is_independent,
 )
 from .schema import DTD, EDTD, bib_dtd, paper_doc_dtd, xmark_dtd
@@ -39,6 +41,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisEngine",
     "IndependenceReport",
+    "MatrixResult",
+    "engine_for",
     "analyze",
     "baseline_analyze",
     "baseline_is_independent",

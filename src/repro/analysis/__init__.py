@@ -16,6 +16,16 @@ from .cdag import (
     make_component,
     singleton_component,
 )
+from .engine import (
+    AnalysisEngine,
+    CacheStats,
+    MatrixResult,
+    PairVerdict,
+    clear_shared_engines,
+    engine_for,
+    normalize_source,
+    schema_digest,
+)
 from .explain import explain, explain_multiplicity
 from .project import project_for_query, projection_locations
 from .dynamic import (
@@ -25,7 +35,6 @@ from .dynamic import (
     dynamic_independent_generated,
 )
 from .independence import (
-    AnalysisEngine,
     Conflict,
     IndependenceReport,
     analyze,
@@ -74,6 +83,13 @@ __all__ = [
     "dynamic_independent",
     "dynamic_independent_generated",
     "AnalysisEngine",
+    "CacheStats",
+    "MatrixResult",
+    "PairVerdict",
+    "clear_shared_engines",
+    "engine_for",
+    "normalize_source",
+    "schema_digest",
     "Conflict",
     "IndependenceReport",
     "analyze",

@@ -25,11 +25,10 @@ corresponding ``AC``/closure definition of Section 3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..schema.dtd import DTD
 from ..schema.edtd import EDTD
-from ..schema.regex import TEXT_SYMBOL
 
 #: A CDAG node: (depth from the root, chain symbol at that depth).
 Node = tuple[int, str]
@@ -51,17 +50,30 @@ class Universe:
             raise ValueError("depth_cap must be at least 1")
         self.schema = schema
         self.depth_cap = depth_cap
+        self._successors: dict[Node, list[Node]] = {}
 
     def root(self) -> Node:
         return (0, self.schema.start)
 
     def successors(self, node: Node) -> list[Node]:
-        """Universe edges out of ``node`` (empty at the depth cap)."""
+        """Universe edges out of ``node`` (empty at the depth cap).
+
+        Memoized per node: the universe is immutable and successor lists
+        are requested on every axis step, so the answer is computed once
+        per (depth, symbol) and shared across all inferences that reuse
+        this universe.
+        """
+        cached = self._successors.get(node)
+        if cached is not None:
+            return cached
         depth, symbol = node
         if depth + 1 >= self.depth_cap:
-            return []
-        return [(depth + 1, child)
-                for child in self.schema.children_of(symbol)]
+            result: list[Node] = []
+        else:
+            result = [(depth + 1, child)
+                      for child in self.schema.children_of(symbol)]
+        self._successors[node] = result
+        return result
 
     def label(self, symbol: str) -> str:
         """Element label of a chain symbol (EDTD: via mu; DTD: identity)."""
@@ -103,14 +115,21 @@ class Component:
         return not self.ends
 
     def nodes(self) -> frozenset[Node]:
-        """All nodes on some root-to-end path."""
+        """All nodes on some root-to-end path (memoized: conflict tests
+        ask repeatedly and the component is immutable)."""
+        cached = self.__dict__.get("_nodes")
+        if cached is not None:
+            return cached
         if self.is_empty():
-            return frozenset()
-        found: set[Node] = {self.root} | set(self.ends)
-        for source, target in self.edges:
-            found.add(source)
-            found.add(target)
-        return frozenset(found)
+            found = frozenset()
+        else:
+            mutable: set[Node] = {self.root} | set(self.ends)
+            for source, target in self.edges:
+                mutable.add(source)
+                mutable.add(target)
+            found = frozenset(mutable)
+        object.__setattr__(self, "_nodes", found)
+        return found
 
     # -- debugging / tests -------------------------------------------------
 
@@ -191,6 +210,40 @@ def singleton_component(root: Node, constructed: bool = False) -> Component:
     return Component(root, frozenset(), frozenset((root,)), constructed)
 
 
+def trim_to_ends(component: Component, ends: set[Node] | frozenset[Node]
+                 ) -> Component:
+    """Re-target a *trimmed* component at a subset of its nodes.
+
+    Cheaper than :func:`make_component`: every node of a trimmed
+    component is root-reachable already, so only the backward
+    (co-reachability) pass is needed.  ``ends`` must be existing nodes
+    of ``component`` -- end filters, node tests, and the parent/ancestor
+    steps are all of this shape, making this the hottest trim in chain
+    inference.
+    """
+    live = frozenset(ends)
+    if not live:
+        return EMPTY_COMPONENT
+    if live == component.ends:
+        return component
+    reverse: dict[Node, list[Node]] = {}
+    for source, target in component.edges:
+        reverse.setdefault(target, []).append(source)
+    backward: set[Node] = set(live)
+    frontier = list(live)
+    while frontier:
+        node = frontier.pop()
+        for pred in reverse.get(node, ()):
+            if pred not in backward:
+                backward.add(pred)
+                frontier.append(pred)
+    kept = frozenset(
+        (s, t) for (s, t) in component.edges
+        if s in backward and t in backward
+    )
+    return Component(component.root, kept, live, component.constructed)
+
+
 # ---------------------------------------------------------------------------
 # Axis steps over components (the AC definitions of Section 3.1)
 # ---------------------------------------------------------------------------
@@ -227,6 +280,11 @@ def descendant_step(component: Component, universe: Universe,
             if succ not in seen:
                 seen.add(succ)
                 frontier.append(succ)
+    if or_self:
+        # No trimming needed: old nodes stay on root-to-(old end) paths
+        # and every newly added node is itself an end.
+        return Component(component.root, frozenset(new_edges),
+                         frozenset(new_ends), component.constructed)
     return make_component(component.root, new_edges, new_ends,
                           component.constructed)
 
@@ -239,8 +297,7 @@ def parent_step(component: Component) -> Component:
         source for (source, target) in component.edges
         if target in component.ends
     }
-    return make_component(component.root, component.edges, new_ends,
-                          component.constructed)
+    return trim_to_ends(component, new_ends)
 
 
 def ancestor_step(component: Component, or_self: bool) -> Component:
@@ -259,8 +316,7 @@ def ancestor_step(component: Component, or_self: bool) -> Component:
                 strict.add(pred)
                 frontier.append(pred)
     new_ends = strict | set(component.ends) if or_self else strict
-    return make_component(component.root, component.edges, new_ends,
-                          component.constructed)
+    return trim_to_ends(component, new_ends)
 
 
 def self_step(component: Component) -> Component:
@@ -305,17 +361,14 @@ def filter_ends(component: Component, predicate) -> Component:
     if component.is_empty():
         return EMPTY_COMPONENT
     kept = {end for end in component.ends if predicate(end)}
-    return make_component(component.root, component.edges, kept,
-                          component.constructed)
+    return trim_to_ends(component, kept)
 
 
 def restrict_to_ends(component: Component, ends: set[Node]) -> Component:
     """Sub-component of paths reaching one of ``ends``."""
     if component.is_empty():
         return EMPTY_COMPONENT
-    kept = set(component.ends) & set(ends)
-    return make_component(component.root, component.edges, kept,
-                          component.constructed)
+    return trim_to_ends(component, set(ends) & component.ends)
 
 
 def descendant_closure(component: Component, universe: Universe) -> Component:

@@ -18,19 +18,14 @@ undecidable, so a *dependent* verdict may be a false alarm.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..schema.dtd import DTD
 from ..schema.edtd import EDTD
-from ..xquery.ast import ROOT_VAR, Query
-from ..xquery.parser import parse_query
+from ..xquery.ast import Query
 from ..xupdate.ast import Update
-from ..xupdate.parser import parse_update
 from .cdag import Component, Universe, components_conflict, conflict_witness
-from .infer_query import Components, QueryChains, QueryInference
-from .infer_update import UpdateInference
-from .kbound import multiplicity
+from .infer_query import Components, QueryChains
 
 Schema = DTD | EDTD
 
@@ -67,18 +62,15 @@ class IndependenceReport:
         )
 
 
-def depth_cap_for(schema: Schema, k: int) -> int:
-    """Depth cap: the exact maximum length of a k-chain from the root.
+#: Condensation skeleton of a schema's type graph: per SCC in topological
+#: order ``(size, is_recursive, predecessor_indices)``, plus the index of
+#: the start SCC.  Pure and k-independent, so an engine computes it once
+#: and derives every per-k depth cap from it.
+RecursionStructure = tuple[tuple[tuple[int, bool, tuple[int, ...]], ...], int]
 
-    A k-chain repeats each tag at most ``k`` times, so along any chain a
-    strongly connected component of the type graph contributes at most
-    ``k * |SCC|`` symbols if it is recursive and 1 if it is a trivial SCC;
-    the bound is the heaviest root-originating path in the condensation,
-    plus one for a trailing text symbol.  This is far tighter than the
-    naive ``k * |Sigma|`` on schemas (like XMark) whose recursion is
-    confined to a small clique, and equal to it on fully recursive
-    schemas (the R-benchmark's ``dn``).
-    """
+
+def recursion_structure(schema: Schema) -> RecursionStructure:
+    """Step 1 of the depth-cap computation (k-independent, cacheable)."""
     import networkx as nx
 
     graph = nx.DiGraph()
@@ -89,30 +81,51 @@ def depth_cap_for(schema: Schema, k: int) -> int:
                 graph.add_edge(tag, child)
     condensation = nx.condensation(graph)
     members = condensation.graph["mapping"]
-
-    def weight(scc_id: int) -> int:
+    order = list(nx.topological_sort(condensation))
+    index = {scc_id: position for position, scc_id in enumerate(order)}
+    entries = []
+    for scc_id in order:
         scc = condensation.nodes[scc_id]["members"]
         recursive = len(scc) > 1 or any(
             s in schema.children_of(s) for s in scc
         )
-        return k * len(scc) if recursive else len(scc)
+        preds = tuple(sorted(
+            index[pred] for pred in condensation.predecessors(scc_id)
+        ))
+        entries.append((len(scc), recursive, preds))
+    return tuple(entries), index[members[schema.start]]
 
-    start_scc = members[schema.start]
+
+def depth_cap_from(structure: RecursionStructure, k: int) -> int:
+    """Step 2: the depth cap for ``k`` given a condensation skeleton.
+
+    A k-chain repeats each tag at most ``k`` times, so along any chain a
+    strongly connected component of the type graph contributes at most
+    ``k * |SCC|`` symbols if it is recursive and 1 if it is a trivial SCC;
+    the bound is the heaviest root-originating path in the condensation,
+    plus one for a trailing text symbol.  This is far tighter than the
+    naive ``k * |Sigma|`` on schemas (like XMark) whose recursion is
+    confined to a small clique, and equal to it on fully recursive
+    schemas (the R-benchmark's ``dn``).
+    """
+    entries, start = structure
     heaviest: dict[int, int] = {}
-    for scc_id in nx.topological_sort(condensation):
-        if scc_id == start_scc:
-            heaviest[scc_id] = weight(scc_id)
-        incoming = [
-            heaviest[pred]
-            for pred in condensation.predecessors(scc_id)
-            if pred in heaviest
-        ]
+    for position, (size, recursive, preds) in enumerate(entries):
+        weight = k * size if recursive else size
+        if position == start:
+            heaviest[position] = weight
+        incoming = [heaviest[pred] for pred in preds if pred in heaviest]
         if incoming:
-            heaviest[scc_id] = max(
-                heaviest.get(scc_id, 0), max(incoming) + weight(scc_id)
+            heaviest[position] = max(
+                heaviest.get(position, 0), max(incoming) + weight
             )
     longest = max(heaviest.values(), default=1)
     return longest + 1  # one trailing text symbol
+
+
+def depth_cap_for(schema: Schema, k: int) -> int:
+    """Depth cap: the exact maximum length of a k-chain from the root."""
+    return depth_cap_from(recursion_structure(schema), k)
 
 
 def build_universe(schema: Schema, k: int) -> Universe:
@@ -126,61 +139,28 @@ def analyze(
     schema: Schema,
     k: int | None = None,
     collect_witnesses: bool = True,
-    engine: "AnalysisEngine | None" = None,
+    engine=None,
 ) -> IndependenceReport:
     """Statically decide independence of ``query`` and ``update`` w.r.t.
     ``schema``.
 
-    Strings are parsed with the surface parsers.  ``k`` overrides the
-    derived multiplicity (used by the scalability benchmark); ``engine``
-    allows reusing inference caches across many pairs with the same
-    ``(schema, k)``.
+    Strings are parsed with the surface parsers and ``k`` overrides the
+    derived multiplicity (used by the scalability benchmark).  This is a
+    thin wrapper over :class:`repro.analysis.engine.AnalysisEngine`:
+    pass ``engine`` to amortize universe construction and chain
+    inference across many pairs (an engine whose schema does not match
+    is replaced by a throwaway one).
 
     >>> from repro.schema import paper_doc_dtd
     >>> analyze("//a//c", "delete //b//c", paper_doc_dtd()).independent
     True
     """
-    if isinstance(query, str):
-        query = parse_query(query)
-    if isinstance(update, str):
-        update = parse_update(update)
+    from .engine import AnalysisEngine
 
-    started = time.perf_counter()
-    k_query = multiplicity(query)
-    k_update = multiplicity(update)
-    if k is None:
-        k = max(1, k_query + k_update)
-
-    if engine is None or engine.k != k or engine.schema is not schema:
-        engine = AnalysisEngine(schema, k)
-
-    query_chains = engine.queries.infer_root(query, ROOT_VAR)
-    update_chains = engine.updates.infer_root(update, ROOT_VAR)
-
-    conflicts = check_conflicts(query_chains, update_chains,
-                                collect_witnesses)
-    elapsed = time.perf_counter() - started
-    return IndependenceReport(
-        independent=not conflicts,
-        k=k,
-        k_query=k_query,
-        k_update=k_update,
-        conflicts=tuple(conflicts),
-        analysis_seconds=elapsed,
-        query_chains=query_chains,
-        update_chains=update_chains,
-    )
-
-
-class AnalysisEngine:
-    """Reusable inference state for one ``(schema, k)`` configuration."""
-
-    def __init__(self, schema: Schema, k: int):
-        self.schema = schema
-        self.k = k
-        self.universe = build_universe(schema, k)
-        self.queries = QueryInference(self.universe)
-        self.updates = UpdateInference(self.queries)
+    if engine is None or not engine.matches(schema):
+        engine = AnalysisEngine(schema)
+    return engine.analyze_pair(query, update, k=k,
+                               collect_witnesses=collect_witnesses)
 
 
 def check_conflicts(query_chains: QueryChains, update_chains,
@@ -239,12 +219,16 @@ def used_chain_conflict(update_component, used: Component) -> bool:
 
     True iff some used chain ``c_v`` strictly extends a target chain
     ``c`` of the update and is comparable (prefix-wise) with the
-    corresponding full chain ``c.c'``.  Over components: walk the shared
-    edges of both graphs from the root; once the walk has crossed a
-    split node (target end) by at least one edge, reaching either a used
-    end inside the update's graph, or an update full end inside the used
-    graph, witnesses the conflict.  Deleting/renaming the document root
-    (no split) conflicts with every used chain.
+    corresponding full chain ``c.c'``.  Over components: walk the edges
+    shared by both graphs from the root; taking a *suffix* edge (by
+    construction leaving a split end) starts the suffix ``c'``, and from
+    then on only suffix edges may be followed -- on recursive schemas a
+    split end also has non-suffix out-edges that merely lead to deeper
+    occurrences of the target, and following those past the split would
+    manufacture conflicts Definition 4.1 does not contain.  Reaching a
+    used end inside the suffix region, or an update full end from which
+    the used graph continues, witnesses the conflict.  Deleting/renaming
+    the document root (no split) conflicts with every used chain.
     """
     full = update_component.full
     if full.is_empty() or used.is_empty() or full.root != used.root:
@@ -253,14 +237,20 @@ def used_chain_conflict(update_component, used: Component) -> bool:
     # chain strictly extends it and lies below the full chain's end.
     if full.root in full.ends and not update_component.split_ends:
         return True
-    shared: dict = {}
     used_edges = used.edges
+    shared: dict = {}
     for edge in full.edges:
         if edge in used_edges:
             shared.setdefault(edge[0], []).append(edge[1])
-    full_nodes = full.nodes()
+    suffix_shared: dict = {}
+    for edge in update_component.suffix_edges:
+        if edge in used_edges:
+            suffix_shared.setdefault(edge[0], []).append(edge[1])
+    if not suffix_shared:
+        return False
+    full_ends = full.ends
+    used_ends = used.ends
     used_nodes = used.nodes()
-    splits = update_component.split_ends
     seen: set[tuple] = set()
     stack: list[tuple] = [(full.root, False)]
     while stack:
@@ -268,15 +258,17 @@ def used_chain_conflict(update_component, used: Component) -> bool:
         if state in seen:
             continue
         seen.add(state)
-        node, passed = state
-        if passed and (
-            (node in used.ends and node in full_nodes)
-            or (node in full.ends and node in used_nodes)
+        node, in_suffix = state
+        if in_suffix and (
+            node in used_ends
+            or (node in full_ends and node in used_nodes)
         ):
             return True
-        next_passed = passed or node in splits
-        for succ in shared.get(node, ()):
-            stack.append((succ, next_passed))
+        for succ in suffix_shared.get(node, ()):
+            stack.append((succ, True))
+        if not in_suffix:
+            for succ in shared.get(node, ()):
+                stack.append((succ, False))
     return False
 
 
@@ -294,3 +286,12 @@ def is_independent(query: Query | str, update: Update | str,
     """Boolean convenience wrapper around :func:`analyze`."""
     return analyze(query, update, schema, k=k,
                    collect_witnesses=False).independent
+
+
+def __getattr__(name: str):
+    # Historical home of AnalysisEngine; the batch engine now lives in
+    # repro.analysis.engine (lazy import avoids a module cycle).
+    if name == "AnalysisEngine":
+        from .engine import AnalysisEngine
+        return AnalysisEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

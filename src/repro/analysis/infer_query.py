@@ -94,15 +94,17 @@ def _live(components: Components) -> Components:
 class QueryInference:
     """Chain inference engine for one universe (schema + depth cap).
 
-    Results are memoized on ``(query identity, Gamma)``; environments are
-    hashable tuples so repeated sub-inferences (triggered by the FOR
-    filter) are free.
+    Results are memoized *structurally* on ``(query AST, Gamma)``: AST
+    nodes are frozen dataclasses, so two structurally equal
+    (sub)expressions -- whether from one parse or from re-parsing the
+    same source text -- share a single inference.  Environments are
+    hashable tuples restricted to the query's free variables, so
+    repeated sub-inferences (triggered by the FOR filter) are free.
     """
 
     def __init__(self, universe: Universe):
         self.universe = universe
-        self._memo: dict[tuple[int, Gamma], QueryChains] = {}
-        self._keepalive: list[Query] = []
+        self._memo: dict[tuple[Query, Gamma], QueryChains] = {}
 
     # -- entry points --------------------------------------------------------
 
@@ -113,13 +115,12 @@ class QueryInference:
         return self.infer(query, gamma)
 
     def infer(self, query: Query, gamma: Gamma) -> QueryChains:
-        key = (id(query), _relevant_gamma(gamma, query))
+        key = (query, _relevant_gamma(gamma, query))
         cached = self._memo.get(key)
         if cached is not None:
             return cached
         result = self._infer(query, gamma)
         self._memo[key] = result
-        self._keepalive.append(query)  # keep id() stable for the cache
         return result
 
     # -- the rules -------------------------------------------------------

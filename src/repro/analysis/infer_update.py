@@ -30,11 +30,11 @@ from ..xupdate.ast import (
     UIf,
     ULet,
     Update,
+    update_free_variables,
 )
 from .cdag import (
     Component,
     Node,
-    Universe,
     make_component,
     parent_step,
     shift_component,
@@ -58,16 +58,23 @@ class UpdateComponent:
 
     ``full`` denotes the concatenations ``c.c'``; ``split_ends`` are the
     CDAG nodes where the target prefix ``c`` ends and the suffix ``c'``
-    begins.  Conflict checking needs the split: an update *involves*
-    every intermediate position ``c.c''`` with ``c'' <= c'`` (the
-    inserted subtree's root and inner nodes), so a used chain strictly
-    between ``c`` and ``c.c'`` conflicts even though neither full chain
-    is a prefix of it -- see ``used_chain_conflict`` in
+    begins, and ``suffix_edges`` are exactly the full-component edges
+    lying on suffix paths (the graft edges plus the grafted suffix
+    component's own edges; for delete/rename, the edges into the final
+    symbol).  Conflict checking needs both: an update *involves* every
+    intermediate position ``c.c''`` with ``c'' <= c'`` (the
+    inserted/removed subtree's root and inner nodes), so a used chain
+    strictly between ``c`` and ``c.c'`` conflicts even though neither
+    full chain is a prefix of it.  Restricting the post-split walk to
+    ``suffix_edges`` keeps the test exact on recursive schemas, where a
+    split node also has non-suffix out-edges leading to *deeper*
+    occurrences of the target -- see ``used_chain_conflict`` in
     :mod:`repro.analysis.independence`.
     """
 
     full: Component
     split_ends: frozenset
+    suffix_edges: frozenset = frozenset()
 
     def is_empty(self) -> bool:
         return self.full.is_empty()
@@ -84,20 +91,32 @@ class UpdateComponent:
 def _with_parent_splits(component: Component) -> UpdateComponent:
     """Wrap a delete/rename-style component: the suffix is the final
     symbol, so splits sit at the parents of the ends (the component root
-    itself when a chain consists of the root only)."""
-    reverse_sources = {
-        source for (source, target) in component.edges
+    itself when a chain consists of the root only) and the suffix edges
+    are the in-edges of the ends."""
+    final_edges = frozenset(
+        (source, target) for (source, target) in component.edges
         if target in component.ends
-    }
-    return UpdateComponent(component, frozenset(reverse_sources))
+    )
+    return UpdateComponent(
+        component,
+        frozenset(source for (source, _) in final_edges),
+        final_edges,
+    )
 
 
 class UpdateInference:
-    """Chain inference engine for updates, sharing a query engine."""
+    """Chain inference engine for updates, sharing a query engine.
+
+    Like :class:`QueryInference`, results are memoized structurally on
+    ``(update AST, Gamma)`` restricted to the update's free variables, so
+    one update analyzed against many views re-derives nothing.
+    """
 
     def __init__(self, query_inference: QueryInference):
         self.queries = query_inference
         self.universe = query_inference.universe
+        self._memo: dict[tuple[Update, Gamma],
+                         tuple[UpdateComponent, ...]] = {}
 
     # -- entry points --------------------------------------------------------
 
@@ -109,6 +128,19 @@ class UpdateInference:
 
     def infer(self, update: Update, gamma: Gamma
               ) -> tuple[UpdateComponent, ...]:
+        free = update_free_variables(update)
+        key = (update, tuple((v, c) for (v, c) in gamma if v in free))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._infer(update, gamma)
+        self._memo[key] = result
+        return result
+
+    # -- the rules -------------------------------------------------------
+
+    def _infer(self, update: Update, gamma: Gamma
+               ) -> tuple[UpdateComponent, ...]:
         if isinstance(update, UEmpty):
             return ()
         if isinstance(update, UConcat):
@@ -205,10 +237,10 @@ class UpdateInference:
             suffixes.append(self._closure_suffix(symbol))
         for prefix in prefixes:
             for suffix in suffixes:
-                grafted = _graft_all_ends(prefix, suffix)
+                grafted, suffix_edges = _graft_all_ends(prefix, suffix)
                 if not grafted.is_empty():
                     result.append(
-                        UpdateComponent(grafted, prefix.ends)
+                        UpdateComponent(grafted, prefix.ends, suffix_edges)
                     )
         return tuple(result)
 
@@ -230,25 +262,30 @@ class UpdateInference:
         return make_component(root, edges, ends)
 
 
-def _graft_all_ends(prefix: Component, suffix: Component) -> Component:
+def _graft_all_ends(prefix: Component, suffix: Component
+                    ) -> tuple[Component, frozenset]:
     """One full-chain component covering every prefix endpoint.
 
     Each endpoint receives its own depth-shifted copy of the suffix; copies
     at different depths cannot cross (the only bridges are the per-endpoint
     graft edges), so the denoted set stays exact up to the usual
-    same-(depth,symbol) merging.
+    same-(depth,symbol) merging.  Also returns the suffix edges (graft
+    edges plus shifted suffix edges) for the split-aware conflict test.
     """
     if prefix.is_empty() or suffix.is_empty():
-        return Component(prefix.root, frozenset(), frozenset())
+        return Component(prefix.root, frozenset(), frozenset()), frozenset()
     edges: set[tuple[Node, Node]] = set(prefix.edges)
+    suffix_edges: set[tuple[Node, Node]] = set()
     ends: set[Node] = set()
     for end in prefix.ends:
         shifted = shift_component(suffix, end[0] + 1)
-        edges.add((end, shifted.root))
-        edges.update(shifted.edges)
+        suffix_edges.add((end, shifted.root))
+        suffix_edges.update(shifted.edges)
         ends.update(shifted.ends)
-    return make_component(prefix.root, edges, ends,
-                          prefix.constructed or suffix.constructed)
+    edges |= suffix_edges
+    component = make_component(prefix.root, edges, ends,
+                               prefix.constructed or suffix.constructed)
+    return component, frozenset(suffix_edges) & component.edges
 
 
 def _replace_end_symbols(component: Component, tag: str) -> Component:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from ..xquery.ast import Axis, NodeTest, node_test_matches
 from .cdag import (
-    EMPTY_COMPONENT,
     Component,
     Node,
     Universe,

@@ -1,0 +1,107 @@
+"""Amortized batch-analysis benchmark: engine matrix vs one-shot calls.
+
+The engine's pitch is one schema compilation serving many pair
+verdicts; this module quantifies it.  The *one-shot* baseline calls
+:func:`repro.analysis.independence.analyze` per pair, re-deriving the
+universe and both chain inferences every time (the seed behavior); the
+*batch* side hands the same query x update grid to a cold
+:class:`~repro.analysis.engine.AnalysisEngine` in one
+:meth:`~repro.analysis.engine.AnalysisEngine.analyze_matrix` call.
+
+Run from the CLI::
+
+    repro bench-batch [--queries 10] [--updates 10] [--processes N]
+
+``benchmarks/test_batch_engine.py`` asserts the PR's acceptance gate on
+the same workload: >= 3x lower amortized per-pair time with identical
+verdicts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from ..analysis.engine import AnalysisEngine
+from ..analysis.independence import analyze
+from ..schema.catalog import xmark_dtd
+from .updates import parsed_updates
+from .views import parsed_views
+
+
+def batch_workload(n_queries: int = 10, n_updates: int = 10):
+    """The first ``n`` XMark benchmark views and updates (name, AST)."""
+    views = list(parsed_views().items())[:n_queries]
+    updates = list(parsed_updates().items())[:n_updates]
+    return views, updates
+
+
+def run_one_shot(views, updates) -> tuple[list[bool], float]:
+    """Per-pair ``analyze()`` with no shared state (the baseline)."""
+    started = time.perf_counter()
+    verdicts = [
+        analyze(view, update, xmark_dtd(),
+                collect_witnesses=False).independent
+        for _, view in views
+        for _, update in updates
+    ]
+    return verdicts, time.perf_counter() - started
+
+
+def run_batch(views, updates, processes: int | None = None,
+              engine: AnalysisEngine | None = None
+              ) -> tuple[list[bool], float]:
+    """One ``analyze_matrix`` call on a (by default cold) engine."""
+    if engine is None:
+        engine = AnalysisEngine(xmark_dtd())
+    started = time.perf_counter()
+    matrix = engine.analyze_matrix(
+        [view for _, view in views],
+        [update for _, update in updates],
+        processes=processes,
+    )
+    elapsed = time.perf_counter() - started
+    verdicts = [v for row in matrix.verdict_rows() for v in row]
+    return verdicts, elapsed
+
+
+def run_bench_batch(n_queries: int = 10, n_updates: int = 10,
+                    processes: int | None = None, out=sys.stdout) -> dict:
+    """Print and return the amortized comparison for the CLI."""
+    views, updates = batch_workload(n_queries, n_updates)
+    pairs = len(views) * len(updates)
+    if pairs == 0:
+        raise SystemExit("error: --queries and --updates must be >= 1")
+
+    one_shot_verdicts, one_shot_seconds = run_one_shot(views, updates)
+    batch_verdicts, batch_seconds = run_batch(views, updates)
+
+    results = {
+        "pairs": pairs,
+        "one_shot_seconds": one_shot_seconds,
+        "one_shot_per_pair": one_shot_seconds / pairs,
+        "batch_seconds": batch_seconds,
+        "batch_per_pair": batch_seconds / pairs,
+        "speedup": one_shot_seconds / batch_seconds,
+        "verdicts_equal": one_shot_verdicts == batch_verdicts,
+        "independent_pairs": sum(batch_verdicts),
+    }
+    if processes is not None and processes > 1:
+        _, parallel_seconds = run_batch(views, updates, processes=processes)
+        results["parallel_seconds"] = parallel_seconds
+        results["parallel_per_pair"] = parallel_seconds / pairs
+
+    print(f"batch analysis benchmark -- {len(views)} views x "
+          f"{len(updates)} updates ({pairs} pairs, XMark)", file=out)
+    print(f"{'mode':>16} {'total-s':>9} {'per-pair-ms':>12}", file=out)
+    print(f"{'one-shot':>16} {one_shot_seconds:>9.3f} "
+          f"{results['one_shot_per_pair'] * 1e3:>12.3f}", file=out)
+    print(f"{'batch (cold)':>16} {batch_seconds:>9.3f} "
+          f"{results['batch_per_pair'] * 1e3:>12.3f}", file=out)
+    if "parallel_seconds" in results:
+        print(f"{'batch (pool)':>16} {results['parallel_seconds']:>9.3f} "
+              f"{results['parallel_per_pair'] * 1e3:>12.3f}", file=out)
+    print(f"amortized speedup: {results['speedup']:.1f}x -- verdicts "
+          f"{'identical' if results['verdicts_equal'] else 'DIFFER'} "
+          f"({results['independent_pairs']}/{pairs} independent)", file=out)
+    return results

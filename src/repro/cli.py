@@ -9,6 +9,8 @@ Subcommands::
         [--seed 7] [--out doc.xml]
     python -m repro infer-dtd doc1.xml doc2.xml ...
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
+    python -m repro bench-batch [--queries N] [--updates N] \\
+        [--processes N]
 
 ``--dtd`` accepts a file of ``<!ELEMENT ...>`` declarations; the built-in
 schemas are available as ``--builtin xmark|bib|paper-doc|paper-d1``.
@@ -125,6 +127,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return harness_main([args.experiment])
 
 
+def _cmd_bench_batch(args: argparse.Namespace) -> int:
+    from .bench.batch import run_bench_batch
+
+    results = run_bench_batch(
+        n_queries=args.queries,
+        n_updates=args.updates,
+        processes=args.processes,
+    )
+    return 0 if results["verdicts_equal"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,6 +189,18 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", choices=["fig3a", "fig3b", "fig3c", "fig3d", "all"]
     )
     bench_cmd.set_defaults(func=_cmd_bench)
+
+    batch_cmd = commands.add_parser(
+        "bench-batch",
+        help="amortized batch-engine analysis time vs one-shot analyze()",
+    )
+    batch_cmd.add_argument("--queries", type=int, default=10,
+                           help="number of XMark benchmark views")
+    batch_cmd.add_argument("--updates", type=int, default=10,
+                           help="number of XMark benchmark updates")
+    batch_cmd.add_argument("--processes", type=int, default=None,
+                           help="also time a process-pool fan-out")
+    batch_cmd.set_defaults(func=_cmd_bench_batch)
 
     return parser
 

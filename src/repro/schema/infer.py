@@ -23,7 +23,6 @@ w.r.t. the inferred DTD.**
 
 from __future__ import annotations
 
-from collections import Counter
 
 import networkx as nx
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..util import slots_getstate, slots_setstate
+
 #: The pseudo-symbol for text content (the paper's ``S``).
 TEXT_SYMBOL = "#S"
 
@@ -33,6 +35,8 @@ class Regex:
     """Base class for content-model regex nodes."""
 
     __slots__ = ()
+    __getstate__ = slots_getstate
+    __setstate__ = slots_setstate
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,26 @@
+"""Small shared helpers.
+
+Frozen dataclasses that declare ``__slots__`` manually do not pickle:
+default ``__setstate__`` uses ``setattr``, which the frozen ``__setattr__``
+rejects.  The engine's process-pool fan-out ships ASTs and schemas to
+workers, so every AST/regex base class installs these two methods.
+"""
+
+from __future__ import annotations
+
+
+def slots_getstate(self) -> dict:
+    """Collect slot and dict state across the MRO for pickling."""
+    state: dict = {}
+    for klass in type(self).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(self, slot):
+                state[slot] = getattr(self, slot)
+    state.update(getattr(self, "__dict__", {}))
+    return state
+
+
+def slots_setstate(self, state: dict) -> None:
+    """Restore pickled state bypassing the frozen ``__setattr__``."""
+    for name, value in state.items():
+        object.__setattr__(self, name, value)

@@ -6,9 +6,13 @@ refreshed.  :class:`ViewCache` keeps materialized results for a set of
 named views over one document and, on each update, re-evaluates only the
 views the chain analysis cannot prove independent.
 
-The static verdicts are memoized per (view, update) expression pair, so
-repeated update *shapes* (the common case in an update stream) pay the
-analysis cost once.
+All static work is delegated to the per-schema shared
+:class:`~repro.analysis.engine.AnalysisEngine` (one engine per schema
+digest, shared with every other ``ViewCache``/scheduler on the same
+schema): an incoming update is checked against all not-yet-verdicted
+views in one :meth:`~repro.analysis.engine.AnalysisEngine.analyze_matrix`
+call, and repeated update *shapes* (the common case in an update stream)
+are served from the engine's pair cache.
 """
 
 from __future__ import annotations
@@ -16,8 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..analysis.independence import AnalysisEngine, analyze
-from ..analysis.kbound import multiplicity
+from ..analysis.engine import AnalysisEngine, engine_for
 from ..schema.dtd import DTD
 from ..xmldm.store import Location, Tree
 from ..xquery.ast import ROOT_VAR, Query
@@ -61,15 +64,15 @@ class ViewCache:
     1
     """
 
-    def __init__(self, schema: DTD, tree: Tree):
+    def __init__(self, schema: DTD, tree: Tree,
+                 engine: AnalysisEngine | None = None):
         self.schema = schema
         self.tree = tree
+        self.engine = engine if engine is not None else engine_for(schema)
         self.stats = MaintenanceStats()
         self._views: dict[str, Query] = {}
-        self._view_k: dict[str, int] = {}
         self._results: dict[str, list[Location]] = {}
         self._verdicts: dict[tuple[str, Update], bool] = {}
-        self._engines: dict[int, AnalysisEngine] = {}
 
     # -- view registry -------------------------------------------------------
 
@@ -78,7 +81,6 @@ class ViewCache:
         if isinstance(query, str):
             query = parse_query(query)
         self._views[name] = query
-        self._view_k[name] = multiplicity(query)
         self._materialize(name)
 
     def view_names(self) -> list[str]:
@@ -114,27 +116,27 @@ class ViewCache:
         return must_refresh
 
     def _affected_views(self, update: Update) -> list[str]:
-        update_k = multiplicity(update)
-        affected: list[str] = []
-        for name, query in self._views.items():
-            verdict = self._verdicts.get((name, update))
-            if verdict is None:
-                k = max(1, self._view_k[name] + update_k)
-                engine = self._engines.get(k)
-                if engine is None:
-                    engine = AnalysisEngine(self.schema, k)
-                    self._engines[k] = engine
-                started = time.perf_counter()
-                report = analyze(query, update, self.schema, k=k,
-                                 engine=engine, collect_witnesses=False)
-                self.stats.analysis_seconds += (
-                    time.perf_counter() - started
-                )
-                verdict = report.independent
-                self._verdicts[(name, update)] = verdict
-            if not verdict:
-                affected.append(name)
-        return affected
+        """Views the analysis cannot prove independent of ``update``.
+
+        Not-yet-verdicted views are decided in one batch matrix call
+        (one column, all pending views) against the shared engine.
+        """
+        pending = [
+            (name, query) for name, query in self._views.items()
+            if (name, update) not in self._verdicts
+        ]
+        if pending:
+            started = time.perf_counter()
+            matrix = self.engine.analyze_matrix(
+                [query for _, query in pending], [update]
+            )
+            self.stats.analysis_seconds += time.perf_counter() - started
+            for row, (name, _) in enumerate(pending):
+                self._verdicts[(name, update)] = matrix.independent(row, 0)
+        return [
+            name for name in self._views
+            if not self._verdicts[(name, update)]
+        ]
 
     def _materialize(self, name: str) -> None:
         started = time.perf_counter()

@@ -6,13 +6,18 @@ result is the same whether it reads before or after the update.
 :class:`IsolationScheduler` batches a mixed workload into *waves* of
 mutually independent operations -- a static, schema-level analogue of
 predicate locking.
+
+Pairwise verdicts come from the per-schema shared
+:class:`~repro.analysis.engine.AnalysisEngine`; :meth:`schedule`
+precomputes the full query x update verdict grid in one
+``analyze_matrix`` call before partitioning.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis.independence import analyze
+from ..analysis.engine import AnalysisEngine, engine_for
 from ..schema.dtd import DTD
 from ..xquery.ast import Query
 from ..xquery.parser import parse_query
@@ -41,8 +46,10 @@ class IsolationScheduler:
     queries) independent of it.  Queries never conflict with queries.
     """
 
-    def __init__(self, schema: DTD):
+    def __init__(self, schema: DTD,
+                 engine: AnalysisEngine | None = None):
         self.schema = schema
+        self.engine = engine if engine is not None else engine_for(schema)
         self._operations: list[Operation] = []
 
     def add_query(self, name: str, query: Query | str) -> None:
@@ -66,8 +73,9 @@ class IsolationScheduler:
             return True
         query_op = first if not first.is_update else second
         update_op = second if not first.is_update else first
-        report = analyze(query_op.query, update_op.update, self.schema,
-                         collect_witnesses=False)
+        report = self.engine.analyze_pair(
+            query_op.query, update_op.update, collect_witnesses=False
+        )
         return not report.independent
 
     def schedule(self) -> list[list[str]]:
@@ -75,8 +83,15 @@ class IsolationScheduler:
 
         Operations within one wave are pairwise non-conflicting and can
         run concurrently; waves run in sequence, preserving the original
-        relative order of conflicting operations.
+        relative order of conflicting operations.  The full query x
+        update verdict grid is batch-computed up front, so the
+        quadratic wave placement below runs against warm pair caches.
         """
+        queries = [op.query for op in self._operations if not op.is_update]
+        updates = [op.update for op in self._operations if op.is_update]
+        if queries and updates:
+            self.engine.analyze_matrix(queries, updates)
+
         waves: list[list[Operation]] = []
         for operation in self._operations:
             # An operation may not run before (or alongside) anything it

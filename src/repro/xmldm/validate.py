@@ -5,7 +5,7 @@ from __future__ import annotations
 from ..schema.dtd import DTD
 from ..schema.edtd import EDTD
 from ..schema.regex import TEXT_SYMBOL
-from .store import Location, Store, Tree
+from .store import Location, Tree
 
 
 class ValidationError(ValueError):

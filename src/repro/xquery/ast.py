@@ -21,6 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
+
+from ..schema.regex import TEXT_SYMBOL
+from ..util import slots_getstate, slots_setstate
 
 #: Name of the single free variable of quasi-closed expressions, bound to
 #: the document root element.
@@ -61,6 +65,8 @@ class NodeTest:
     """Base class for node tests phi."""
 
     __slots__ = ()
+    __getstate__ = slots_getstate
+    __setstate__ = slots_setstate
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,8 @@ class Query:
     """Base class of core query AST nodes."""
 
     __slots__ = ()
+    __getstate__ = slots_getstate
+    __setstate__ = slots_setstate
 
 
 @dataclass(frozen=True)
@@ -223,8 +231,14 @@ class If(Query):
         return f"if ({self.cond}) then {self.then} else {self.orelse}"
 
 
+@lru_cache(maxsize=4096)
 def free_variables(q: Query) -> frozenset[str]:
-    """Free variables of a core query."""
+    """Free variables of a core query.
+
+    Cached (ASTs are immutable) with a bound: a process-lifetime cache
+    would pin every expression ever analyzed, so cold entries are
+    evicted and recomputed instead.
+    """
     if isinstance(q, (Empty, StringLit)):
         return frozenset()
     if isinstance(q, Step):
@@ -266,8 +280,6 @@ def query_size(q: Query) -> int:
 
 def node_test_matches(test: NodeTest, symbol: str) -> bool:
     """Static counterpart of node-test matching, over chain symbols."""
-    from ..schema.regex import TEXT_SYMBOL
-
     if isinstance(test, NameTest):
         return symbol == test.name
     if isinstance(test, TextTest):

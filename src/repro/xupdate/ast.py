@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
+from ..util import slots_getstate, slots_setstate
 from ..xquery.ast import Query, free_variables as query_free_variables
 from ..xquery.ast import query_size
 
@@ -40,6 +42,8 @@ class Update:
     """Base class of core update AST nodes."""
 
     __slots__ = ()
+    __getstate__ = slots_getstate
+    __setstate__ = slots_setstate
 
 
 @dataclass(frozen=True)
@@ -159,6 +163,7 @@ class Replace(Update):
         return f"replace {self.target} with {self.source}"
 
 
+@lru_cache(maxsize=4096)
 def update_free_variables(u: Update) -> frozenset[str]:
     """Free variables of a core update."""
     if isinstance(u, UEmpty):

@@ -8,7 +8,7 @@ Accepts both the paper's concise syntax (``delete q0``,
 
 from __future__ import annotations
 
-from ..xquery.parser import QueryParseError, QueryParser
+from ..xquery.parser import QueryParser
 from .ast import (
     Delete,
     Insert,

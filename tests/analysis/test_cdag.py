@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.cdag import (
     ChainExplosion,
-    Component,
     Universe,
     ancestor_step,
     child_step,

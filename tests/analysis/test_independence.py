@@ -1,7 +1,5 @@
 """Systematic independence verdicts across operators, axes and schemas."""
 
-import pytest
-
 from repro.analysis.independence import (
     AnalysisEngine,
     analyze,

@@ -1,7 +1,5 @@
 """Query chain inference (Table 1) against explicitly expected chain sets."""
 
-import pytest
-
 from repro.analysis.cdag import Universe
 from repro.analysis.independence import build_universe, chains_of
 from repro.analysis.infer_query import QueryInference
