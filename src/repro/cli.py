@@ -11,6 +11,8 @@ Subcommands::
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
     python -m repro bench-batch [--queries N] [--updates N] \\
         [--processes N]
+    python -m repro fuzz [--count N] [--seed S] [--max-tags N] \\
+        [--json report.json] [--corpus-dir DIR]
 
 ``--dtd`` accepts a file of ``<!ELEMENT ...>`` declarations; the built-in
 schemas are available as ``--builtin xmark|bib|paper-doc|paper-d1``.
@@ -138,6 +140,40 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
     return 0 if results["verdicts_equal"] else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .testkit.fuzz import FuzzConfig, run_fuzz
+
+    if args.queries < 1 or args.updates < 1:
+        raise SystemExit("error: --queries and --updates must be >= 1")
+    if not 1 <= args.min_tags <= args.max_tags:
+        raise SystemExit("error: need 1 <= --min-tags <= --max-tags")
+    config = FuzzConfig(
+        count=args.count,
+        seed=args.seed,
+        queries_per_schema=args.queries,
+        updates_per_schema=args.updates,
+        min_tags=args.min_tags,
+        max_tags=args.max_tags,
+        recursion_probability=args.recursion,
+        expr_depth=args.depth,
+        corpus_docs=args.docs,
+        corpus_bytes=args.doc_bytes,
+        processes=args.processes,
+        shrink_budget=args.shrink_budget,
+        corpus_dir=args.corpus_dir,
+    )
+    report = run_fuzz(config, progress=args.progress)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_json(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if report.counterexamples else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -201,6 +237,43 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--processes", type=int, default=None,
                            help="also time a process-pool fan-out")
     batch_cmd.set_defaults(func=_cmd_bench_batch)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz",
+        help="differential fuzz: static vs baseline vs dynamic "
+             "independence on random (schema, query, update) scenarios",
+    )
+    fuzz_cmd.add_argument("--count", type=int, default=500,
+                          help="query x update pairs to examine")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (fully deterministic)")
+    fuzz_cmd.add_argument("--queries", type=int, default=4,
+                          help="queries per generated schema")
+    fuzz_cmd.add_argument("--updates", type=int, default=4,
+                          help="updates per generated schema")
+    fuzz_cmd.add_argument("--min-tags", type=int, default=3,
+                          help="minimum schema alphabet size")
+    fuzz_cmd.add_argument("--max-tags", type=int, default=7,
+                          help="maximum schema alphabet size")
+    fuzz_cmd.add_argument("--recursion", type=float, default=0.4,
+                          help="probability a schema is recursive")
+    fuzz_cmd.add_argument("--depth", type=int, default=2,
+                          help="expression nesting depth")
+    fuzz_cmd.add_argument("--docs", type=int, default=4,
+                          help="corpus documents per scenario")
+    fuzz_cmd.add_argument("--doc-bytes", type=int, default=700,
+                          help="target bytes per corpus document")
+    fuzz_cmd.add_argument("--processes", type=int, default=None,
+                          help="fan the static matrix over a process pool")
+    fuzz_cmd.add_argument("--shrink-budget", type=int, default=250,
+                          help="differential re-checks per shrink")
+    fuzz_cmd.add_argument("--json", help="write the JSON report here")
+    fuzz_cmd.add_argument("--corpus-dir",
+                          help="save shrunk counterexamples here "
+                               "(e.g. tests/corpus)")
+    fuzz_cmd.add_argument("--progress", action="store_true",
+                          help="print progress every 10 scenarios")
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,63 @@
+"""Schema-aware scenario fuzzing and differential testing.
+
+The testkit turns the repo's three independence analyses into their own
+test harness:
+
+* :mod:`~repro.testkit.dtdgen` -- seeded random DTDs (recursive and
+  non-recursive, mixed content models) whose generated documents always
+  terminate;
+* :mod:`~repro.testkit.exprgen` -- schema-aware random queries and
+  updates in the supported fragment (all axes, predicates, for/let/if
+  forms; insert/delete/replace/rename);
+* :mod:`~repro.testkit.render` -- core-AST -> surface-syntax rendering,
+  so every shrunk counterexample stays a parseable scenario;
+* :mod:`~repro.testkit.differential` -- pushes (schema, query, update)
+  scenarios through the chain engine, the type baseline [6], and the
+  dynamic oracle, classifying each pair as sound/unsound and
+  precise/imprecise;
+* :mod:`~repro.testkit.shrink` -- greedy minimization of any violating
+  scenario (drop steps, shrink expressions, shrink schema, shrink the
+  document corpus) before it is reported;
+* :mod:`~repro.testkit.fuzz` -- the ``repro fuzz`` campaign driver with
+  seed/count/size knobs and JSON reporting.
+"""
+
+from .differential import (
+    Counterexample,
+    PairRecord,
+    Scenario,
+    ScenarioResult,
+    is_pure_delete,
+    run_scenario,
+    schema_preserving_on,
+    still_violates,
+)
+from .dtdgen import SchemaGenerator, SchemaSpec, random_schema
+from .exprgen import QueryGenerator, UpdateGenerator, random_query, random_update
+from .fuzz import FuzzConfig, FuzzReport, run_fuzz
+from .render import query_to_source, update_to_source
+from .shrink import shrink_counterexample
+
+__all__ = [
+    "Counterexample",
+    "FuzzConfig",
+    "FuzzReport",
+    "PairRecord",
+    "QueryGenerator",
+    "Scenario",
+    "ScenarioResult",
+    "SchemaGenerator",
+    "SchemaSpec",
+    "UpdateGenerator",
+    "is_pure_delete",
+    "query_to_source",
+    "random_query",
+    "random_schema",
+    "random_update",
+    "run_fuzz",
+    "run_scenario",
+    "schema_preserving_on",
+    "shrink_counterexample",
+    "still_violates",
+    "update_to_source",
+]

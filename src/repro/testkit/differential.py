@@ -1,0 +1,342 @@
+"""Differential running of static vs. baseline vs. dynamic independence.
+
+A :class:`Scenario` is one random workload: a schema plus small sets of
+queries and updates and the parameters of a generated document corpus.
+:func:`run_scenario` pushes the full query x update grid through
+
+* the chain engine (:meth:`repro.analysis.engine.AnalysisEngine.analyze_matrix`),
+* the type baseline [6] (:func:`repro.analysis.baseline.baseline_analyze`), and
+* the dynamic oracle (:func:`repro.analysis.dynamic.differs_on` over the
+  corpus),
+
+and classifies every pair:
+
+* **soundness** -- a static verdict of *independent* (from either
+  analysis) must never coincide with an in-scope dynamic witness.  In
+  scope means the witnessing execution is schema-preserving, or the
+  update is delete-only (Section 4 covers those unconditionally);
+* **precision** -- among pairs the oracle labels independent, which
+  analyses managed to prove it; the chain-vs-baseline gap is the
+  paper's Figure 3.b claim, and on delete-only updates chain dominance
+  over the baseline is a theorem the fuzzer also enforces.
+
+Violations become :class:`Counterexample` values, re-checkable via
+:func:`still_violates` -- the contract the shrinker minimizes against
+and the regression corpus replays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.baseline import baseline_analyze
+from ..analysis.engine import AnalysisEngine
+from ..schema.dtd import DTD, DTDError
+from ..schema.regex import RegexError
+from ..xmldm.generator import generate_corpus
+from ..xmldm.store import Tree, sequences_equivalent
+from ..xmldm.validate import is_valid
+from ..xquery.ast import ROOT_VAR
+from ..xquery.evaluator import evaluate_query
+from ..xquery.parser import QueryParseError, parse_query
+from ..xupdate.ast import (
+    Delete,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+from ..xupdate.evaluator import apply_update
+from ..xupdate.parser import parse_update
+from ..xupdate.pul import UpdateError
+from .dtdgen import SchemaSpec
+
+#: Violation kinds a pair can exhibit.
+KIND_STATIC_UNSOUND = "static-unsound"
+KIND_BASELINE_UNSOUND = "baseline-unsound"
+KIND_DOMINANCE = "delete-dominance"
+
+
+def is_pure_delete(update: Update) -> bool:
+    """Updates built only from deletes never create new chains; the
+    soundness theorem covers them even on validity-breaking documents
+    (Section 4)."""
+    if isinstance(update, (UEmpty, Delete)):
+        return True
+    if isinstance(update, UConcat):
+        return is_pure_delete(update.left) and is_pure_delete(update.right)
+    if isinstance(update, (UFor, ULet)):
+        return is_pure_delete(update.body)
+    if isinstance(update, UIf):
+        return is_pure_delete(update.then) and is_pure_delete(update.orelse)
+    return False
+
+
+def schema_preserving_on(update: Update, tree: Tree, schema: DTD) -> bool:
+    """Does applying ``update`` to ``tree`` keep it schema-valid?
+
+    The analysis assumes schema-preserving updates (Section 2); write
+    executions that break validity create chains outside ``Cd`` and are
+    outside the soundness theorem's scope.  A failed execution
+    (:class:`UpdateError`) is the W3C no-op, which trivially preserves.
+    """
+    updated = tree.clone()
+    try:
+        apply_update(update, updated.store, {ROOT_VAR: [updated.root]})
+    except UpdateError:
+        return True
+    return is_valid(updated, schema)
+
+
+# ---------------------------------------------------------------------------
+# Scenario data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One differential workload: schema, expressions, corpus knobs."""
+
+    schema: SchemaSpec
+    queries: tuple[str, ...]
+    updates: tuple[str, ...]
+    corpus_docs: int = 4
+    corpus_bytes: int = 700
+    corpus_seed: int = 0
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """Differential outcome for one (query, update) pair."""
+
+    query: str
+    update: str
+    static_independent: bool
+    baseline_independent: bool
+    pure_delete: bool
+    in_scope_docs: int          # corpus docs the soundness theorem covers
+    witness_doc: int | None     # corpus index of the first in-scope witness
+
+    @property
+    def dynamic_independent(self) -> bool:
+        """No in-scope execution changed the query result (the label the
+        paper's authors assigned by hand for their testbed)."""
+        return self.witness_doc is None
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        found = []
+        if self.static_independent and self.witness_doc is not None:
+            found.append(KIND_STATIC_UNSOUND)
+        if self.baseline_independent and self.witness_doc is not None:
+            found.append(KIND_BASELINE_UNSOUND)
+        if (self.pure_delete and self.baseline_independent
+                and not self.static_independent):
+            found.append(KIND_DOMINANCE)
+        return tuple(found)
+
+
+@dataclass
+class ScenarioResult:
+    """All pair records of one scenario plus wall-clock accounting."""
+
+    scenario: Scenario
+    records: list[PairRecord]
+    static_seconds: float
+    baseline_seconds: float
+    dynamic_seconds: float
+
+    @property
+    def counterexamples(self) -> list["Counterexample"]:
+        return [
+            Counterexample(
+                kind=kind,
+                schema=self.scenario.schema,
+                query=record.query,
+                update=record.update,
+                corpus_docs=self.scenario.corpus_docs,
+                corpus_bytes=self.scenario.corpus_bytes,
+                corpus_seed=self.scenario.corpus_seed,
+            )
+            for record in self.records
+            for kind in record.violations
+        ]
+
+
+def run_scenario(scenario: Scenario, processes: int | None = None,
+                 engine: AnalysisEngine | None = None) -> ScenarioResult:
+    """Differentially test every query x update pair of ``scenario``."""
+    dtd = scenario.schema.to_dtd()
+    if engine is None or not engine.matches(dtd):
+        engine = AnalysisEngine(dtd)
+
+    started = time.perf_counter()
+    matrix = engine.analyze_matrix(
+        list(scenario.queries), list(scenario.updates), processes=processes
+    )
+    static_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    baseline_grid = [
+        [
+            baseline_analyze(query, update, dtd).independent
+            for update in scenario.updates
+        ]
+        for query in scenario.queries
+    ]
+    baseline_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    corpus = generate_corpus(dtd, scenario.corpus_docs,
+                             target_bytes=scenario.corpus_bytes,
+                             seed=scenario.corpus_seed)
+    parsed_queries = [parse_query(q) for q in scenario.queries]
+    parsed_updates = [parse_update(u) for u in scenario.updates]
+    # Per document: one snapshot and every query's pre-update result
+    # (query evaluation only ever adds disconnected constructor nodes
+    # to the store, so one snapshot serves all queries).
+    before: list[tuple[Tree, list]] = []
+    for tree in corpus:
+        snap = tree.clone()
+        env = {ROOT_VAR: [snap.root]}
+        before.append((snap, [
+            evaluate_query(query_ast, snap.store, env)
+            for query_ast in parsed_queries
+        ]))
+    # Per update: apply once per document; keep the updated tree for
+    # the in-scope executions (the soundness theorem covers pure
+    # deletes everywhere and schema-preserving executions elsewhere; a
+    # failed execution is the W3C no-op -- in scope, never a witness).
+    scope: list[tuple[bool, list[tuple[int, Tree | None]]]] = []
+    for update_ast in parsed_updates:
+        pure = is_pure_delete(update_ast)
+        docs: list[tuple[int, Tree | None]] = []
+        for index, tree in enumerate(corpus):
+            updated = tree.clone()
+            try:
+                apply_update(update_ast, updated.store,
+                             {ROOT_VAR: [updated.root]})
+            except UpdateError:
+                docs.append((index, None))
+                continue
+            if pure or is_valid(updated, dtd):
+                docs.append((index, updated))
+        scope.append((pure, docs))
+
+    records: list[PairRecord] = []
+    for qi, query_ast in enumerate(parsed_queries):
+        for ui in range(len(parsed_updates)):
+            pure, docs = scope[ui]
+            witness = None
+            for index, updated in docs:
+                if updated is None:
+                    continue
+                snap, before_results = before[index]
+                after = evaluate_query(query_ast, updated.store,
+                                       {ROOT_VAR: [updated.root]})
+                if not sequences_equivalent(snap.store,
+                                            before_results[qi],
+                                            updated.store, after):
+                    witness = index
+                    break
+            records.append(PairRecord(
+                query=scenario.queries[qi],
+                update=scenario.updates[ui],
+                static_independent=matrix.independent(qi, ui),
+                baseline_independent=baseline_grid[qi][ui],
+                pure_delete=pure,
+                in_scope_docs=len(docs),
+                witness_doc=witness,
+            ))
+    dynamic_seconds = time.perf_counter() - started
+
+    return ScenarioResult(
+        scenario=scenario,
+        records=records,
+        static_seconds=static_seconds,
+        baseline_seconds=baseline_seconds,
+        dynamic_seconds=dynamic_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Counterexamples
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal falsifying (schema, query, update, corpus) quadruple."""
+
+    kind: str
+    schema: SchemaSpec
+    query: str
+    update: str
+    corpus_docs: int
+    corpus_bytes: int
+    corpus_seed: int
+    provenance: dict = field(default_factory=dict, compare=False)
+
+    def to_json(self) -> dict:
+        data = {
+            "kind": self.kind,
+            "schema": self.schema.to_json(),
+            "query": self.query,
+            "update": self.update,
+            "corpus": {
+                "documents": self.corpus_docs,
+                "target_bytes": self.corpus_bytes,
+                "seed": self.corpus_seed,
+            },
+        }
+        if self.provenance:
+            data["provenance"] = self.provenance
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Counterexample":
+        corpus = data.get("corpus", {})
+        return cls(
+            kind=data["kind"],
+            schema=SchemaSpec.from_json(data["schema"]),
+            query=data["query"],
+            update=data["update"],
+            corpus_docs=corpus.get("documents", 4),
+            corpus_bytes=corpus.get("target_bytes", 700),
+            corpus_seed=corpus.get("seed", 0),
+            provenance=data.get("provenance", {}),
+        )
+
+    def size(self) -> int:
+        """The shrinker's cost metric (strictly decreasing per step)."""
+        return (len(self.query) + len(self.update) + self.schema.size()
+                + self.corpus_docs)
+
+
+def still_violates(cx: Counterexample) -> bool:
+    """Does ``cx`` still exhibit its recorded violation kind?
+
+    Malformed candidates (schema or expression no longer parses, or the
+    update's scoped executions vanish) simply report ``False`` -- the
+    shrinker uses this as its keep-shrinking predicate, and the
+    regression corpus asserts it stays ``False`` once a bug is fixed.
+    """
+    try:
+        cx.schema.to_dtd()
+        parse_query(cx.query)
+        parse_update(cx.update)
+    except (DTDError, RegexError, QueryParseError):
+        return False
+    scenario = Scenario(
+        schema=cx.schema,
+        queries=(cx.query,),
+        updates=(cx.update,),
+        corpus_docs=cx.corpus_docs,
+        corpus_bytes=cx.corpus_bytes,
+        corpus_seed=cx.corpus_seed,
+    )
+    result = run_scenario(scenario)
+    return cx.kind in result.records[0].violations

@@ -1,0 +1,150 @@
+"""Seeded random DTD generation for the scenario fuzzer.
+
+Schemas are produced as :class:`SchemaSpec` -- a start symbol plus
+``{tag: content-model-string}`` -- so every generated scenario is
+trivially JSON-serializable and rebuilds through the ordinary
+:meth:`repro.schema.dtd.DTD.from_dict` entry point.
+
+Two structural invariants keep downstream machinery total:
+
+* **reachability** -- every tag is assigned a parent earlier in the tag
+  order whose content model mentions it, so the whole alphabet is
+  reachable from the start symbol and no rule is dead weight;
+* **terminating recursion** -- content models may only reference earlier
+  tags (recursive back-edges, including self-loops) inside ``?``/``*``
+  guarded positions.  Stripping all nullable positions therefore leaves
+  a forward-only DAG, so every tag has a finite shortest document and
+  :class:`~repro.xmldm.generator.DocumentGenerator`'s shortest-word
+  cutoff always terminates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..schema.dtd import DTD
+
+
+@dataclass(frozen=True)
+class SchemaSpec:
+    """A JSON-friendly schema description (start symbol + model strings)."""
+
+    start: str
+    rules: tuple[tuple[str, str], ...]
+
+    def to_dtd(self) -> DTD:
+        return DTD.from_dict(self.start, dict(self.rules))
+
+    def to_json(self) -> dict:
+        return {"start": self.start, "rules": dict(self.rules)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SchemaSpec":
+        return cls(
+            start=data["start"],
+            rules=tuple(sorted(data["rules"].items())),
+        )
+
+    @classmethod
+    def from_dtd(cls, dtd: DTD) -> "SchemaSpec":
+        from .render import model_to_source
+
+        return cls(
+            start=dtd.start,
+            rules=tuple(sorted(
+                (tag, model_to_source(model))
+                for tag, model in dtd.rules.items()
+            )),
+        )
+
+    def size(self) -> int:
+        """Total source length, the shrinker's schema cost metric."""
+        return sum(len(tag) + len(model) for tag, model in self.rules)
+
+
+@dataclass
+class SchemaGenerator:
+    """Generates random DTDs from a caller-owned RNG.
+
+    Parameters bound the alphabet size and tune how often models are
+    recursive, mixed (text-bearing), or alternation-shaped.
+    """
+
+    rng: random.Random
+    min_tags: int = 3
+    max_tags: int = 7
+    recursion_probability: float = 0.4
+    text_probability: float = 0.3
+    extra_edge_probability: float = 0.35
+
+    #: Decorations for an ordinary forward child reference.
+    _FORWARD_DECOR = ("", "", "*", "+", "?")
+    #: Decorations for a recursive back-reference (must be nullable).
+    _RECURSIVE_DECOR = ("*", "?")
+
+    def generate(self) -> SchemaSpec:
+        rng = self.rng
+        n = rng.randint(self.min_tags, self.max_tags)
+        tags = [f"t{i}" for i in range(n)]
+        # Reachability spine: every non-start tag gets a parent earlier
+        # in the order; that parent's model must mention it.
+        required: dict[int, list[str]] = {i: [] for i in range(n)}
+        for j in range(1, n):
+            required[rng.randrange(j)].append(tags[j])
+        recursive_schema = rng.random() < self.recursion_probability
+        rules: dict[str, str] = {}
+        for i, tag in enumerate(tags):
+            rules[tag] = self._model(i, tags, required[i], recursive_schema)
+        return SchemaSpec(start=tags[0], rules=tuple(sorted(rules.items())))
+
+    # -- model construction --------------------------------------------------
+
+    def _model(self, index: int, tags: list[str], required: list[str],
+               recursive_schema: bool) -> str:
+        rng = self.rng
+        items = [s + rng.choice(self._FORWARD_DECOR) for s in required]
+        # Extra forward references beyond the reachability spine.
+        for j in range(index + 1, len(tags)):
+            if tags[j] not in required and \
+                    rng.random() < self.extra_edge_probability:
+                items.append(tags[j] + rng.choice(self._FORWARD_DECOR))
+        # Recursive back-references (self-loops allowed), always guarded
+        # by a nullable decoration so shortest words stay finite.
+        if recursive_schema and rng.random() < 0.5:
+            target = tags[rng.randint(0, index)]
+            items.append(target + rng.choice(self._RECURSIVE_DECOR))
+        if rng.random() < self.text_probability:
+            items.append("#PCDATA" + rng.choice(("", "*")))
+        if not items:
+            return "(#PCDATA)" if rng.random() < 0.5 else "EMPTY"
+        rng.shuffle(items)
+        return self._combine(items)
+
+    def _combine(self, items: list[str]) -> str:
+        """Assemble item strings into one content-model string."""
+        rng = self.rng
+        if len(items) == 1:
+            return f"({items[0]})"
+        shape = rng.random()
+        if shape < 0.25:
+            # Alternation under a star: every item stays reachable.
+            bases = [self._strip(item) for item in items]
+            return "(" + " | ".join(bases) + ")*"
+        if shape < 0.45 and len(items) >= 3:
+            # A sequence with one embedded starred alternation group.
+            cut = rng.randint(1, len(items) - 1)
+            group = "(" + " | ".join(
+                self._strip(item) for item in items[:cut]
+            ) + ")*"
+            return "(" + ", ".join([group] + items[cut:]) + ")"
+        return "(" + ", ".join(items) + ")"
+
+    @staticmethod
+    def _strip(item: str) -> str:
+        return item.rstrip("*+?")
+
+
+def random_schema(rng: random.Random, **kwargs) -> SchemaSpec:
+    """One random schema from ``rng`` (see :class:`SchemaGenerator`)."""
+    return SchemaGenerator(rng, **kwargs).generate()

@@ -1,0 +1,367 @@
+"""Schema-aware random query and update generation.
+
+Both generators emit *surface syntax* strings in the supported fragment
+(all nine axes plus the ``//`` and predicate sugar; for/let/if forms;
+element construction; insert/delete/replace/rename updates), steered by
+the schema so paths are usually satisfiable: each step's node test is
+drawn from the types actually reachable from the current context via the
+chosen axis, with occasional deliberately-unsatisfiable or wildcard
+steps to keep the unsat corner exercised.
+
+Insertion/replacement sources are built by shortest-word expansion of
+the target's content model (:func:`minimal_element_source`), which makes
+a useful fraction of generated write operations schema-preserving --
+those are the executions the soundness theorem covers, so the dynamic
+oracle would otherwise rarely get to vote on insert/replace scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.baseline import TypeAnalysis
+from ..schema.dtd import DTD
+from ..schema.regex import TEXT_SYMBOL
+from ..xquery.ast import Axis
+
+TypeSet = frozenset[str]
+
+#: Axes with the surface weight each gets when satisfiable.
+_AXIS_WEIGHTS = (
+    (Axis.CHILD, 10),
+    (Axis.DESCENDANT, 6),
+    (Axis.DESCENDANT_OR_SELF, 3),
+    (Axis.SELF, 1),
+    (Axis.PARENT, 3),
+    (Axis.ANCESTOR, 2),
+    (Axis.ANCESTOR_OR_SELF, 1),
+    (Axis.FOLLOWING_SIBLING, 2),
+    (Axis.PRECEDING_SIBLING, 2),
+)
+
+
+class _PathBuilder:
+    """Shared context-typed path machinery for both generators."""
+
+    def __init__(self, rng: random.Random, dtd: DTD):
+        self.rng = rng
+        self.dtd = dtd
+        self.types = TypeAnalysis(dtd)
+        self._fresh = 0
+
+    def fresh_var(self) -> str:
+        self._fresh += 1
+        return f"$v{self._fresh}"
+
+    # -- steps ---------------------------------------------------------------
+
+    def _pick_axis(self, context: TypeSet) -> tuple[Axis, TypeSet]:
+        """A weighted satisfiable axis and its element result type-set.
+
+        An axis qualifies when it can reach element types *or* a text
+        node (an element whose content is text-only still admits a
+        satisfiable ``child::text()`` step).
+        """
+        candidates: list[tuple[Axis, TypeSet, int]] = []
+        for axis, weight in _AXIS_WEIGHTS:
+            result = self.types.axis_types(context, axis) - {TEXT_SYMBOL}
+            if result or self._text_possible(context, axis):
+                candidates.append((axis, result, weight))
+        if not candidates:
+            return Axis.SELF, context
+        total = sum(w for _, _, w in candidates)
+        roll = self.rng.randrange(total)
+        for axis, result, weight in candidates:
+            roll -= weight
+            if roll < 0:
+                return axis, result
+        return candidates[-1][0], candidates[-1][1]
+
+    def _text_possible(self, context: TypeSet, axis: Axis) -> bool:
+        """Can ``axis`` from ``context`` reach a text node?  (The
+        baseline's ``axis_types`` strips the text symbol, so this needs
+        its own per-axis check; self/parent/ancestor always land on
+        elements.)"""
+        if axis is Axis.CHILD:
+            base = context
+        elif axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            base = context | self.types.descendants_closure(context)
+        elif axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+            base = self.types.axis_types(context, Axis.PARENT)
+        else:
+            return False
+        return any(
+            TEXT_SYMBOL in self.dtd.children_of(t)
+            for t in base if t != TEXT_SYMBOL
+        )
+
+    def _step_source(self, context: TypeSet, axis: Axis, result: TypeSet
+                     ) -> tuple[str, TypeSet]:
+        """Surface text + narrowed context for one step on ``axis``."""
+        rng = self.rng
+        roll = rng.random()
+        text_ok = self._text_possible(context, axis)
+        if not result or (roll < 0.18 and text_ok):
+            # Terminal: further steps from a text node select nothing.
+            # (result empty means the axis qualified through text only.)
+            return f"{axis.value}::text()", frozenset()
+        if roll < 0.08:
+            return f"{axis.value}::node()", result
+        if roll < 0.14:
+            return f"{axis.value}::*", result
+        if roll < 0.21:
+            # Deliberately unsatisfiable name: the analyses must agree
+            # that nothing is traversed.
+            return f"{axis.value}::zz", frozenset()
+        name = rng.choice(sorted(result))
+        return f"{axis.value}::{name}", frozenset((name,))
+
+    def steps(self, context: TypeSet, max_steps: int,
+              allow_predicates: bool = True) -> tuple[list[str], TypeSet]:
+        """A chain of rendered steps starting from ``context``."""
+        rng = self.rng
+        count = rng.randint(1, max_steps)
+        parts: list[str] = []
+        for _ in range(count):
+            if not context:
+                break
+            axis, result = self._pick_axis(context)
+            text, context = self._step_source(context, axis, result)
+            if allow_predicates and context and rng.random() < 0.2:
+                text += self._predicate(context)
+            parts.append(text)
+        if not parts:
+            parts = ["self::node()"]
+        return parts, context
+
+    def _predicate(self, context: TypeSet) -> str:
+        """A ``[...]`` filter relative to ``context``."""
+        rng = self.rng
+        inner_steps, _ = self.steps(context, 2, allow_predicates=False)
+        inner = "/".join(inner_steps)
+        if rng.random() < 0.25:
+            return f"[not({inner})]"
+        return f"[{inner}]"
+
+    def path(self, head: str, context: TypeSet, max_steps: int = 3
+             ) -> tuple[str, TypeSet]:
+        """A full path expression rooted at variable ``head``."""
+        parts, out = self.steps(context, max_steps)
+        return head + "/" + "/".join(parts), out
+
+    def absolute_path(self, max_steps: int = 3) -> tuple[str, TypeSet]:
+        """A path from the document root (``//`` or ``/start`` shaped)."""
+        rng = self.rng
+        start = self.dtd.start
+        if rng.random() < 0.5:
+            # ``//tag`` over any reachable type.
+            reachable = sorted(
+                (self.dtd.descendants_of(start) | {start}) - {TEXT_SYMBOL}
+            )
+            tag = rng.choice(reachable)
+            base = f"//{tag}"
+            context: TypeSet = frozenset((tag,))
+            if rng.random() < 0.5:
+                return base, context
+            extra, out = self.steps(context, max_steps - 1)
+            return base + "/" + "/".join(extra), out
+        return self.path("$doc", frozenset((start,)), max_steps)
+
+
+class QueryGenerator:
+    """Random queries in the supported fragment for one schema."""
+
+    def __init__(self, rng: random.Random, dtd: DTD, max_depth: int = 2):
+        self.rng = rng
+        self.dtd = dtd
+        self.max_depth = max_depth
+        self._paths = _PathBuilder(rng, dtd)
+
+    def generate(self) -> str:
+        return self._query(self.max_depth, {})
+
+    # ``env`` maps in-scope variables to their context type-sets.
+    def _query(self, depth: int, env: dict[str, TypeSet]) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth <= 0 or roll < 0.45:
+            return self._path(env)[0]
+        if roll < 0.6:
+            var = self._paths.fresh_var()
+            source, context = self._path(env)
+            body_env = dict(env)
+            body_env[var] = context
+            body = self._query(depth - 1, body_env)
+            return f"for {var} in {source} return {body}"
+        if roll < 0.7:
+            var = self._paths.fresh_var()
+            source, context = self._path(env)
+            body_env = dict(env)
+            body_env[var] = context
+            body = self._query(depth - 1, body_env)
+            return f"let {var} := {source} return {body}"
+        if roll < 0.82:
+            cond = self._path(env)[0]
+            then = self._query(depth - 1, env)
+            orelse = "()" if rng.random() < 0.5 \
+                else self._query(depth - 1, env)
+            return f"if ({cond}) then {then} else {orelse}"
+        if roll < 0.92:
+            left = self._query(depth - 1, env)
+            right = self._query(depth - 1, env)
+            return f"({left}, {right})"
+        tag = rng.choice(sorted(self.dtd.alphabet))
+        inner = self._query(depth - 1, env)
+        return f"<{tag}>{{ {inner} }}</{tag}>"
+
+    def _path(self, env: dict[str, TypeSet]) -> tuple[str, TypeSet]:
+        rng = self.rng
+        bound = [v for v, ctx in env.items() if ctx]
+        if bound and rng.random() < 0.5:
+            var = rng.choice(sorted(bound))
+            return self._paths.path(var, env[var])
+        return self._paths.absolute_path()
+
+
+class UpdateGenerator:
+    """Random updates in the supported fragment for one schema.
+
+    ``kinds`` restricts the primitive forms, e.g. ``("delete",)`` for
+    the pure-delete sublanguage the soundness theorem covers without a
+    schema-preservation side condition.
+    """
+
+    ALL_KINDS = ("delete", "insert", "rename", "replace")
+
+    def __init__(self, rng: random.Random, dtd: DTD, max_depth: int = 2,
+                 kinds: tuple[str, ...] = ALL_KINDS):
+        self.rng = rng
+        self.dtd = dtd
+        self.max_depth = max_depth
+        self.kinds = kinds
+        self._paths = _PathBuilder(rng, dtd)
+
+    def generate(self) -> str:
+        return self._update(self.max_depth, {})
+
+    def _update(self, depth: int, env: dict[str, TypeSet]) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth <= 0 or roll < 0.55:
+            return self._primitive(env)
+        if roll < 0.7:
+            var = self._paths.fresh_var()
+            source, context = self._source_path(env)
+            body_env = dict(env)
+            body_env[var] = context
+            return (f"for {var} in {source} return "
+                    f"{self._update(depth - 1, body_env)}")
+        if roll < 0.78:
+            var = self._paths.fresh_var()
+            source, context = self._source_path(env)
+            body_env = dict(env)
+            body_env[var] = context
+            return (f"let {var} := {source} return "
+                    f"{self._update(depth - 1, body_env)}")
+        if roll < 0.9:
+            cond = self._source_path(env)[0]
+            then = self._update(depth - 1, env)
+            orelse = "()" if rng.random() < 0.5 \
+                else self._update(depth - 1, env)
+            return f"if ({cond}) then {then} else {orelse}"
+        left = self._update(depth - 1, env)
+        right = self._update(depth - 1, env)
+        return f"({left}, {right})"
+
+    def _source_path(self, env: dict[str, TypeSet]) -> tuple[str, TypeSet]:
+        rng = self.rng
+        bound = [v for v, ctx in env.items() if ctx]
+        if bound and rng.random() < 0.5:
+            var = rng.choice(sorted(bound))
+            return self._paths.path(var, env[var])
+        return self._paths.absolute_path()
+
+    def _primitive(self, env: dict[str, TypeSet]) -> str:
+        rng = self.rng
+        kind = rng.choice(self.kinds)
+        target, context = self._source_path(env)
+        if kind == "delete":
+            return f"delete {target}"
+        if kind == "rename":
+            return f"rename {target} as {self._rename_tag(context)}"
+        if kind == "insert":
+            source = self._insert_source(context)
+            pos = rng.choice(("into", "as first into", "as last into",
+                              "before", "after"))
+            return f"insert {source} {pos} {target}"
+        source = self._insert_source(context, for_replace=True)
+        return f"replace {target} with {source}"
+
+    def _rename_tag(self, context: TypeSet) -> str:
+        """A rename label, biased toward schema-compatible choices."""
+        rng = self.rng
+        parents = self._paths.types.axis_types(context, Axis.PARENT)
+        siblings = sorted(
+            s
+            for p in parents
+            for s in self.dtd.children_of(p)
+            if s != TEXT_SYMBOL
+        )
+        if siblings and rng.random() < 0.6:
+            return rng.choice(siblings)
+        return rng.choice(sorted(self.dtd.alphabet))
+
+    def _insert_source(self, context: TypeSet,
+                       for_replace: bool = False) -> str:
+        """Element content to write: minimal valid literal or a query."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.2:
+            # Copy existing nodes.
+            return self._paths.absolute_path(max_steps=2)[0]
+        if for_replace or roll < 0.8:
+            # A literal whose tag can legally appear below/beside the
+            # target, expanded to its minimal valid subtree.
+            candidates = sorted(
+                c
+                for t in context
+                for c in self.dtd.children_of(t)
+                if c != TEXT_SYMBOL
+            ) or sorted(context - {TEXT_SYMBOL}) \
+                or sorted(self.dtd.alphabet)
+            return minimal_element_source(self.dtd, rng.choice(candidates))
+        tag = rng.choice(sorted(self.dtd.alphabet))
+        return minimal_element_source(self.dtd, tag)
+
+
+def minimal_element_source(dtd: DTD, tag: str, _depth: int = 0) -> str:
+    """A literal element constructor for ``tag`` with shortest-word
+    content, hence valid wherever a ``tag`` element is allowed.
+
+    Recursion is bounded by the terminating-recursion invariant of
+    generated schemas (shortest words never take a recursive branch);
+    the depth fuse merely guards against hand-written pathological DTDs.
+    """
+    if _depth > 24:
+        return f"<{tag}/>"
+    word = dtd.shortest_content(tag)
+    if not word:
+        return f"<{tag}/>"
+    inner = "".join(
+        "txt" if symbol == TEXT_SYMBOL
+        else minimal_element_source(dtd, symbol, _depth + 1)
+        for symbol in word
+    )
+    return f"<{tag}>{inner}</{tag}>"
+
+
+def random_query(rng: random.Random, dtd: DTD, max_depth: int = 2) -> str:
+    """One random query for ``dtd``."""
+    return QueryGenerator(rng, dtd, max_depth=max_depth).generate()
+
+
+def random_update(rng: random.Random, dtd: DTD, max_depth: int = 2,
+                  kinds: tuple[str, ...] = UpdateGenerator.ALL_KINDS) -> str:
+    """One random update for ``dtd``."""
+    return UpdateGenerator(rng, dtd, max_depth=max_depth,
+                           kinds=kinds).generate()

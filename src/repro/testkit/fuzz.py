@@ -1,0 +1,289 @@
+"""The ``repro fuzz`` campaign driver.
+
+Generates seeded scenarios -- a random schema, a small grid of random
+queries and updates, a generated document corpus -- runs each through
+:func:`~repro.testkit.differential.run_scenario`, aggregates soundness
+and precision statistics, and shrinks + records every violation.
+
+Determinism: the campaign is a pure function of
+:attr:`FuzzConfig.seed`; scenario ``i`` draws from
+``random.Random((seed, i))`` regardless of how many scenarios run, so a
+violating scenario index reproduces standalone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .differential import (
+    KIND_BASELINE_UNSOUND,
+    KIND_DOMINANCE,
+    KIND_STATIC_UNSOUND,
+    Counterexample,
+    Scenario,
+    run_scenario,
+)
+from .dtdgen import SchemaGenerator
+from .exprgen import QueryGenerator, UpdateGenerator
+from .shrink import shrink_counterexample
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzz campaign."""
+
+    count: int = 500            # total query x update pairs to examine
+    seed: int = 0
+    queries_per_schema: int = 4
+    updates_per_schema: int = 4
+    min_tags: int = 3
+    max_tags: int = 7
+    recursion_probability: float = 0.4
+    expr_depth: int = 2
+    corpus_docs: int = 4
+    corpus_bytes: int = 700
+    processes: int | None = None
+    shrink_budget: int = 250
+    corpus_dir: str | None = None   # where shrunk counterexamples land
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated campaign outcome (JSON-serializable via to_json)."""
+
+    config: FuzzConfig
+    scenarios: int = 0
+    pairs: int = 0
+    in_scope_pairs: int = 0
+    static_independent: int = 0
+    baseline_independent: int = 0
+    dynamic_independent: int = 0
+    static_proved_of_dynamic: int = 0
+    baseline_proved_of_dynamic: int = 0
+    static_only_of_dynamic: int = 0
+    baseline_only_of_dynamic: int = 0
+    static_seconds: float = 0.0
+    baseline_seconds: float = 0.0
+    dynamic_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    counterexamples: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def soundness_violations(self) -> int:
+        return sum(
+            1 for cx in self.counterexamples
+            if cx.kind in (KIND_STATIC_UNSOUND, KIND_BASELINE_UNSOUND)
+        )
+
+    @property
+    def dominance_violations(self) -> int:
+        return sum(
+            1 for cx in self.counterexamples if cx.kind == KIND_DOMINANCE
+        )
+
+    @property
+    def static_precision(self) -> float:
+        """Share of dynamically-independent pairs the chain analysis
+        proves (the Figure 3.b-style headline)."""
+        if not self.dynamic_independent:
+            return 0.0
+        return self.static_proved_of_dynamic / self.dynamic_independent
+
+    @property
+    def baseline_precision(self) -> float:
+        if not self.dynamic_independent:
+            return 0.0
+        return self.baseline_proved_of_dynamic / self.dynamic_independent
+
+    def to_json(self) -> dict:
+        return {
+            "config": asdict(self.config),
+            "scenarios": self.scenarios,
+            "pairs": self.pairs,
+            "in_scope_pairs": self.in_scope_pairs,
+            "static_independent": self.static_independent,
+            "baseline_independent": self.baseline_independent,
+            "dynamic_independent": self.dynamic_independent,
+            "precision": {
+                "static_proved_of_dynamic": self.static_proved_of_dynamic,
+                "baseline_proved_of_dynamic": self.baseline_proved_of_dynamic,
+                "static_only_of_dynamic": self.static_only_of_dynamic,
+                "baseline_only_of_dynamic": self.baseline_only_of_dynamic,
+                "static_precision": round(self.static_precision, 4),
+                "baseline_precision": round(self.baseline_precision, 4),
+            },
+            "violations": {
+                "soundness": self.soundness_violations,
+                "dominance": self.dominance_violations,
+            },
+            "seconds": {
+                "static": round(self.static_seconds, 3),
+                "baseline": round(self.baseline_seconds, 3),
+                "dynamic": round(self.dynamic_seconds, 3),
+                "wall": round(self.wall_seconds, 3),
+            },
+            "counterexamples": [cx.to_json() for cx in self.counterexamples],
+        }
+
+
+def scenario_rng(seed: int, index: int) -> random.Random:
+    """The deterministic per-scenario RNG (independent of campaign size)."""
+    return random.Random(f"{seed}:{index}")
+
+
+def generate_scenario(config: FuzzConfig, index: int) -> Scenario:
+    """Scenario ``index`` of the campaign ``config`` describes."""
+    rng = scenario_rng(config.seed, index)
+    spec = SchemaGenerator(
+        rng,
+        min_tags=config.min_tags,
+        max_tags=config.max_tags,
+        recursion_probability=config.recursion_probability,
+    ).generate()
+    dtd = spec.to_dtd()
+    queries = QueryGenerator(rng, dtd, max_depth=config.expr_depth)
+    updates = UpdateGenerator(rng, dtd, max_depth=config.expr_depth)
+    return Scenario(
+        schema=spec,
+        queries=tuple(
+            queries.generate() for _ in range(config.queries_per_schema)
+        ),
+        updates=tuple(
+            updates.generate() for _ in range(config.updates_per_schema)
+        ),
+        corpus_docs=config.corpus_docs,
+        corpus_bytes=config.corpus_bytes,
+        corpus_seed=rng.randrange(2 ** 31),
+    )
+
+
+def counterexample_path(directory: str | Path, cx: Counterexample) -> Path:
+    """Stable corpus filename: kind + content digest.
+
+    Provenance is excluded from the digest (it is not part of a
+    counterexample's identity -- ``compare=False`` on the dataclass),
+    so the same minimal scenario found by two campaigns dedups to one
+    corpus file.
+    """
+    content = {k: v for k, v in cx.to_json().items() if k != "provenance"}
+    digest = hashlib.sha256(
+        json.dumps(content, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return Path(directory) / f"{cx.kind}-{digest}.json"
+
+
+def save_counterexample(directory: str | Path, cx: Counterexample) -> Path:
+    path = counterexample_path(directory, cx)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(cx.to_json(), indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def run_fuzz(config: FuzzConfig, out=None,
+             progress: bool = False) -> FuzzReport:
+    """Run one campaign; prints a summary table to ``out`` (stdout
+    when omitted -- resolved at call time, not import time)."""
+    if out is None:
+        out = sys.stdout
+    if config.queries_per_schema < 1 or config.updates_per_schema < 1:
+        raise ValueError(
+            "queries_per_schema and updates_per_schema must be >= 1 "
+            "(a scenario with an empty grid examines no pairs)"
+        )
+    if not 1 <= config.min_tags <= config.max_tags:
+        raise ValueError("need 1 <= min_tags <= max_tags")
+    report = FuzzReport(config=config)
+    started = time.perf_counter()
+    index = 0
+    while report.pairs < config.count:
+        scenario = generate_scenario(config, index)
+        result = run_scenario(scenario, processes=config.processes)
+        _aggregate(report, result, index)
+        index += 1
+        if progress and index % 10 == 0:
+            done = min(report.pairs, config.count)
+            print(f"  ... {done}/{config.count} pairs "
+                  f"({index} scenarios)", file=out)
+    report.scenarios = index
+    report.wall_seconds = time.perf_counter() - started
+    _print_summary(report, out)
+    return report
+
+
+def _aggregate(report: FuzzReport, result, scenario_index: int) -> None:
+    config = report.config
+    report.static_seconds += result.static_seconds
+    report.baseline_seconds += result.baseline_seconds
+    report.dynamic_seconds += result.dynamic_seconds
+    for record in result.records:
+        report.pairs += 1
+        if record.in_scope_docs:
+            report.in_scope_pairs += 1
+        if record.static_independent:
+            report.static_independent += 1
+        if record.baseline_independent:
+            report.baseline_independent += 1
+        # Precision is judged only where the oracle had evidence.
+        if record.in_scope_docs and record.dynamic_independent:
+            report.dynamic_independent += 1
+            if record.static_independent:
+                report.static_proved_of_dynamic += 1
+                if not record.baseline_independent:
+                    report.static_only_of_dynamic += 1
+            if record.baseline_independent:
+                report.baseline_proved_of_dynamic += 1
+                if not record.static_independent:
+                    report.baseline_only_of_dynamic += 1
+    for cx in result.counterexamples:
+        shrunk = dataclasses.replace(
+            shrink_counterexample(cx, budget=config.shrink_budget),
+            provenance={
+                "fuzz_seed": config.seed,
+                "scenario": scenario_index,
+                "original_query": cx.query,
+                "original_update": cx.update,
+            },
+        )
+        report.counterexamples.append(shrunk)
+        if config.corpus_dir:
+            save_counterexample(config.corpus_dir, shrunk)
+
+
+def _print_summary(report: FuzzReport, out) -> None:
+    config = report.config
+    print(f"fuzz campaign -- seed {config.seed}, {report.scenarios} "
+          f"scenarios, {report.pairs} pairs "
+          f"({report.wall_seconds:.1f}s)", file=out)
+    print(f"  in-scope pairs:        {report.in_scope_pairs}", file=out)
+    print(f"  static  independent:   {report.static_independent}", file=out)
+    print(f"  baseline independent:  {report.baseline_independent}",
+          file=out)
+    print(f"  dynamic independent:   {report.dynamic_independent} "
+          f"(oracle-labeled, in scope)", file=out)
+    print(f"  precision vs oracle:   chain "
+          f"{report.static_precision:.1%} vs baseline "
+          f"{report.baseline_precision:.1%}", file=out)
+    print(f"  proved by chain only:  {report.static_only_of_dynamic}",
+          file=out)
+    print(f"  proved by [6] only:    {report.baseline_only_of_dynamic}",
+          file=out)
+    print(f"  analysis seconds:      static {report.static_seconds:.2f} / "
+          f"baseline {report.baseline_seconds:.2f} / "
+          f"dynamic {report.dynamic_seconds:.2f}", file=out)
+    if report.counterexamples:
+        print(f"  VIOLATIONS: {report.soundness_violations} soundness, "
+              f"{report.dominance_violations} dominance", file=out)
+        for cx in report.counterexamples:
+            print(f"    [{cx.kind}] query={cx.query!r} "
+                  f"update={cx.update!r} "
+                  f"schema={dict(cx.schema.rules)!r}", file=out)
+    else:
+        print("  no soundness or dominance violations", file=out)

@@ -1,0 +1,183 @@
+"""Core-AST -> surface-syntax rendering.
+
+The shrinker minimizes *parsed* expressions; reports and the regression
+corpus store *source text*.  These renderers bridge the two: for every
+core AST they emit surface syntax that the repo's parsers accept, and
+parsing the rendered text yields the original AST back (modulo the
+content-model promotion of a bare ``#PCDATA``, see
+:func:`model_to_source`).
+"""
+
+from __future__ import annotations
+
+from ..schema.regex import (
+    TEXT_SYMBOL,
+    Alt,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Seq,
+    Star,
+    Sym,
+)
+from ..xquery.ast import (
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    NameTest,
+    NodeKindTest,
+    NodeTest,
+    Query,
+    Step,
+    StringLit,
+    TextTest,
+    WildcardTest,
+)
+from ..xupdate.ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+)
+
+
+def node_test_to_source(test: NodeTest) -> str:
+    if isinstance(test, NameTest):
+        return test.name
+    if isinstance(test, TextTest):
+        return "text()"
+    if isinstance(test, NodeKindTest):
+        return "node()"
+    if isinstance(test, WildcardTest):
+        return "*"
+    raise TypeError(f"unknown node test {test!r}")
+
+
+def query_to_source(query: Query) -> str:
+    """Parseable surface text for a core query AST.
+
+    >>> from repro.xquery.parser import parse_query
+    >>> src = query_to_source(parse_query("//a//c"))
+    >>> parse_query(src) == parse_query("//a//c")
+    True
+    """
+    if isinstance(query, Empty):
+        return "()"
+    if isinstance(query, StringLit):
+        if '"' not in query.value:
+            return f'"{query.value}"'
+        if "'" not in query.value:
+            return f"'{query.value}'"
+        # The surface grammar has no escape sequences, so a literal
+        # holding both quote kinds cannot be written back faithfully.
+        raise ValueError(
+            f"string literal {query.value!r} mixes both quote kinds and "
+            "has no surface rendering"
+        )
+    if isinstance(query, Concat):
+        return (f"({query_to_source(query.left)}, "
+                f"{query_to_source(query.right)})")
+    if isinstance(query, Element):
+        if isinstance(query.content, Empty):
+            return f"<{query.tag}/>"
+        return (f"<{query.tag}>{{ {query_to_source(query.content)} }}"
+                f"</{query.tag}>")
+    if isinstance(query, Step):
+        return (f"{query.var}/{query.axis.value}::"
+                f"{node_test_to_source(query.test)}")
+    if isinstance(query, For):
+        return (f"for {query.var} in {query_to_source(query.source)} "
+                f"return {query_to_source(query.body)}")
+    if isinstance(query, Let):
+        return (f"let {query.var} := {query_to_source(query.source)} "
+                f"return {query_to_source(query.body)}")
+    if isinstance(query, If):
+        return (f"if ({query_to_source(query.cond)}) "
+                f"then {query_to_source(query.then)} "
+                f"else {query_to_source(query.orelse)}")
+    raise TypeError(f"unknown query node {query!r}")
+
+
+def update_to_source(update: Update) -> str:
+    """Parseable surface text for a core update AST."""
+    if isinstance(update, UEmpty):
+        return "()"
+    if isinstance(update, UConcat):
+        return (f"({update_to_source(update.left)}, "
+                f"{update_to_source(update.right)})")
+    if isinstance(update, UFor):
+        return (f"for {update.var} in {query_to_source(update.source)} "
+                f"return {update_to_source(update.body)}")
+    if isinstance(update, ULet):
+        return (f"let {update.var} := {query_to_source(update.source)} "
+                f"return {update_to_source(update.body)}")
+    if isinstance(update, UIf):
+        return (f"if ({query_to_source(update.cond)}) "
+                f"then {update_to_source(update.then)} "
+                f"else {update_to_source(update.orelse)}")
+    if isinstance(update, Delete):
+        return f"delete {query_to_source(update.target)}"
+    if isinstance(update, Rename):
+        return f"rename {query_to_source(update.target)} as {update.tag}"
+    if isinstance(update, Insert):
+        return (f"insert {query_to_source(update.source)} "
+                f"{update.pos.value} {query_to_source(update.target)}")
+    if isinstance(update, Replace):
+        return (f"replace {query_to_source(update.target)} "
+                f"with {query_to_source(update.source)}")
+    raise TypeError(f"unknown update node {update!r}")
+
+
+def model_to_source(model: Regex) -> str:
+    """Content-model string for a regex (for schema (re)serialization).
+
+    The one asymmetry of the content-model syntax: a whole-model bare
+    text symbol has no exact rendering (``(#PCDATA)`` parses to ``#S*``
+    by DTD convention), so it is rendered as the star form -- shrink
+    candidates that hit this corner merely over-approximate and must
+    still pass the shrinker's re-validation.
+    """
+    if isinstance(model, Epsilon):
+        return "EMPTY"
+    return _model_inner(model)
+
+
+def _model_inner(model: Regex) -> str:
+    if isinstance(model, Sym):
+        return "#PCDATA" if model.name == TEXT_SYMBOL else model.name
+    if isinstance(model, Seq):
+        return f"({_model_inner(model.left)}, {_model_inner(model.right)})"
+    if isinstance(model, Alt):
+        return f"({_model_inner(model.left)} | {_model_inner(model.right)})"
+    if isinstance(model, Star):
+        return f"{_decorable(model.inner)}*"
+    if isinstance(model, Plus):
+        return f"{_decorable(model.inner)}+"
+    if isinstance(model, Opt):
+        return f"{_decorable(model.inner)}?"
+    if isinstance(model, Epsilon):
+        raise ValueError(
+            "nested epsilon has no content-model syntax; simplify the "
+            "regex before rendering"
+        )
+    raise TypeError(f"unknown regex node {model!r}")
+
+
+def _decorable(inner: Regex) -> str:
+    """Render ``inner`` so a postfix ``*``/``+``/``?`` can attach: the
+    grammar allows one decoration per atom, so stacked repetitions need
+    an explicit group (``(a?)*``, not ``a?*``)."""
+    text = _model_inner(inner)
+    if isinstance(inner, (Star, Plus, Opt)):
+        return f"({text})"
+    return text

@@ -1,0 +1,379 @@
+"""Greedy counterexample minimization.
+
+Any scenario the differential runner flags is shrunk before being
+reported so the regression corpus stores the *essence* of the bug, not
+fuzzer noise.  The shrinker repeatedly tries size-reducing candidate
+edits, keeping an edit whenever :func:`~repro.testkit.differential.
+still_violates` confirms the violation survives, until a fixpoint (or
+the evaluation budget runs out -- each probe re-runs the full
+differential check, which is the dominating cost):
+
+1. **corpus**: pin the single witnessing document, then halve its byte
+   budget;
+2. **expressions**: structural shrinks over the parsed ASTs -- replace
+   any composite node by one of its children, drop steps, drop
+   predicates -- with candidates re-rendered to surface syntax via
+   :mod:`~repro.testkit.render` (only candidates whose free variables
+   stay inside ``{$doc}`` are legal scenarios);
+3. **schema**: replace rules with simpler content models, erase symbols
+   from models, and drop rules that became unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from ..schema.dtd import DTDError
+from ..schema.regex import (
+    EPSILON,
+    Alt,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    RegexError,
+    Seq,
+    Star,
+    Sym,
+    parse_content_model,
+)
+from ..xquery.ast import (
+    ROOT_VAR,
+    Concat,
+    Element,
+    Empty,
+    For,
+    If,
+    Let,
+    Query,
+    Step,
+    StringLit,
+    free_variables,
+)
+from ..xquery.parser import parse_query
+from ..xupdate.ast import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    UConcat,
+    UEmpty,
+    UFor,
+    UIf,
+    ULet,
+    Update,
+    update_free_variables,
+)
+from ..xupdate.parser import parse_update
+from .differential import Counterexample, Scenario, run_scenario, still_violates
+from .dtdgen import SchemaSpec
+from .render import model_to_source, query_to_source, update_to_source
+
+
+class _Budget:
+    """Counts predicate evaluations; exhaustion stops the shrink."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    def charge(self) -> bool:
+        self.spent += 1
+        return self.spent <= self.limit
+
+
+def shrink_counterexample(cx: Counterexample, budget: int = 250,
+                          predicate=still_violates) -> Counterexample:
+    """Greedily minimize ``cx`` while ``predicate`` keeps holding.
+
+    The input is assumed to satisfy ``predicate`` (callers get it from a
+    :class:`~repro.testkit.differential.ScenarioResult`, whose
+    counterexamples satisfy the default
+    :func:`~repro.testkit.differential.still_violates`); the result is a
+    counterexample of less-or-equal :meth:`size` with the same kind.
+    Tests may swap ``predicate`` to exercise the shrinker without a
+    genuine analysis bug.
+    """
+    fuel = _Budget(budget)
+    current = _shrink_corpus(cx, fuel, predicate)
+    improved = True
+    while improved and fuel.spent < fuel.limit:
+        improved = False
+        for candidate in _candidates(current):
+            if candidate.size() >= current.size():
+                continue
+            if not fuel.charge():
+                return current
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Corpus shrinking
+# ---------------------------------------------------------------------------
+
+
+def _shrink_corpus(cx: Counterexample, fuel: _Budget,
+                   predicate) -> Counterexample:
+    """Pin the witnessing document, then shrink its byte budget."""
+    current = cx
+    if current.corpus_docs > 1 and predicate is still_violates:
+        scenario = Scenario(
+            schema=current.schema,
+            queries=(current.query,),
+            updates=(current.update,),
+            corpus_docs=current.corpus_docs,
+            corpus_bytes=current.corpus_bytes,
+            corpus_seed=current.corpus_seed,
+        )
+        if fuel.charge():
+            record = run_scenario(scenario).records[0]
+            if record.witness_doc is not None:
+                # generate_corpus seeds document i with seed + i, so one
+                # document at seed+witness reproduces the witness alone.
+                pinned = _with(current,
+                               corpus_docs=1,
+                               corpus_seed=current.corpus_seed
+                               + record.witness_doc)
+                if fuel.charge() and predicate(pinned):
+                    current = pinned
+    size = current.corpus_bytes
+    while size > 120:
+        size //= 2
+        candidate = _with(current, corpus_bytes=max(size, 120))
+        if not fuel.charge():
+            return current
+        if not predicate(candidate):
+            break
+        current = candidate
+    return current
+
+
+def _with(cx: Counterexample, **changes) -> Counterexample:
+    return dataclasses.replace(cx, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration
+# ---------------------------------------------------------------------------
+
+
+def _candidates(cx: Counterexample) -> Iterator[Counterexample]:
+    """Size-reducing edits, most aggressive first.
+
+    Candidates that cannot be rendered back to surface syntax (e.g. a
+    string literal mixing both quote kinds) are skipped -- a shrink
+    step must always yield a replayable scenario.
+    """
+    query = parse_query(cx.query)
+    update = parse_update(cx.update)
+    for shrunk in query_shrinks(query):
+        if free_variables(shrunk) <= {ROOT_VAR}:
+            try:
+                yield _with(cx, query=query_to_source(shrunk))
+            except ValueError:
+                continue
+    for shrunk in update_shrinks(update):
+        if update_free_variables(shrunk) <= {ROOT_VAR}:
+            try:
+                yield _with(cx, update=update_to_source(shrunk))
+            except ValueError:
+                continue
+    yield from _schema_candidates(cx)
+
+
+def query_shrinks(query: Query) -> Iterator[Query]:
+    """Structurally smaller queries (children first, then recursion)."""
+    if isinstance(query, (Empty, StringLit, Step)):
+        return
+    if isinstance(query, Concat):
+        yield query.left
+        yield query.right
+        for left in query_shrinks(query.left):
+            yield Concat(left, query.right)
+        for right in query_shrinks(query.right):
+            yield Concat(query.left, right)
+    elif isinstance(query, Element):
+        yield query.content
+        yield Element(query.tag, Empty())
+        for content in query_shrinks(query.content):
+            yield Element(query.tag, content)
+    elif isinstance(query, For):
+        yield query.source
+        if query.var not in free_variables(query.body):
+            yield query.body
+        for source in query_shrinks(query.source):
+            yield For(query.var, source, query.body)
+        for body in query_shrinks(query.body):
+            yield For(query.var, query.source, body)
+    elif isinstance(query, Let):
+        yield query.source
+        if query.var not in free_variables(query.body):
+            yield query.body
+        for source in query_shrinks(query.source):
+            yield Let(query.var, source, query.body)
+        for body in query_shrinks(query.body):
+            yield Let(query.var, query.source, body)
+    elif isinstance(query, If):
+        yield query.then
+        yield query.orelse
+        yield query.cond
+        for cond in query_shrinks(query.cond):
+            yield If(cond, query.then, query.orelse)
+        for then in query_shrinks(query.then):
+            yield If(query.cond, then, query.orelse)
+        for orelse in query_shrinks(query.orelse):
+            yield If(query.cond, query.then, orelse)
+    else:
+        raise TypeError(f"unknown query node {query!r}")
+
+
+def update_shrinks(update: Update) -> Iterator[Update]:
+    """Structurally smaller updates."""
+    if isinstance(update, UEmpty):
+        return
+    if isinstance(update, UConcat):
+        yield update.left
+        yield update.right
+        for left in update_shrinks(update.left):
+            yield UConcat(left, update.right)
+        for right in update_shrinks(update.right):
+            yield UConcat(update.left, right)
+    elif isinstance(update, UFor):
+        if update.var not in update_free_variables(update.body):
+            yield update.body
+        for source in query_shrinks(update.source):
+            yield UFor(update.var, source, update.body)
+        for body in update_shrinks(update.body):
+            yield UFor(update.var, update.source, body)
+    elif isinstance(update, ULet):
+        if update.var not in update_free_variables(update.body):
+            yield update.body
+        for source in query_shrinks(update.source):
+            yield ULet(update.var, source, update.body)
+        for body in update_shrinks(update.body):
+            yield ULet(update.var, update.source, body)
+    elif isinstance(update, UIf):
+        yield update.then
+        yield update.orelse
+        for cond in query_shrinks(update.cond):
+            yield UIf(cond, update.then, update.orelse)
+        for then in update_shrinks(update.then):
+            yield UIf(update.cond, then, update.orelse)
+        for orelse in update_shrinks(update.orelse):
+            yield UIf(update.cond, update.then, orelse)
+    elif isinstance(update, Delete):
+        for target in query_shrinks(update.target):
+            yield Delete(target)
+    elif isinstance(update, Rename):
+        for target in query_shrinks(update.target):
+            yield Rename(target, update.tag)
+    elif isinstance(update, Insert):
+        yield Delete(update.target)
+        for source in query_shrinks(update.source):
+            yield Insert(source, update.pos, update.target)
+        for target in query_shrinks(update.target):
+            yield Insert(update.source, update.pos, target)
+    elif isinstance(update, Replace):
+        yield Delete(update.target)
+        for target in query_shrinks(update.target):
+            yield Replace(target, update.source)
+        for source in query_shrinks(update.source):
+            yield Replace(update.target, source)
+    else:
+        raise TypeError(f"unknown update node {update!r}")
+
+
+# ---------------------------------------------------------------------------
+# Schema shrinking
+# ---------------------------------------------------------------------------
+
+
+def _schema_candidates(cx: Counterexample) -> Iterator[Counterexample]:
+    rules = dict(cx.schema.rules)
+    for tag, model_text in sorted(rules.items()):
+        model = parse_content_model(model_text)
+        for simpler in _model_shrinks(model):
+            text = model_to_source(simpler)
+            if len(text) >= len(model_text):
+                continue
+            candidate_rules = dict(rules)
+            candidate_rules[tag] = text
+            spec = _pruned(cx.schema.start, candidate_rules)
+            if spec is not None:
+                yield _with(cx, schema=spec)
+
+
+def _model_shrinks(model: Regex) -> Iterator[Regex]:
+    """Language-shrinking (or at least source-shrinking) model edits."""
+    if isinstance(model, (Epsilon, Sym)):
+        if isinstance(model, Sym):
+            yield EPSILON
+        return
+    yield EPSILON
+    for symbol in sorted({s for s in _symbols(model)}):
+        yield Sym(symbol)
+    if isinstance(model, (Seq, Alt)):
+        yield model.left
+        yield model.right
+        for left in _model_shrinks(model.left):
+            yield _simplify(type(model)(left, model.right))
+        for right in _model_shrinks(model.right):
+            yield _simplify(type(model)(model.left, right))
+    if isinstance(model, (Star, Plus, Opt)):
+        yield model.inner
+        for inner in _model_shrinks(model.inner):
+            yield _simplify(type(model)(inner))
+
+
+def _symbols(model: Regex) -> Iterator[str]:
+    if isinstance(model, Sym):
+        yield model.name
+    elif isinstance(model, (Seq, Alt)):
+        yield from _symbols(model.left)
+        yield from _symbols(model.right)
+    elif isinstance(model, (Star, Plus, Opt)):
+        yield from _symbols(model.inner)
+
+
+def _simplify(model: Regex) -> Regex:
+    """Collapse epsilon subterms so rendering stays expressible."""
+    if isinstance(model, Seq):
+        if isinstance(model.left, Epsilon):
+            return model.right
+        if isinstance(model.right, Epsilon):
+            return model.left
+        return model
+    if isinstance(model, Alt):
+        if isinstance(model.left, Epsilon):
+            return _simplify(Opt(model.right))
+        if isinstance(model.right, Epsilon):
+            return _simplify(Opt(model.left))
+        return model
+    if isinstance(model, (Star, Plus, Opt)):
+        if isinstance(model.inner, Epsilon):
+            return EPSILON
+        return model
+    return model
+
+
+def _pruned(start: str, rules: dict[str, str]) -> SchemaSpec | None:
+    """Drop rules unreachable from ``start``; None if the DTD breaks."""
+    try:
+        dtd = SchemaSpec(start, tuple(sorted(rules.items()))).to_dtd()
+    except (DTDError, RegexError):
+        return None
+    reachable = {start} | {
+        s for s in dtd.descendants_of(start) if s in dtd.alphabet
+    }
+    kept = {tag: text for tag, text in rules.items() if tag in reachable}
+    try:
+        spec = SchemaSpec(start, tuple(sorted(kept.items())))
+        spec.to_dtd()
+    except (DTDError, RegexError):
+        return None
+    return spec

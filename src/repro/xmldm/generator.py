@@ -56,14 +56,20 @@ class DocumentGenerator:
     fanout:
         Expected number of iterations for each ``*``/``+`` repetition while
         the byte budget is not exhausted.
+    rng:
+        An externally owned :class:`random.Random` to draw from instead
+        of seeding a private one -- lets the testkit and Hypothesis
+        drive document generation deterministically from their own
+        stream without touching global RNG state.  ``seed`` is ignored
+        when ``rng`` is given.
     """
 
     def __init__(self, dtd: DTD, seed: int = 0, max_depth: int = 24,
-                 fanout: float = 2.0):
+                 fanout: float = 2.0, rng: random.Random | None = None):
         self.dtd = dtd
         self.max_depth = max_depth
         self.fanout = fanout
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._budget = 0
 
     def generate(self, target_bytes: int = 10_000,
@@ -233,9 +239,10 @@ class DocumentGenerator:
 
 
 def generate_document(dtd: DTD, target_bytes: int = 10_000, seed: int = 0,
-                      ensure_coverage: bool = True) -> Tree:
+                      ensure_coverage: bool = True,
+                      rng: random.Random | None = None) -> Tree:
     """One-shot convenience wrapper around :class:`DocumentGenerator`."""
-    return DocumentGenerator(dtd, seed=seed).generate(
+    return DocumentGenerator(dtd, seed=seed, rng=rng).generate(
         target_bytes, ensure_coverage=ensure_coverage
     )
 

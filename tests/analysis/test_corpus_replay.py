@@ -1,0 +1,80 @@
+"""Replay the shrunk-counterexample regression corpus.
+
+Every JSON file under ``tests/corpus/`` is a scenario that once
+violated (or guards) one of the fuzzer's invariants -- static
+soundness, baseline soundness, or chain-over-baseline dominance on
+deletes.  Replaying asserts the violation stays *fixed*:
+``still_violates`` must be False for each entry, with the precise
+invariant re-derived here so a regression produces a readable failure.
+
+Triage workflow (see README): a nightly ``repro fuzz`` run that finds a
+violation shrinks it and uploads the JSON; committing that file under
+``tests/corpus/`` makes this test fail until the analysis bug is fixed,
+then keeps guarding it forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testkit.differential import (
+    KIND_BASELINE_UNSOUND,
+    KIND_DOMINANCE,
+    KIND_STATIC_UNSOUND,
+    Counterexample,
+    Scenario,
+    run_scenario,
+    still_violates,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> Counterexample:
+    return Counterexample.from_json(
+        json.loads(path.read_text(encoding="utf-8"))
+    )
+
+
+def test_corpus_exists_and_is_well_formed():
+    assert CORPUS_FILES, "regression corpus must not be empty"
+    for path in CORPUS_FILES:
+        cx = _load(path)
+        assert cx.kind in (KIND_STATIC_UNSOUND, KIND_BASELINE_UNSOUND,
+                           KIND_DOMINANCE), path.name
+        # Scenarios must stay runnable: schema builds, expressions parse.
+        cx.schema.to_dtd()
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_entry_stays_fixed(path: Path):
+    cx = _load(path)
+    record = run_scenario(Scenario(
+        schema=cx.schema,
+        queries=(cx.query,),
+        updates=(cx.update,),
+        corpus_docs=cx.corpus_docs,
+        corpus_bytes=cx.corpus_bytes,
+        corpus_seed=cx.corpus_seed,
+    )).records[0]
+    assert cx.kind not in record.violations, (
+        f"regression: {path.name} violates again "
+        f"(static={record.static_independent} "
+        f"baseline={record.baseline_independent} "
+        f"witness={record.witness_doc})"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_entry_agrees_with_still_violates(path: Path):
+    # The shrinker and the replay must share one notion of "violating";
+    # an entry drifting between the two would silently stop guarding.
+    assert not still_violates(_load(path))

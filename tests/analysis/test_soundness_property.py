@@ -1,113 +1,31 @@
 """The central property: static independence is SOUND (Theorems 4.2/5.1).
 
-Randomized check: generate (schema, query, update) triples plus a corpus
-of valid documents; whenever the static analysis reports *independent*,
-the update must never observably change the query result on any corpus
-document.  A single violation would disprove soundness.
+Randomized check over the shared strategies of :mod:`tests.strategies`
+(curated paper scenarios plus testkit-generated schemas/expressions):
+whenever the static analysis reports *independent*, the update must
+never observably change the query result on any corpus document.  A
+single violation would disprove soundness.
 
 The same harness also checks that the type baseline [6] is sound, and
-that the chain analysis is never less precise than the baseline on the
-sampled pairs.
+that the chain analysis is never less precise than the baseline on
+delete-only updates.  (The heavy-duty version of these properties is
+the ``repro fuzz`` differential campaign; this file is the fast tier-1
+slice of it.)
 """
 
 from __future__ import annotations
 
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.analysis.baseline import baseline_analyze
 from repro.analysis.dynamic import differs_on
 from repro.analysis.independence import analyze
-from repro.schema import DTD
+from repro.testkit.differential import is_pure_delete, schema_preserving_on
 from repro.xmldm.generator import generate_corpus
-from repro.xmldm.validate import is_valid
-from repro.xquery.ast import ROOT_VAR
 from repro.xquery.parser import parse_query
-from repro.xupdate.ast import (
-    Delete,
-    UConcat,
-    UEmpty,
-    UFor,
-    UIf,
-    ULet,
-    Update,
-)
-from repro.xupdate.evaluator import apply_update
 from repro.xupdate.parser import parse_update
-from repro.xupdate.pul import UpdateError
 
-
-def _pure_delete(update: Update) -> bool:
-    """Updates built only from deletes never create new chains; the
-    paper's soundness explicitly covers them even when they break
-    validity (Section 4)."""
-    if isinstance(update, (UEmpty, Delete)):
-        return True
-    if isinstance(update, UConcat):
-        return _pure_delete(update.left) and _pure_delete(update.right)
-    if isinstance(update, (UFor, ULet)):
-        return _pure_delete(update.body)
-    if isinstance(update, UIf):
-        return _pure_delete(update.then) and _pure_delete(update.orelse)
-    return False
-
-
-def _schema_preserving_on(update: Update, tree, schema) -> bool:
-    """Does applying ``update`` to ``tree`` keep it schema-valid?
-
-    The paper's analysis assumes schema-preserving updates (Section 2);
-    insert/rename/replace executions that break validity create chains
-    outside Cd and are out of the soundness theorem's scope."""
-    updated = tree.clone()
-    try:
-        apply_update(update, updated.store, {ROOT_VAR: [updated.root]})
-    except UpdateError:
-        return True  # no-op execution
-    return is_valid(updated, schema)
-
-#: Small pool of schemas exercising recursion, alternation and siblings.
-SCHEMAS = [
-    DTD.from_dict(
-        "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
-    ),
-    DTD.from_dict(
-        "doc",
-        {"doc": "(a, b?)", "a": "(c*, d?)", "b": "(c | d)*",
-         "c": "(#PCDATA)", "d": "EMPTY"},
-    ),
-    DTD.from_dict(  # recursive
-        "r", {"r": "a", "a": "(b, c, e)*", "b": "f", "c": "f", "e": "f",
-              "f": "(a, g)?", "g": "EMPTY"},
-    ),
-]
-
-_PATHS = [
-    "//a", "//b", "//c", "//d", "//e", "//f", "//g",
-    "/doc/a", "/doc/b", "/r/a", "//a//c", "//b//c", "//a/c",
-    "/descendant::c", "//c/parent::node()", "//f/ancestor::a",
-    "//a/following-sibling::node()", "//c/preceding-sibling::node()",
-]
-
-_QUERIES = _PATHS + [
-    "for $x in //a return if ($x/c) then $x else ()",
-    "for $x in //node() return if ($x/b) then $x/a else ()",
-    "let $x := //b return ($x/c, //d)",
-    "for $x in //a return <wrap>{$x/c}</wrap>",
-    "//a[c]", "//b[not(c)]",
-]
-
-_UPDATES = [
-    "delete //a", "delete //b", "delete //c", "delete //d",
-    "delete //a//c", "delete //b//c", "delete /doc/a", "delete //f",
-    "for $x in //a return insert <c/> into $x",
-    "for $x in //b return insert <d/> into $x",
-    "for $x in //c return rename $x as d",
-    "for $x in //d return rename $x as c",
-    "for $x in //a return replace $x/c with <c/>",
-    "for $x in //g return delete $x",
-    "if (//d) then delete //c else ()",
-    "let $x := //b return delete $x/c",
-]
+from ..strategies import CURATED_SCHEMAS, curated_cases, scenario_cases
 
 
 @settings(
@@ -115,17 +33,11 @@ _UPDATES = [
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(
-    schema_index=st.integers(0, len(SCHEMAS) - 1),
-    query_text=st.sampled_from(_QUERIES),
-    update_text=st.sampled_from(_UPDATES),
-    seed=st.integers(0, 2**16),
-)
-def test_static_independence_is_sound(schema_index, query_text,
-                                      update_text, seed):
-    schema = SCHEMAS[schema_index]
-    query = parse_query(query_text)
-    update = parse_update(update_text)
+@given(case=scenario_cases())
+def test_static_independence_is_sound(case):
+    schema = case.schema
+    query = parse_query(case.query)
+    update = parse_update(case.update)
 
     chain_report = analyze(query, update, schema)
     type_report = baseline_analyze(query, update, schema)
@@ -133,57 +45,42 @@ def test_static_independence_is_sound(schema_index, query_text,
     if not chain_report.independent and not type_report.independent:
         return  # nothing claimed, nothing to falsify
 
-    corpus = generate_corpus(schema, count=4, target_bytes=900, seed=seed)
-    pure_delete = _pure_delete(update)
+    corpus = generate_corpus(schema, count=4, target_bytes=900,
+                             seed=case.doc_seed)
+    pure_delete = is_pure_delete(update)
     for tree in corpus:
-        if not pure_delete and not _schema_preserving_on(update, tree,
-                                                         schema):
+        if not pure_delete and not schema_preserving_on(update, tree,
+                                                        schema):
             continue  # out of the soundness theorem's scope (Section 4)
         changed = differs_on(query, update, tree)
         if chain_report.independent:
-            assert not changed, (
-                f"UNSOUND chain verdict: {query_text!r} vs {update_text!r} "
-                f"on schema {schema_index} (seed {seed})"
-            )
+            assert not changed, f"UNSOUND chain verdict: {case!r}"
         if type_report.independent:
-            assert not changed, (
-                f"UNSOUND type verdict: {query_text!r} vs {update_text!r} "
-                f"on schema {schema_index} (seed {seed})"
-            )
+            assert not changed, f"UNSOUND type verdict: {case!r}"
 
 
 @settings(max_examples=40, deadline=None)
-@given(
-    schema_index=st.integers(0, len(SCHEMAS) - 1),
-    query_text=st.sampled_from(_QUERIES),
-    update_text=st.sampled_from(
-        [u for u in _UPDATES if "insert" not in u
-         and "rename" not in u and "replace" not in u]
-    ),
-)
-def test_chains_never_less_precise_than_types_on_deletes(
-        schema_index, query_text, update_text):
+@given(case=scenario_cases(deletes_only=True))
+def test_chains_never_less_precise_than_types_on_deletes(case):
     """Whenever [6] proves a *delete* independent, so do chains.
 
     For schema-violating inserts the two analyses' blind spots differ
     (Section 4), so dominance on arbitrary random pairs is not a theorem;
     the paper's empirical dominance claim over the (schema-preserving)
     XMark benchmark is asserted in tests/bench/test_harness.py."""
-    schema = SCHEMAS[schema_index]
-    if baseline_analyze(query_text, update_text, schema).independent:
-        assert analyze(query_text, update_text, schema).independent
+    if baseline_analyze(case.query, case.update, case.schema).independent:
+        assert analyze(case.query, case.update, case.schema).independent, (
+            f"dominance violation: {case!r}"
+        )
 
 
 @settings(max_examples=30, deadline=None)
-@given(
-    query_text=st.sampled_from(_QUERIES),
-    update_text=st.sampled_from(_UPDATES),
-    k_extra=st.integers(0, 3),
-)
-def test_larger_k_preserves_verdict(query_text, update_text, k_extra):
+@given(case=curated_cases())
+def test_larger_k_preserves_verdict(case):
     """Raising k beyond kq+ku never changes the verdict (the finite
     analysis is equivalent to the infinite one from k = kq + ku on)."""
-    schema = SCHEMAS[2]  # the recursive one
-    base = analyze(query_text, update_text, schema)
-    bigger = analyze(query_text, update_text, schema, k=base.k + k_extra)
+    schema = CURATED_SCHEMAS[2]  # the recursive one
+    base = analyze(case.query, case.update, schema)
+    bigger = analyze(case.query, case.update, schema,
+                     k=base.k + 1 + case.doc_seed % 3)
     assert base.independent == bigger.independent

@@ -1,0 +1,208 @@
+"""Shared Hypothesis strategies built on the testkit generators.
+
+One home for the property-test inputs: curated paper schemas and
+expression pools (regression intent: these encode the exact shapes the
+paper discusses) plus unbounded random scenarios drawn through
+:mod:`repro.testkit`.  Strategies hand Hypothesis a plain integer seed
+and derive everything else through seeded ``random.Random`` streams, so
+examples shrink to smaller seeds and replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from hypothesis import strategies as st
+
+from repro.schema import DTD, bib_dtd, paper_d1_dtd, paper_doc_dtd
+from repro.testkit.dtdgen import SchemaGenerator
+from repro.testkit.exprgen import QueryGenerator, UpdateGenerator
+from repro.xmldm.generator import DocumentGenerator
+from repro.xmldm.store import Tree
+
+#: Small pool of curated schemas exercising recursion, alternation and
+#: siblings (the shapes Sections 2 and 5 of the paper lean on).
+CURATED_SCHEMAS: list[DTD] = [
+    DTD.from_dict(
+        "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
+    ),
+    DTD.from_dict(
+        "doc",
+        {"doc": "(a, b?)", "a": "(c*, d?)", "b": "(c | d)*",
+         "c": "(#PCDATA)", "d": "EMPTY"},
+    ),
+    DTD.from_dict(  # recursive
+        "r", {"r": "a", "a": "(b, c, e)*", "b": "f", "c": "f", "e": "f",
+              "f": "(a, g)?", "g": "EMPTY"},
+    ),
+]
+
+_PATHS = [
+    "//a", "//b", "//c", "//d", "//e", "//f", "//g",
+    "/doc/a", "/doc/b", "/r/a", "//a//c", "//b//c", "//a/c",
+    "/descendant::c", "//c/parent::node()", "//f/ancestor::a",
+    "//a/following-sibling::node()", "//c/preceding-sibling::node()",
+]
+
+CURATED_QUERIES = _PATHS + [
+    "for $x in //a return if ($x/c) then $x else ()",
+    "for $x in //node() return if ($x/b) then $x/a else ()",
+    "let $x := //b return ($x/c, //d)",
+    "for $x in //a return <wrap>{$x/c}</wrap>",
+    "//a[c]", "//b[not(c)]",
+]
+
+CURATED_UPDATES = [
+    "delete //a", "delete //b", "delete //c", "delete //d",
+    "delete //a//c", "delete //b//c", "delete /doc/a", "delete //f",
+    "for $x in //a return insert <c/> into $x",
+    "for $x in //b return insert <d/> into $x",
+    "for $x in //c return rename $x as d",
+    "for $x in //d return rename $x as c",
+    "for $x in //a return replace $x/c with <c/>",
+    "for $x in //g return delete $x",
+    "if (//d) then delete //c else ()",
+    "let $x := //b return delete $x/c",
+]
+
+CURATED_DELETE_UPDATES = [
+    u for u in CURATED_UPDATES
+    if "insert" not in u and "rename" not in u and "replace" not in u
+]
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One (schema, query, update, document-seed) property-test input."""
+
+    schema: DTD
+    query: str
+    update: str
+    doc_seed: int
+    label: str   # "curated" | "generated" (for failure triage)
+
+    def __repr__(self) -> str:  # readable Hypothesis falsifying examples
+        return (f"ScenarioCase({self.label}, start={self.schema.start!r}, "
+                f"query={self.query!r}, update={self.update!r}, "
+                f"doc_seed={self.doc_seed})")
+
+
+# -- schemas ---------------------------------------------------------------
+
+
+@st.composite
+def curated_schemas(draw) -> DTD:
+    return CURATED_SCHEMAS[
+        draw(st.integers(0, len(CURATED_SCHEMAS) - 1))
+    ]
+
+
+@st.composite
+def generated_schemas(draw, max_tags: int = 6,
+                      recursion_probability: float = 0.4) -> DTD:
+    seed = draw(st.integers(0, 2 ** 32 - 1))
+    rng = random.Random(f"schema:{seed}")
+    spec = SchemaGenerator(
+        rng, max_tags=max_tags,
+        recursion_probability=recursion_probability,
+    ).generate()
+    return spec.to_dtd()
+
+
+def schemas(**kwargs) -> st.SearchStrategy[DTD]:
+    """Curated pool plus testkit-generated schemas."""
+    return st.one_of(curated_schemas(), generated_schemas(**kwargs))
+
+
+# -- expressions for a known schema ----------------------------------------
+
+
+def queries_for(dtd: DTD, seed: int, max_depth: int = 2) -> str:
+    """A deterministic random query for ``dtd`` (testkit-generated)."""
+    return QueryGenerator(
+        random.Random(f"query:{seed}"), dtd, max_depth=max_depth
+    ).generate()
+
+
+def updates_for(dtd: DTD, seed: int, max_depth: int = 2,
+                kinds: tuple[str, ...] = UpdateGenerator.ALL_KINDS) -> str:
+    """A deterministic random update for ``dtd``."""
+    return UpdateGenerator(
+        random.Random(f"update:{seed}"), dtd, max_depth=max_depth,
+        kinds=kinds,
+    ).generate()
+
+
+# -- full scenario cases ---------------------------------------------------
+
+
+@st.composite
+def curated_cases(draw, deletes_only: bool = False) -> ScenarioCase:
+    schema = draw(curated_schemas())
+    pool = CURATED_DELETE_UPDATES if deletes_only else CURATED_UPDATES
+    return ScenarioCase(
+        schema=schema,
+        query=draw(st.sampled_from(CURATED_QUERIES)),
+        update=draw(st.sampled_from(pool)),
+        doc_seed=draw(st.integers(0, 2 ** 16)),
+        label="curated",
+    )
+
+
+@st.composite
+def generated_cases(draw, deletes_only: bool = False,
+                    max_tags: int = 6) -> ScenarioCase:
+    schema = draw(generated_schemas(max_tags=max_tags))
+    seed = draw(st.integers(0, 2 ** 32 - 1))
+    kinds = ("delete",) if deletes_only else UpdateGenerator.ALL_KINDS
+    return ScenarioCase(
+        schema=schema,
+        query=queries_for(schema, seed),
+        update=updates_for(schema, seed, kinds=kinds),
+        doc_seed=draw(st.integers(0, 2 ** 16)),
+        label="generated",
+    )
+
+
+def scenario_cases(deletes_only: bool = False
+                   ) -> st.SearchStrategy[ScenarioCase]:
+    """The soundness-harness input: curated and generated scenarios."""
+    return st.one_of(
+        curated_cases(deletes_only=deletes_only),
+        generated_cases(deletes_only=deletes_only),
+    )
+
+
+# -- documents -------------------------------------------------------------
+
+#: Catalog schemas the evaluator-duality properties walk.
+CATALOG_DTDS = (paper_doc_dtd, bib_dtd, paper_d1_dtd)
+
+
+@st.composite
+def catalog_trees(draw, target_bytes: int = 900) -> tuple[DTD, Tree]:
+    """A (schema, valid document) pair over the catalog schemas."""
+    dtd = CATALOG_DTDS[draw(st.integers(0, len(CATALOG_DTDS) - 1))]()
+    seed = draw(st.integers(0, 400))
+    tree = DocumentGenerator(
+        dtd, rng=random.Random(f"tree:{seed}")
+    ).generate(target_bytes)
+    return dtd, tree
+
+
+@st.composite
+def generated_trees(draw, target_bytes: int = 900,
+                    max_tags: int = 6) -> tuple[DTD, Tree]:
+    """A (schema, valid document) pair over testkit-generated schemas."""
+    dtd = draw(generated_schemas(max_tags=max_tags))
+    seed = draw(st.integers(0, 2 ** 16))
+    tree = DocumentGenerator(
+        dtd, rng=random.Random(f"tree:{seed}")
+    ).generate(target_bytes)
+    return dtd, tree
+
+
+def trees(**kwargs) -> st.SearchStrategy[tuple[DTD, Tree]]:
+    """Catalog and generated (schema, document) pairs."""
+    return st.one_of(catalog_trees(**kwargs), generated_trees(**kwargs))

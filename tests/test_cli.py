@@ -100,6 +100,39 @@ class TestFileCommands:
         assert code == 0
 
 
+class TestFuzz:
+    def test_small_campaign_exit_zero_and_json(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "fuzz", "--count", "16", "--seed", "0",
+            "--queries", "2", "--updates", "2",
+            "--docs", "2", "--doc-bytes", "300",
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign" in out
+        assert "precision vs oracle" in out
+
+        import json
+
+        data = json.loads(report_path.read_text(encoding="utf-8"))
+        assert data["pairs"] >= 16
+        assert data["violations"]["soundness"] == 0
+
+    def test_corpus_dir_stays_empty_without_violations(self, tmp_path,
+                                                       capsys):
+        corpus = tmp_path / "corpus"
+        code = main([
+            "fuzz", "--count", "8", "--seed", "3",
+            "--queries", "2", "--updates", "2",
+            "--docs", "2", "--doc-bytes", "300",
+            "--corpus-dir", str(corpus),
+        ])
+        assert code == 0
+        assert not list(corpus.glob("*.json")) if corpus.exists() else True
+
+
 class TestExplainModule:
     def test_explain_dependent(self):
         from repro.analysis.explain import explain

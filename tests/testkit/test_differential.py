@@ -1,0 +1,162 @@
+"""The differential runner: classification, scope rules, violations."""
+
+from repro.testkit.differential import (
+    KIND_BASELINE_UNSOUND,
+    KIND_DOMINANCE,
+    KIND_STATIC_UNSOUND,
+    Counterexample,
+    PairRecord,
+    Scenario,
+    is_pure_delete,
+    run_scenario,
+    schema_preserving_on,
+    still_violates,
+)
+from repro.testkit.dtdgen import SchemaSpec
+from repro.xmldm.generator import generate_document
+from repro.xupdate.parser import parse_update
+
+DOC_SPEC = SchemaSpec(start="doc", rules=(
+    ("a", "(c)"), ("b", "(c)"), ("c", "EMPTY"), ("doc", "(a | b)*"),
+))
+
+
+class TestScopeHelpers:
+    def test_pure_delete_forms(self):
+        for text in ["delete //a", "(delete //a, delete //b)",
+                     "for $x in //a return delete $x/c",
+                     "if (//b) then delete //a else ()"]:
+            assert is_pure_delete(parse_update(text))
+        for text in ["insert <c/> into //a", "rename //c as d",
+                     "replace //a with <b/>",
+                     "(delete //a, rename //c as d)"]:
+            assert not is_pure_delete(parse_update(text))
+
+    def test_schema_preserving_detection(self):
+        dtd = DOC_SPEC.to_dtd()
+        tree = generate_document(dtd, 400, seed=1)
+        # Renaming a -> b keeps (a|b)* valid; c -> a breaks a's model.
+        assert schema_preserving_on(
+            parse_update("for $x in //a return rename $x as b"), tree, dtd
+        )
+        assert not schema_preserving_on(
+            parse_update("for $x in //c return rename $x as a"), tree, dtd
+        )
+
+    def test_failed_execution_counts_as_preserving(self):
+        dtd = DOC_SPEC.to_dtd()
+        tree = generate_document(dtd, 400, seed=1)
+        # Renaming several nodes at once is a W3C dynamic error -> no-op.
+        assert schema_preserving_on(
+            parse_update("rename //c as b"), tree, dtd
+        )
+
+
+class TestRunScenario:
+    def test_paper_example_grid(self):
+        # q1 = /doc/a/c vs u1 = delete //b//c: the paper's flagship
+        # independent pair; //b//c vs the same delete conflicts.
+        scenario = Scenario(
+            schema=DOC_SPEC,
+            queries=("//a//c", "//b//c"),
+            updates=("delete //b//c",),
+            corpus_docs=3,
+            corpus_bytes=400,
+            corpus_seed=0,
+        )
+        result = run_scenario(scenario)
+        by_query = {r.query: r for r in result.records}
+        assert by_query["//a//c"].static_independent
+        assert by_query["//a//c"].dynamic_independent
+        assert not by_query["//a//c"].baseline_independent  # [6] blind spot
+        assert not by_query["//b//c"].static_independent
+        assert by_query["//a//c"].violations == ()
+        assert result.counterexamples == []
+
+    def test_dependent_pair_yields_witness(self):
+        scenario = Scenario(
+            schema=DOC_SPEC,
+            queries=("//c",),
+            updates=("delete //c",),
+            corpus_docs=3,
+            corpus_bytes=400,
+            corpus_seed=0,
+        )
+        record = run_scenario(scenario).records[0]
+        assert not record.static_independent
+        assert record.witness_doc is not None
+        assert record.violations == ()   # dependent verdicts claim nothing
+
+    def test_matrix_parallel_matches_sequential_records(self):
+        scenario = Scenario(
+            schema=DOC_SPEC,
+            queries=("//a//c", "//b", "/doc/a"),
+            updates=("delete //b//c", "delete //a"),
+            corpus_docs=2,
+            corpus_bytes=300,
+            corpus_seed=5,
+        )
+        sequential = run_scenario(scenario)
+        pooled = run_scenario(scenario, processes=2)
+        assert [r.static_independent for r in sequential.records] == \
+            [r.static_independent for r in pooled.records]
+
+
+class TestPairRecordClassification:
+    def _record(self, **kwargs) -> PairRecord:
+        base = dict(
+            query="q", update="u",
+            static_independent=False, baseline_independent=False,
+            pure_delete=False, in_scope_docs=3, witness_doc=None,
+        )
+        base.update(kwargs)
+        return PairRecord(**base)
+
+    def test_static_unsound(self):
+        record = self._record(static_independent=True, witness_doc=1)
+        assert KIND_STATIC_UNSOUND in record.violations
+
+    def test_baseline_unsound(self):
+        record = self._record(baseline_independent=True, witness_doc=0)
+        assert KIND_BASELINE_UNSOUND in record.violations
+
+    def test_delete_dominance(self):
+        record = self._record(baseline_independent=True, pure_delete=True)
+        assert record.violations == (KIND_DOMINANCE,)
+        # Dominance is only a theorem for delete-only updates.
+        record = self._record(baseline_independent=True, pure_delete=False)
+        assert record.violations == ()
+
+    def test_clean_pair(self):
+        assert self._record().violations == ()
+        assert self._record(static_independent=True).violations == ()
+
+
+class TestStillViolates:
+    def _cx(self, **kwargs) -> Counterexample:
+        base = dict(
+            kind=KIND_STATIC_UNSOUND, schema=DOC_SPEC,
+            query="//a//c", update="delete //b//c",
+            corpus_docs=2, corpus_bytes=300, corpus_seed=0,
+        )
+        base.update(kwargs)
+        return Counterexample(**base)
+
+    def test_sound_pair_does_not_violate(self):
+        assert not still_violates(self._cx())
+
+    def test_malformed_inputs_do_not_violate(self):
+        assert not still_violates(self._cx(query="//a["))
+        assert not still_violates(self._cx(update="delete"))
+        broken = SchemaSpec(start="doc", rules=(("doc", "(ghost)"),))
+        assert not still_violates(self._cx(schema=broken))
+        # Bad content-model *syntax* (RegexError, not DTDError) must
+        # also report False, not raise.
+        bad_model = SchemaSpec(start="doc", rules=(("doc", "(a?*"),))
+        assert not still_violates(self._cx(schema=bad_model))
+
+    def test_json_round_trip(self):
+        cx = self._cx(provenance={"fuzz_seed": 3})
+        rebuilt = Counterexample.from_json(cx.to_json())
+        assert rebuilt == cx
+        assert rebuilt.provenance == {"fuzz_seed": 3}

@@ -1,0 +1,171 @@
+"""Expression generation and AST -> surface rendering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import paper_doc_dtd
+from repro.testkit.dtdgen import SchemaGenerator
+from repro.testkit.exprgen import (
+    QueryGenerator,
+    UpdateGenerator,
+    minimal_element_source,
+    random_query,
+    random_update,
+)
+from repro.testkit.render import query_to_source, update_to_source
+from repro.xmldm.parse import parse_xml
+from repro.xmldm.validate import validate
+from repro.xquery.ast import ROOT_VAR, free_variables
+from repro.xquery.parser import parse_query
+from repro.xupdate.ast import update_free_variables
+from repro.xupdate.parser import parse_update
+
+
+def _workload(seed: int):
+    rng = random.Random(seed)
+    dtd = SchemaGenerator(rng).generate().to_dtd()
+    return rng, dtd
+
+
+class TestGenerators:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    def test_queries_parse_and_are_quasi_closed(self, seed):
+        rng, dtd = _workload(seed)
+        ast = parse_query(QueryGenerator(rng, dtd).generate())
+        assert free_variables(ast) <= {ROOT_VAR}
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    def test_updates_parse_and_are_quasi_closed(self, seed):
+        rng, dtd = _workload(seed)
+        ast = parse_update(UpdateGenerator(rng, dtd).generate())
+        assert update_free_variables(ast) <= {ROOT_VAR}
+
+    def test_delete_only_kind_restriction(self):
+        from repro.testkit.differential import is_pure_delete
+
+        rng, dtd = _workload(17)
+        for _ in range(20):
+            update = random_update(rng, dtd, kinds=("delete",))
+            assert is_pure_delete(parse_update(update))
+
+    def test_module_level_helpers(self):
+        rng, dtd = _workload(3)
+        parse_query(random_query(rng, dtd))
+        parse_update(random_update(rng, dtd))
+
+    def test_satisfiable_text_steps_are_generated(self):
+        # An element whose content is text-only admits child::text();
+        # the generator must emit it (and never from a text-free one).
+        import random as random_module
+
+        from repro.schema import DTD
+        from repro.testkit.exprgen import _PathBuilder
+        from repro.xquery.ast import Axis
+
+        dtd = DTD.from_dict("doc", {"doc": "(a)", "a": "(#PCDATA)"})
+        builder = _PathBuilder(random_module.Random(0), dtd)
+        emitted = set()
+        for _ in range(400):
+            axis, result = builder._pick_axis(frozenset({"a"}))
+            text, _ = builder._step_source(frozenset({"a"}), axis, result)
+            emitted.add(text)
+        assert "child::text()" in emitted
+        for _ in range(400):
+            axis, result = builder._pick_axis(frozenset({"doc"}))
+            text, _ = builder._step_source(frozenset({"doc"}), axis,
+                                           result)
+            assert not (axis is Axis.CHILD and text.endswith("text()"))
+
+
+class TestMinimalElementSource:
+    def test_minimal_literal_is_valid_subtree(self):
+        dtd = paper_doc_dtd()
+        for tag in sorted(dtd.alphabet):
+            source = minimal_element_source(dtd, tag)
+            tree = parse_xml(source)
+            # Validate as if tag were the start symbol.
+            from repro.schema import DTD
+
+            rooted = DTD(tag, dtd.rules)
+            validate(tree, rooted)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    def test_minimal_literal_terminates_on_generated_schemas(self, seed):
+        rng, dtd = _workload(seed)
+        for tag in sorted(dtd.alphabet):
+            assert minimal_element_source(dtd, tag).startswith(f"<{tag}")
+
+
+class TestRendering:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    def test_query_render_round_trip(self, seed):
+        rng, dtd = _workload(seed)
+        ast = parse_query(QueryGenerator(rng, dtd).generate())
+        assert parse_query(query_to_source(ast)) == ast
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    def test_update_render_round_trip(self, seed):
+        rng, dtd = _workload(seed)
+        ast = parse_update(UpdateGenerator(rng, dtd).generate())
+        assert parse_update(update_to_source(ast)) == ast
+
+    def test_curated_round_trips(self):
+        for text in [
+            "//a//c", "(//a, //b)", "for $x in //a return <w>{$x/c}</w>",
+            "if (//a[c]) then //b else ()", "//a[not(c)]",
+            'let $x := //b return ($x/c, "lit")',
+        ]:
+            ast = parse_query(text)
+            assert parse_query(query_to_source(ast)) == ast
+        for text in [
+            "delete //a", "rename //c as d",
+            "insert <c/> as last into //a",
+            "replace //a/c with <c/>",
+            "for $x in //b return (delete $x/c, rename $x as a)",
+        ]:
+            ast = parse_update(text)
+            assert parse_update(update_to_source(ast)) == ast
+
+    def test_model_render_round_trip(self):
+        from repro.schema.regex import parse_content_model
+        from repro.testkit.render import model_to_source
+
+        for text in ["EMPTY", "(#PCDATA)", "(a | b)*", "(a, b?, c+)",
+                     "((a | b)*, #PCDATA)"]:
+            model = parse_content_model(text)
+            assert parse_content_model(model_to_source(model)) == model
+
+    def test_unknown_nodes_rejected(self):
+        with pytest.raises(TypeError):
+            query_to_source(object())  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            update_to_source(object())  # type: ignore[arg-type]
+
+    def test_string_literal_quoting(self):
+        from repro.xquery.ast import StringLit
+
+        plain = StringLit("hello world")
+        assert parse_query(query_to_source(plain)) == plain
+        double = StringLit('say "hi"')
+        assert parse_query(query_to_source(double)) == double
+        # No escape sequences exist in the surface grammar: a literal
+        # mixing both quote kinds must refuse rather than corrupt.
+        with pytest.raises(ValueError):
+            query_to_source(StringLit("both \" and ' quotes"))
+
+    def test_stacked_repetitions_render_with_group(self):
+        # Shrinking can produce Star(Opt(...)): must render as (a?)*,
+        # never the unparseable a?*.
+        from repro.schema.regex import Opt, Star, Sym, parse_content_model
+        from repro.testkit.render import model_to_source
+
+        rendered = model_to_source(Star(Opt(Sym("a"))))
+        assert parse_content_model(rendered) == Star(Opt(Sym("a")))

@@ -1,0 +1,126 @@
+"""The fuzz campaign driver: determinism, aggregation, persistence."""
+
+import json
+
+from repro.testkit.differential import KIND_STATIC_UNSOUND, Counterexample
+from repro.testkit.dtdgen import SchemaSpec
+from repro.testkit.fuzz import (
+    FuzzConfig,
+    FuzzReport,
+    counterexample_path,
+    generate_scenario,
+    run_fuzz,
+    save_counterexample,
+    scenario_rng,
+)
+
+
+class TestDeterminism:
+    def test_scenario_is_pure_function_of_seed_and_index(self):
+        config = FuzzConfig(seed=11)
+        assert generate_scenario(config, 3) == generate_scenario(config, 3)
+        assert generate_scenario(config, 3) != generate_scenario(config, 4)
+
+    def test_scenario_independent_of_campaign_size(self):
+        # Scenario i only depends on (seed, i): growing --count must not
+        # reshuffle earlier scenarios, so violations replay standalone.
+        small = FuzzConfig(seed=2, count=16)
+        large = FuzzConfig(seed=2, count=160)
+        assert generate_scenario(small, 0) == generate_scenario(large, 0)
+
+    def test_rng_stream_is_salted(self):
+        assert scenario_rng(1, 2).random() != scenario_rng(2, 1).random()
+
+
+class TestCampaign:
+    def test_small_campaign_reports(self, tmp_path):
+        out = tmp_path / "report.txt"
+        config = FuzzConfig(count=32, seed=0, queries_per_schema=2,
+                            updates_per_schema=2, corpus_docs=2,
+                            corpus_bytes=300)
+        with open(out, "w", encoding="utf-8") as handle:
+            report = run_fuzz(config, out=handle)
+        assert report.pairs >= 32
+        assert report.scenarios == report.pairs // 4
+        assert report.static_independent <= report.pairs
+        # The whole suite rests on this: no unsound verdicts.
+        assert report.soundness_violations == 0
+        text = out.read_text(encoding="utf-8")
+        assert "precision vs oracle" in text
+
+    def test_report_json_shape(self, tmp_path):
+        config = FuzzConfig(count=8, seed=4, queries_per_schema=2,
+                            updates_per_schema=2, corpus_docs=2,
+                            corpus_bytes=300)
+        with open(tmp_path / "sink", "w", encoding="utf-8") as handle:
+            report = run_fuzz(config, out=handle)
+        data = report.to_json()
+        assert data["pairs"] == report.pairs
+        assert set(data["precision"]) >= {
+            "static_precision", "baseline_precision",
+            "static_only_of_dynamic",
+        }
+        json.dumps(data)   # must be serializable as-is
+
+    def test_precision_accounting_is_consistent(self, tmp_path):
+        config = FuzzConfig(count=48, seed=9, corpus_docs=2,
+                            corpus_bytes=300)
+        with open(tmp_path / "sink", "w", encoding="utf-8") as handle:
+            report = run_fuzz(config, out=handle)
+        assert report.dynamic_independent <= report.in_scope_pairs
+        assert report.static_proved_of_dynamic <= report.dynamic_independent
+        assert report.static_only_of_dynamic <= report.static_proved_of_dynamic
+        assert 0.0 <= report.static_precision <= 1.0
+        assert 0.0 <= report.baseline_precision <= 1.0
+
+
+class TestPersistence:
+    def _cx(self) -> Counterexample:
+        return Counterexample(
+            kind=KIND_STATIC_UNSOUND,
+            schema=SchemaSpec(start="t0", rules=(("t0", "EMPTY"),)),
+            query="//t0", update="delete //t0",
+            corpus_docs=1, corpus_bytes=200, corpus_seed=7,
+        )
+
+    def test_save_and_reload(self, tmp_path):
+        path = save_counterexample(tmp_path, self._cx())
+        assert path.exists()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert Counterexample.from_json(data) == self._cx()
+
+    def test_filename_is_stable_and_kind_tagged(self, tmp_path):
+        first = counterexample_path(tmp_path, self._cx())
+        second = counterexample_path(tmp_path, self._cx())
+        assert first == second
+        assert first.name.startswith(KIND_STATIC_UNSOUND)
+
+    def test_filename_ignores_provenance(self, tmp_path):
+        # The same minimal scenario found by two campaigns must dedup
+        # to one corpus file: provenance is not part of identity.
+        import dataclasses
+
+        base = self._cx()
+        tagged = dataclasses.replace(
+            base, provenance={"fuzz_seed": 9, "scenario": 4}
+        )
+        assert counterexample_path(tmp_path, base) == \
+            counterexample_path(tmp_path, tagged)
+
+
+class TestEmptyReport:
+    def test_precision_defaults(self):
+        report = FuzzReport(config=FuzzConfig())
+        assert report.static_precision == 0.0
+        assert report.baseline_precision == 0.0
+        assert report.soundness_violations == 0
+
+    def test_empty_grid_is_rejected_not_spun_forever(self):
+        import pytest
+
+        for bad in (FuzzConfig(queries_per_schema=0),
+                    FuzzConfig(updates_per_schema=0),
+                    FuzzConfig(min_tags=9, max_tags=7),
+                    FuzzConfig(min_tags=0)):
+            with pytest.raises(ValueError):
+                run_fuzz(bad)

@@ -1,29 +1,19 @@
-"""Property-based checks of the dynamic semantics (axis dualities)."""
+"""Property-based checks of the dynamic semantics (axis dualities).
+
+Documents come from the shared :func:`tests.strategies.trees` strategy:
+catalog schemas plus testkit-generated ones, with generation driven
+through an injected ``random.Random`` so examples replay exactly.
+"""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.schema import bib_dtd, paper_d1_dtd, paper_doc_dtd
-from repro.xmldm import generate_document
-from repro.xmldm.store import Tree
-
-
-def _all_elements(tree: Tree):
-    return [
-        loc for loc in tree.store.descendants_or_self(tree.root)
-        if tree.store.is_element(loc)
-    ]
-
-
-def _tree(seed: int) -> Tree:
-    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
-    return generate_document(dtds[seed % 3], 900, seed=seed)
+from ..strategies import catalog_trees, trees
 
 
 @settings(max_examples=25, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_child_parent_duality(seed):
-    tree = _tree(seed)
+@given(case=trees())
+def test_child_parent_duality(case):
+    _, tree = case
     store = tree.store
     for loc in _all_elements(tree):
         for child in store.children(loc):
@@ -31,9 +21,9 @@ def test_child_parent_duality(seed):
 
 
 @settings(max_examples=25, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_descendant_ancestor_duality(seed):
-    tree = _tree(seed)
+@given(case=trees())
+def test_descendant_ancestor_duality(case):
+    _, tree = case
     store = tree.store
     for loc in _all_elements(tree)[:40]:
         for descendant in store.descendants(loc):
@@ -41,9 +31,9 @@ def test_descendant_ancestor_duality(seed):
 
 
 @settings(max_examples=25, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_sibling_duality(seed):
-    tree = _tree(seed)
+@given(case=trees())
+def test_sibling_duality(case):
+    _, tree = case
     store = tree.store
     for loc in _all_elements(tree)[:40]:
         for sibling in store.siblings_after(loc):
@@ -51,11 +41,11 @@ def test_sibling_duality(seed):
 
 
 @settings(max_examples=25, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_descendants_partition(seed):
+@given(case=trees())
+def test_descendants_partition(case):
     """descendants-or-self = self + children's descendants-or-self,
     in document order."""
-    tree = _tree(seed)
+    _, tree = case
     store = tree.store
     for loc in _all_elements(tree)[:25]:
         expected = [loc]
@@ -65,15 +55,13 @@ def test_descendants_partition(seed):
 
 
 @settings(max_examples=20, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_node_chains_follow_dtd(seed):
+@given(case=trees())
+def test_node_chains_follow_dtd(case):
     """Every node chain of a valid generated document is a DTD chain
     rooted at the start symbol (Proposition 2.3)."""
     from repro.schema import is_chain
 
-    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
-    dtd = dtds[seed % 3]
-    tree = generate_document(dtd, 900, seed=seed)
+    dtd, tree = case
     store = tree.store
     for loc in store.descendants_or_self(tree.root):
         chain = store.node_chain(loc)
@@ -82,11 +70,11 @@ def test_node_chains_follow_dtd(seed):
 
 
 @settings(max_examples=20, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_evaluation_is_deterministic(seed):
+@given(case=catalog_trees())
+def test_evaluation_is_deterministic(case):
     from repro.xquery import ROOT_VAR, evaluate_query, parse_query
 
-    tree = _tree(seed)
+    _, tree = case
     query = parse_query("/descendant-or-self::node()")
     first = evaluate_query(query, tree.store, {ROOT_VAR: [tree.root]})
     second = evaluate_query(query, tree.store, {ROOT_VAR: [tree.root]})
@@ -94,13 +82,11 @@ def test_evaluation_is_deterministic(seed):
 
 
 @settings(max_examples=20, deadline=None)
-@given(seed=st.integers(0, 400))
-def test_order_relation_covers_observed_sibling_orders(seed):
+@given(case=trees(target_bytes=1200))
+def test_order_relation_covers_observed_sibling_orders(case):
     """Dynamic check of the <r relation: every ordered sibling-tag pair
     observed in a valid document is in the content model's relation."""
-    dtds = (paper_doc_dtd(), bib_dtd(), paper_d1_dtd())
-    dtd = dtds[seed % 3]
-    tree = generate_document(dtd, 1200, seed=seed)
+    dtd, tree = case
     store = tree.store
     for loc in store.descendants_or_self(tree.root):
         if not store.is_element(loc):
@@ -113,3 +99,10 @@ def test_order_relation_covers_observed_sibling_orders(seed):
                 assert (first, second) in relation, (
                     store.tag(loc), first, second
                 )
+
+
+def _all_elements(tree):
+    return [
+        loc for loc in tree.store.descendants_or_self(tree.root)
+        if tree.store.is_element(loc)
+    ]
