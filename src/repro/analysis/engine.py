@@ -40,6 +40,7 @@ from ..xupdate.ast import Update
 from ..xupdate.parser import parse_update
 from .cdag import Universe
 from .independence import (
+    Conflict,
     IndependenceReport,
     RecursionStructure,
     check_conflicts,
@@ -128,8 +129,14 @@ def normalize_source(text: str) -> str:
 
 
 @dataclass
-class CacheStats:
-    """Cache accounting for one engine (hits are amortization wins)."""
+class EngineStats:
+    """Cache accounting for one engine (hits are amortization wins).
+
+    ``pair_hits``/``pair_misses``/``pair_evictions`` track the bounded
+    in-memory verdict memo; the ``store_*`` counters track the optional
+    persistent verdict store (see :meth:`AnalysisEngine.attach_store`),
+    whose hits skip chain inference entirely.
+    """
 
     universes_built: int = 0
     query_hits: int = 0
@@ -138,12 +145,45 @@ class CacheStats:
     update_misses: int = 0
     pair_hits: int = 0
     pair_misses: int = 0
+    pair_evictions: int = 0
+    expr_evictions: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
 
     @property
     def chain_hit_ratio(self) -> float:
         hits = self.query_hits + self.update_hits
         total = hits + self.query_misses + self.update_misses
         return hits / total if total else 0.0
+
+    @property
+    def pair_hit_ratio(self) -> float:
+        total = self.pair_hits + self.pair_misses
+        return self.pair_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (the ``/stats`` endpoint payload)."""
+        return {
+            "universes_built": self.universes_built,
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
+            "update_hits": self.update_hits,
+            "update_misses": self.update_misses,
+            "pair_hits": self.pair_hits,
+            "pair_misses": self.pair_misses,
+            "pair_evictions": self.pair_evictions,
+            "expr_evictions": self.expr_evictions,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_writes": self.store_writes,
+            "chain_hit_ratio": self.chain_hit_ratio,
+            "pair_hit_ratio": self.pair_hit_ratio,
+        }
+
+
+#: Historical name (pre-serve) for :class:`EngineStats`.
+CacheStats = EngineStats
 
 
 @dataclass(frozen=True)
@@ -207,6 +247,38 @@ def _slim(report: IndependenceReport) -> PairVerdict:
 
 
 # ---------------------------------------------------------------------------
+# Bounded caches
+# ---------------------------------------------------------------------------
+
+
+class _BoundedCache(OrderedDict):
+    """A dict with LRU eviction: ``get`` touches, insertion over the
+    bound evicts the least-recently-used entry.
+
+    Every per-expression cache on a long-lived engine uses this --
+    a service exposed to arbitrary client expressions must not let any
+    of its memo tables grow without limit (the same rationale as the
+    pair-verdict memo's bound)."""
+
+    def __init__(self, bound: int, stats: EngineStats):
+        super().__init__()
+        self._bound = bound
+        self._stats = stats
+
+    def get(self, key, default=None):
+        if key in self:
+            self.move_to_end(key)
+            return self[key]
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        if len(self) > self._bound:
+            self.popitem(last=False)
+            self._stats.expr_evictions += 1
+
+
+# ---------------------------------------------------------------------------
 # Per-k inference state
 # ---------------------------------------------------------------------------
 
@@ -241,27 +313,56 @@ class AnalysisEngine:
     and lazily build the matching state.
     """
 
-    #: Bound on memoized pair verdicts: a long-lived per-schema engine
-    #: (see :func:`engine_for`) must not grow without limit under a
-    #: stream of distinct pairs; least-recently-used verdicts are
-    #: evicted and simply recomputed from the (much smaller,
-    #: per-expression) chain caches on the next request.
+    #: Default bound on memoized pair verdicts: a long-lived per-schema
+    #: engine (see :func:`engine_for`) must not grow without limit
+    #: under a stream of distinct pairs; least-recently-used verdicts
+    #: are evicted (counted in ``stats.pair_evictions``) and simply
+    #: recomputed from the (much smaller, per-expression) chain caches
+    #: on the next request.  Override per instance with the
+    #: ``pair_cache_size`` constructor argument.
     PAIR_CACHE_SIZE = 65_536
 
-    def __init__(self, schema: Schema, default_k: int | None = None):
+    #: Default bound for each per-expression cache (parsed ASTs,
+    #: multiplicities, digests, inferred chain sets).  Distinct
+    #: expressions a service accepts over the wire are unbounded in
+    #: number, so these memos need eviction just like the pair memo;
+    #: evictions only cost recomputation on a later reappearance.
+    EXPR_CACHE_SIZE = 65_536
+
+    def __init__(self, schema: Schema, default_k: int | None = None,
+                 pair_cache_size: int | None = None,
+                 expr_cache_size: int | None = None):
         self.schema = schema
         self.default_k = default_k
-        self.stats = CacheStats()
+        self.pair_cache_size = (
+            pair_cache_size if pair_cache_size is not None
+            else self.PAIR_CACHE_SIZE
+        )
+        if self.pair_cache_size < 1:
+            raise ValueError("pair_cache_size must be >= 1")
+        self.expr_cache_size = (
+            expr_cache_size if expr_cache_size is not None
+            else self.EXPR_CACHE_SIZE
+        )
+        if self.expr_cache_size < 1:
+            raise ValueError("expr_cache_size must be >= 1")
+        self.stats = EngineStats()
+        self._store = None
         self._digest: str | None = None
         self._recursion: RecursionStructure | None = None
         self._states: dict[int, _KState] = {}
         self._states_by_cap: dict[int, _KState] = {}
-        self._parsed_queries: dict[str, Query] = {}
-        self._parsed_updates: dict[str, Update] = {}
-        self._query_k: dict[object, int] = {}
-        self._update_k: dict[object, int] = {}
-        self._query_chains: dict[tuple, QueryChains] = {}
-        self._update_chains: dict[tuple, tuple] = {}
+
+        def bounded() -> _BoundedCache:
+            return _BoundedCache(self.expr_cache_size, self.stats)
+
+        self._parsed_queries: _BoundedCache = bounded()
+        self._parsed_updates: _BoundedCache = bounded()
+        self._query_k: _BoundedCache = bounded()
+        self._update_k: _BoundedCache = bounded()
+        self._expr_digests: _BoundedCache = bounded()
+        self._query_chains: _BoundedCache = bounded()
+        self._update_chains: _BoundedCache = bounded()
         self._pair_cache: OrderedDict[tuple, IndependenceReport] = (
             OrderedDict()
         )
@@ -285,6 +386,42 @@ class AnalysisEngine:
     def k(self) -> int | None:
         """Historical alias for :attr:`default_k`."""
         return self.default_k
+
+    # -- persistent verdict store ---------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Back the pair memo with a persistent verdict store.
+
+        ``store`` must provide ``get(schema_digest, k, query_digest,
+        update_digest) -> PairVerdict | None`` and ``put(schema_digest,
+        k, query_digest, update_digest, verdict)`` (see
+        :class:`repro.serve.store.VerdictStore`).  Once attached, a
+        witness-free :meth:`analyze_pair` miss consults the store
+        *before* chain inference -- a store hit therefore never builds
+        the universe or the inference tables, which is what makes a
+        restarted service warm-start from disk -- and every freshly
+        computed verdict is written through.
+        """
+        self._store = store
+
+    @property
+    def store(self):
+        """The attached persistent verdict store, if any."""
+        return self._store
+
+    def _expression_digest(self, key: object) -> str:
+        """Stable digest of an interned expression cache key.
+
+        Text expressions hash their whitespace-normalized source;
+        AST-keyed expressions hash the structural ``repr`` (injective
+        for the frozen dataclass node types, see :func:`schema_spec`).
+        """
+        digest = self._expr_digests.get(key)
+        if digest is None:
+            text = key if isinstance(key, str) else repr(key)
+            digest = hashlib.sha256(text.encode()).hexdigest()
+            self._expr_digests[key] = digest
+        return digest
 
     # -- per-k state ---------------------------------------------------------
 
@@ -409,7 +546,14 @@ class AnalysisEngine:
         k: int | None = None,
         collect_witnesses: bool = True,
     ) -> IndependenceReport:
-        """One verdict, served from or added to the engine's caches."""
+        """One verdict, served from or added to the engine's caches.
+
+        Lookup order: in-memory pair memo, then (witness-free calls
+        only) the attached persistent store, then a full chain-inference
+        computation whose result is written through to both.  A
+        store-served report carries the verdict and multiplicities but
+        no chains or conflict witnesses.
+        """
         query_key, _ = self._query(query)
         update_key, _ = self._update(update)
         cache_key = (query_key, update_key, k, collect_witnesses)
@@ -424,6 +568,38 @@ class AnalysisEngine:
         k_query = self.query_multiplicity(query)
         k_update = self.update_multiplicity(update)
         pair_k = k if k is not None else max(1, k_query + k_update)
+
+        store_key = None
+        if self._store is not None and not collect_witnesses:
+            # Keyed by the *effective* k: an explicit ``k`` equal to the
+            # derived multiplicity yields the same verdict, so the two
+            # requests share one row.
+            store_key = (self.digest, pair_k,
+                         self._expression_digest(query_key),
+                         self._expression_digest(update_key))
+            stored = self._store.get(*store_key)
+            if stored is not None:
+                self.stats.store_hits += 1
+                # Parity with a computed witness-free report, which
+                # carries exactly one witness-less Conflict when
+                # dependent: consumers branching on ``report.conflicts``
+                # must see the same truthiness regardless of store
+                # warmth (the original conflict kind is not persisted).
+                conflicts = () if stored.independent else (
+                    Conflict("stored", ()),
+                )
+                report = IndependenceReport(
+                    independent=stored.independent,
+                    k=pair_k,
+                    k_query=stored.k_query,
+                    k_update=stored.k_update,
+                    conflicts=conflicts,
+                    analysis_seconds=time.perf_counter() - started,
+                )
+                self._memoize(cache_key, report)
+                return report
+            self.stats.store_misses += 1
+
         query_chains = self.query_chains(query, pair_k)
         update_chains = self.update_chains(update, pair_k)
         conflicts = check_conflicts(query_chains, update_chains,
@@ -438,10 +614,17 @@ class AnalysisEngine:
             query_chains=query_chains,
             update_chains=update_chains,
         )
-        self._pair_cache[cache_key] = report
-        if len(self._pair_cache) > self.PAIR_CACHE_SIZE:
-            self._pair_cache.popitem(last=False)
+        if store_key is not None:
+            self._store.put(*store_key, _slim(report))
+            self.stats.store_writes += 1
+        self._memoize(cache_key, report)
         return report
+
+    def _memoize(self, cache_key: tuple, report: IndependenceReport) -> None:
+        self._pair_cache[cache_key] = report
+        if len(self._pair_cache) > self.pair_cache_size:
+            self._pair_cache.popitem(last=False)
+            self.stats.pair_evictions += 1
 
     def analyze_many(
         self,

@@ -1,0 +1,137 @@
+"""Serve-layer benchmark: micro-batched vs batching-disabled service.
+
+Runs the same closed-loop 20x20 XMark workload (the paper's benchmark
+views and updates, seeded random pair draws) against three in-process
+service configurations on loopback TCP:
+
+* ``batched``  -- the default: micro-batching admission queue feeding
+  coalesced ``analyze_matrix`` calls, group-committed store writes;
+* ``engine``   -- batching disabled but the shared per-schema engine
+  kept: per-request executor hand-off and per-verdict commit (shows
+  how much of the win is the queue vs. the engine itself);
+* ``oneshot``  -- batching disabled *and* stateless request handling:
+  every request pays the full one-shot analysis (universe + inference
+  rebuilt per call), i.e. the service you would write without the
+  engine/serving layers of PRs 1-3.
+
+The acceptance gate (``benchmarks/test_serve_gate.py``) asserts the
+micro-batched service reaches >= 3x the throughput of the
+batching-disabled one-shot configuration with byte-identical verdicts
+across all modes; ``speedup_vs_engine`` is reported alongside so the
+queue's own contribution stays visible.  ``repro serve-bench`` writes
+the JSON trajectory point committed as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+from ..serve.loadgen import LoadgenConfig, run_loadgen
+from ..serve.server import IndependenceService, ServeConfig
+
+#: The gate's workload: 20 x 20 XMark views/updates, closed loop.
+DEFAULT_WORKLOAD = dict(n_queries=20, n_updates=20, clients=32,
+                        requests=1200, seed=7)
+
+
+async def _run_mode(mode: str, store_path: str,
+                    workload: dict, batch_window: float) -> dict:
+    service = IndependenceService(ServeConfig(
+        port=0,
+        store_path=store_path,
+        analysis_mode=mode,
+        batch_window=batch_window,
+        preload=("xmark",),
+    ))
+    host, port = await service.start()
+    server_task = asyncio.create_task(service.serve_until_stopped())
+    try:
+        report = await run_loadgen(LoadgenConfig(
+            host=host, port=port, schema="xmark", source="bench",
+            **workload,
+        ))
+    finally:
+        service.stop()
+        await server_task
+    return report
+
+
+async def run_serve_bench_async(workload: dict | None = None,
+                                batch_window: float = 0.002) -> dict:
+    workload = {**DEFAULT_WORKLOAD, **(workload or {})}
+    reports: dict[str, dict] = {}
+    for mode in ("batched", "engine", "oneshot"):
+        if mode == "oneshot":
+            store_path = ":memory:"  # stateless mode never touches it
+        else:
+            handle, store_path = tempfile.mkstemp(
+                prefix=f"repro-serve-{mode}-", suffix=".sqlite")
+            os.close(handle)
+        try:
+            reports[mode] = await _run_mode(
+                mode, store_path, workload, batch_window
+            )
+        finally:
+            for suffix in ("", "-wal", "-shm"):
+                path = store_path + suffix
+                if path != ":memory:" and os.path.exists(path):
+                    os.unlink(path)
+
+    verdict_blobs = {
+        mode: json.dumps(report["verdicts"], sort_keys=True)
+        for mode, report in reports.items()
+    }
+    identical = len(set(verdict_blobs.values())) == 1
+    batched = reports["batched"]["throughput_rps"]
+    engine = reports["engine"]["throughput_rps"]
+    oneshot = reports["oneshot"]["throughput_rps"]
+    return {
+        "workload": reports["batched"]["workload"],
+        "batch_window_seconds": batch_window,
+        "modes": {
+            mode: {
+                "throughput_rps": report["throughput_rps"],
+                "latency_ms": report["latency_ms"],
+                "errors": report["errors"],
+                "coalesced_requests": report["service"]
+                ["coalesced_requests"],
+                "batches": report["service"]["batches"],
+            }
+            for mode, report in reports.items()
+        },
+        "verdicts_identical": identical,
+        "distinct_pairs": reports["batched"]["distinct_pairs"],
+        "independent_pairs": reports["batched"]["independent_pairs"],
+        "speedup_vs_oneshot": batched / oneshot if oneshot else 0.0,
+        "speedup_vs_engine": batched / engine if engine else 0.0,
+    }
+
+
+def run_serve_bench(workload: dict | None = None,
+                    batch_window: float = 0.002,
+                    out=sys.stdout) -> dict:
+    """Run all three modes and print the comparison (CLI body)."""
+    results = asyncio.run(run_serve_bench_async(workload, batch_window))
+    shape = results["workload"]
+    print(f"serve benchmark -- {shape['n_queries']}x{shape['n_updates']} "
+          f"XMark pool, {shape['clients']} clients, "
+          f"{shape['requests']} requests/mode", file=out)
+    print(f"{'mode':>10} {'rps':>9} {'p50-ms':>8} {'p99-ms':>8} "
+          f"{'batches':>8} {'coalesced':>10}", file=out)
+    for mode, row in results["modes"].items():
+        print(f"{mode:>10} {row['throughput_rps']:>9.0f} "
+              f"{row['latency_ms']['p50']:>8.2f} "
+              f"{row['latency_ms']['p99']:>8.2f} "
+              f"{row['batches']:>8} {row['coalesced_requests']:>10}",
+              file=out)
+    print(f"speedup: {results['speedup_vs_oneshot']:.1f}x vs one-shot, "
+          f"{results['speedup_vs_engine']:.2f}x vs engine-no-batching "
+          "-- verdicts "
+          f"{'identical' if results['verdicts_identical'] else 'DIFFER'} "
+          f"({results['independent_pairs']}/"
+          f"{results['distinct_pairs']} independent)", file=out)
+    return results

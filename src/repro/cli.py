@@ -13,6 +13,11 @@ Subcommands::
         [--processes N]
     python -m repro fuzz [--count N] [--seed S] [--max-tags N] \\
         [--json report.json] [--corpus-dir DIR]
+    python -m repro serve [--port P] [--store FILE] [--window MS] \\
+        [--mode batched|engine|oneshot] [--preload xmark ...]
+    python -m repro loadgen [--port P] [--clients N] [--requests N] \\
+        [--source bench|exprgen] [--json report.json]
+    python -m repro serve-bench [--json BENCH_serve.json]
 
 ``--dtd`` accepts a file of ``<!ELEMENT ...>`` declarations; the built-in
 schemas are available as ``--builtin xmark|bib|paper-doc|paper-d1``.
@@ -174,6 +179,95 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.counterexamples else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import ServeConfig, run_service
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        batch_window=args.window / 1e3,
+        max_batch=args.max_batch,
+        analysis_mode=args.mode,
+        max_schemas=args.max_schemas,
+        max_documents=args.max_documents,
+        pair_cache_size=args.pair_cache,
+        preload=tuple(args.preload),
+    )
+
+    def ready(service, host, port):
+        print(f"repro serve: listening on {host}:{port} "
+              f"(mode={config.analysis_mode}, store={config.store_path}, "
+              f"window={args.window}ms)", flush=True)
+
+    try:
+        asyncio.run(run_service(config, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .serve.loadgen import LoadgenConfig, run_loadgen_sync
+
+    report = run_loadgen_sync(LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        schema=args.schema,
+        source=args.source,
+        n_queries=args.queries,
+        n_updates=args.updates,
+        clients=args.clients,
+        requests=args.requests,
+        seed=args.seed,
+    ))
+    print(f"loadgen: {report['completed']}/{report['workload']['requests']}"
+          f" ok, {report['errors']} errors, "
+          f"{report['throughput_rps']:.0f} req/s, "
+          f"p50 {report['latency_ms']['p50']:.2f} ms, "
+          f"p99 {report['latency_ms']['p99']:.2f} ms, "
+          f"{report['service']['batches']} batches "
+          f"({report['service']['coalesced_requests']} coalesced)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if report["errors"]:
+        return 1
+    if args.expect_coalescing and (
+            not report["service"]["batches"]
+            or not report["service"]["coalesced_requests"]):
+        # batches alone is not enough: 600 one-entry batches would mean
+        # the admission window coalesced nothing.
+        print("error: --expect-coalescing, but no requests coalesced "
+              f"({report['service']['batches']} batches, "
+              f"{report['service']['coalesced_requests']} coalesced)")
+        return 1
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .bench.serve_bench import run_serve_bench
+
+    results = run_serve_bench(
+        workload={"requests": args.requests, "clients": args.clients},
+        batch_window=args.window / 1e3,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if results["verdicts_identical"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -274,6 +368,79 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--progress", action="store_true",
                           help="print progress every 10 scenarios")
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the concurrent independence service (JSON lines/TCP)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765,
+                           help="TCP port (0 picks a free one)")
+    serve_cmd.add_argument("--store", default=":memory:",
+                           help="SQLite verdict store path "
+                                "(default: in-memory)")
+    serve_cmd.add_argument("--window", type=float, default=2.0,
+                           help="micro-batch admission window, ms")
+    serve_cmd.add_argument("--max-batch", type=int, default=512,
+                           help="flush a window early at this many "
+                                "requests")
+    serve_cmd.add_argument("--mode", default="batched",
+                           choices=["batched", "engine", "oneshot"],
+                           help="analyze path: micro-batched (default), "
+                                "shared engine without batching, or "
+                                "stateless one-shot")
+    serve_cmd.add_argument("--max-schemas", type=int, default=256,
+                           help="LRU bound on registered schemas")
+    serve_cmd.add_argument("--max-documents", type=int, default=64,
+                           help="LRU bound on loaded documents")
+    serve_cmd.add_argument("--pair-cache", type=int, default=None,
+                           help="per-engine pair-memo LRU bound")
+    serve_cmd.add_argument("--preload", nargs="*", default=["xmark"],
+                           help="builtin schemas to register at startup")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    loadgen_cmd = commands.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running service",
+    )
+    loadgen_cmd.add_argument("--host", default="127.0.0.1")
+    loadgen_cmd.add_argument("--port", type=int, default=8765)
+    loadgen_cmd.add_argument("--schema", default="xmark",
+                             help="schema ref sent with each request")
+    loadgen_cmd.add_argument("--source", default="bench",
+                             choices=["bench", "exprgen"],
+                             help="workload pool: paper benchmark "
+                                  "views/updates or schema-aware "
+                                  "random expressions")
+    loadgen_cmd.add_argument("--queries", type=int, default=20,
+                             help="query pool size")
+    loadgen_cmd.add_argument("--updates", type=int, default=20,
+                             help="update pool size")
+    loadgen_cmd.add_argument("--clients", type=int, default=16,
+                             help="concurrent closed-loop connections")
+    loadgen_cmd.add_argument("--requests", type=int, default=2000,
+                             help="total requests across all clients")
+    loadgen_cmd.add_argument("--seed", type=int, default=0)
+    loadgen_cmd.add_argument("--json", help="write the full report here")
+    loadgen_cmd.add_argument("--expect-coalescing", action="store_true",
+                             help="fail unless requests actually "
+                                  "coalesced into shared batches "
+                                  "(CI smoke)")
+    loadgen_cmd.set_defaults(func=_cmd_loadgen)
+
+    serve_bench_cmd = commands.add_parser(
+        "serve-bench",
+        help="micro-batched vs batching-disabled service throughput "
+             "(the PR 3 acceptance gate workload)",
+    )
+    serve_bench_cmd.add_argument("--requests", type=int, default=1200,
+                                 help="requests per mode")
+    serve_bench_cmd.add_argument("--clients", type=int, default=32)
+    serve_bench_cmd.add_argument("--window", type=float, default=2.0,
+                                 help="admission window, ms")
+    serve_bench_cmd.add_argument("--json",
+                                 help="write the comparison JSON here")
+    serve_bench_cmd.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

@@ -1,0 +1,44 @@
+"""Concurrent independence service: the serving layer over the engine.
+
+``repro.serve`` turns the per-schema batch analysis engine into a
+long-running, multi-tenant network service: a JSON-lines-over-TCP
+asyncio server (:mod:`.server`) whose ``analyze`` endpoint funnels
+concurrent requests through a micro-batching admission queue
+(:mod:`.batching`) into coalesced ``analyze_matrix`` calls, with every
+verdict written through to a restart-surviving SQLite store
+(:mod:`.store`) and schemas hosted in an LRU-bounded registry
+(:mod:`.registry`).  :mod:`.loadgen` is the closed-loop traffic
+generator used by the benchmark gate and the CI smoke job.
+"""
+
+from .batching import MicroBatcher, WireVerdict
+from .loadgen import LoadgenConfig, run_loadgen, run_loadgen_sync, workload_pool
+from .protocol import ProtocolError, decode_request, encode
+from .registry import BUILTIN_SCHEMAS, SchemaRegistry, UnknownSchemaError
+from .server import (
+    ANALYSIS_MODES,
+    IndependenceService,
+    ServeConfig,
+    run_service,
+)
+from .store import VerdictStore
+
+__all__ = [
+    "ANALYSIS_MODES",
+    "BUILTIN_SCHEMAS",
+    "IndependenceService",
+    "LoadgenConfig",
+    "MicroBatcher",
+    "ProtocolError",
+    "SchemaRegistry",
+    "ServeConfig",
+    "UnknownSchemaError",
+    "VerdictStore",
+    "WireVerdict",
+    "decode_request",
+    "encode",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "run_service",
+    "workload_pool",
+]

@@ -1,0 +1,185 @@
+"""Multi-tenant schema registry: bounded LRU of per-schema engines.
+
+The service hosts many tenants' schemas at once; each registered schema
+gets its own :class:`~repro.analysis.engine.AnalysisEngine` (with a
+service-sized pair memo and the shared persistent verdict store
+attached).  The registry is an LRU bounded by ``max_schemas``: the
+least-recently-used engine is dropped when a new registration
+overflows the bound.  Eviction only costs warm RAM -- every verdict the
+evicted engine computed is still in the store, so a re-registered
+schema (same digest) warm-starts from disk.
+
+Schemas are addressed by content digest, or by an optional
+client-chosen alias (``name``) mapping to the digest; the digest is
+returned on registration so clients can use either.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..analysis.engine import AnalysisEngine
+from ..schema.catalog import (
+    bib_dtd,
+    paper_d1_dtd,
+    paper_doc_dtd,
+    xmark_dtd,
+)
+from ..schema.dtd import DTD
+
+BUILTIN_SCHEMAS = {
+    "xmark": xmark_dtd,
+    "bib": bib_dtd,
+    "paper-doc": paper_doc_dtd,
+    "paper-d1": paper_d1_dtd,
+}
+
+
+class UnknownSchemaError(KeyError):
+    """Lookup of a digest or alias the registry does not hold."""
+
+
+@dataclass
+class _Entry:
+    schema: DTD
+    engine: AnalysisEngine
+    names: set[str] = field(default_factory=set)
+
+
+class SchemaRegistry:
+    """LRU-bounded map ``digest -> (schema, engine)`` with aliases."""
+
+    def __init__(self, store=None, max_schemas: int = 256,
+                 pair_cache_size: int | None = None):
+        if max_schemas < 1:
+            raise ValueError("max_schemas must be >= 1")
+        self.store = store
+        self.max_schemas = max_schemas
+        self.pair_cache_size = pair_cache_size
+        self.registrations = 0
+        self.evictions = 0            # capacity (LRU) evictions only
+        self.explicit_evictions = 0   # client-requested schema.evict
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._aliases: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, schema: DTD, name: str | None = None) -> str:
+        """Add (or touch) a schema; returns its digest."""
+        engine = AnalysisEngine(schema,
+                                pair_cache_size=self.pair_cache_size)
+        digest = engine.digest
+        entry = self._entries.get(digest)
+        if entry is None:
+            if self.store is not None:
+                engine.attach_store(self.store)
+            entry = _Entry(schema=schema, engine=engine)
+            self._entries[digest] = entry
+            self.registrations += 1
+            while len(self._entries) > self.max_schemas:
+                evicted_digest, evicted = self._entries.popitem(last=False)
+                for alias in evicted.names:
+                    self._aliases.pop(alias, None)
+                self.evictions += 1
+        else:
+            self._entries.move_to_end(digest)
+        if name:
+            previous = self._aliases.get(name)
+            if previous is not None and previous != digest:
+                stale = self._entries.get(previous)
+                if stale is not None:
+                    stale.names.discard(name)
+            self._aliases[name] = digest
+            entry.names.add(name)
+        return digest
+
+    def register_builtin(self, name: str) -> str:
+        """Register one of the catalog schemas under its builtin name."""
+        factory = BUILTIN_SCHEMAS.get(name)
+        if factory is None:
+            raise UnknownSchemaError(name)
+        return self.register(factory(), name=name)
+
+    def register_text(self, root: str, dtd_text: str,
+                      name: str | None = None) -> str:
+        """Register a schema from ``<!ELEMENT ...>`` declarations."""
+        return self.register(DTD.from_dtd_text(root, dtd_text), name=name)
+
+    # -- lookup --------------------------------------------------------------
+
+    def _lookup(self, ref: str) -> str | None:
+        """Side-effect-free alias/digest lookup (no lazy registration)."""
+        if ref in self._entries:
+            return ref
+        digest = self._aliases.get(ref)
+        if digest is not None and digest in self._entries:
+            return digest
+        return None
+
+    def resolve(self, ref: str) -> str:
+        """Alias or digest -> digest (raises :class:`UnknownSchemaError`)."""
+        digest = self._lookup(ref)
+        if digest is not None:
+            return digest
+        # Lazily materialize builtins so a fresh service accepts
+        # ``"xmark"`` without an explicit registration round-trip.
+        if ref in BUILTIN_SCHEMAS:
+            return self.register_builtin(ref)
+        raise UnknownSchemaError(ref)
+
+    def engine(self, ref: str) -> AnalysisEngine:
+        digest = self.resolve(ref)
+        self._entries.move_to_end(digest)
+        return self._entries[digest].engine
+
+    def schema(self, ref: str) -> DTD:
+        digest = self.resolve(ref)
+        self._entries.move_to_end(digest)
+        return self._entries[digest].schema
+
+    def evict(self, ref: str) -> bool:
+        """Drop a schema's engine (verdicts stay in the store).
+
+        Pure lookup, never `resolve`: evicting a not-yet-materialized
+        builtin must not lazily register it first (which could push an
+        unrelated tenant out of the LRU) -- it is simply not present.
+        """
+        digest = self._lookup(ref)
+        if digest is None:
+            return False
+        entry = self._entries.pop(digest)
+        for alias in entry.names:
+            self._aliases.pop(alias, None)
+        self.explicit_evictions += 1
+        return True
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> list[dict]:
+        """One row per registered schema (``schema.list`` payload)."""
+        return [
+            {
+                "digest": digest,
+                "names": sorted(entry.names),
+                "tags": len(entry.schema.alphabet),
+                "start": entry.schema.start,
+            }
+            for digest, entry in self._entries.items()
+        ]
+
+    def stats(self) -> dict:
+        return {
+            "schemas": len(self._entries),
+            "max_schemas": self.max_schemas,
+            "registrations": self.registrations,
+            "evictions": self.evictions,
+            "explicit_evictions": self.explicit_evictions,
+            "engines": {
+                digest: entry.engine.stats.as_dict()
+                for digest, entry in self._entries.items()
+            },
+        }

@@ -1,0 +1,526 @@
+"""The independence service: an asyncio JSON-lines-over-TCP server.
+
+Architecture (top to bottom)::
+
+    connections (asyncio streams, one task per connection,
+                 concurrent per-request dispatch, responses tagged by id)
+      -> MicroBatcher admission queue        (analyze)
+      -> SchemaRegistry (LRU of per-schema AnalysisEngines)
+      -> VerdictStore   (SQLite, write-through, group commit)
+
+plus direct endpoints over the same engines for ``matrix``,
+``schedule`` (:class:`~repro.viewmaint.scheduler.IsolationScheduler`
+waves), and materialized-view maintenance
+(:class:`~repro.viewmaint.cache.ViewCache`) over documents loaded per
+connection-independent doc ids.  All engine work runs on the batcher's
+single analysis worker thread; the event loop only parses, dispatches,
+and writes.
+
+``analysis_mode`` selects how ``analyze`` requests are served:
+
+* ``"batched"`` (default) -- through the micro-batching admission
+  queue: coalesced ``analyze_matrix`` flushes, group-committed store
+  writes;
+* ``"engine"`` -- batching disabled, but each request still served by
+  the shared per-schema engine (per-request executor hand-off and
+  per-verdict commit);
+* ``"oneshot"`` -- batching and the engine layer disabled: every
+  request pays the full one-shot :func:`repro.analysis.analyze` cost
+  (universe + inference tables rebuilt per call).  This is the naive
+  stateless request handler the benchmark gate compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..analysis.independence import analyze as oneshot_analyze
+from ..viewmaint.cache import ViewCache
+from ..viewmaint.scheduler import IsolationScheduler
+from ..xmldm.generator import generate_document
+from ..xmldm.parse import parse_xml
+from .batching import MicroBatcher, wire_verdict
+from .protocol import (
+    BAD_PARAMS,
+    INTERNAL,
+    MAX_LINE_BYTES,
+    UNKNOWN_DOC,
+    UNKNOWN_OP,
+    UNKNOWN_SCHEMA,
+    UNKNOWN_VIEW,
+    ProtocolError,
+    Request,
+    decode_request,
+    error_response,
+    ok_response,
+    require,
+)
+from .registry import SchemaRegistry, UnknownSchemaError
+from .store import VerdictStore
+
+ANALYSIS_MODES = ("batched", "engine", "oneshot")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    store_path: str = ":memory:"
+    batch_window: float = 0.002
+    max_batch: int = 512
+    analysis_mode: str = "batched"
+    max_schemas: int = 256
+    max_documents: int = 64
+    pair_cache_size: int | None = None
+    preload: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.analysis_mode not in ANALYSIS_MODES:
+            raise ValueError(
+                f"analysis_mode must be one of {ANALYSIS_MODES}"
+            )
+
+
+@dataclass
+class _ServiceStats:
+    started: float = field(default_factory=time.perf_counter)
+    connections: int = 0
+    requests: int = 0
+    errors: int = 0
+    ops: dict[str, int] = field(default_factory=dict)
+
+
+class IndependenceService:
+    """One service instance: registry + store + batcher + TCP front."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.store = VerdictStore(self.config.store_path)
+        self.registry = SchemaRegistry(
+            store=self.store,
+            max_schemas=self.config.max_schemas,
+            pair_cache_size=self.config.pair_cache_size,
+        )
+        self.batcher = MicroBatcher(
+            self.registry,
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            enabled=self.config.analysis_mode == "batched",
+        )
+        self.stats = _ServiceStats()
+        # LRU like the schema registry: loaded documents (tree + view
+        # materializations) are the service's largest per-tenant state
+        # and must not accumulate for its lifetime.
+        self._documents: OrderedDict[str, ViewCache] = OrderedDict()
+        self._next_doc = 0
+        self.document_evictions = 0
+        self._server: asyncio.Server | None = None
+        self._stopping = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        self._ops = {
+            "ping": self._op_ping,
+            "schema.register": self._op_schema_register,
+            "schema.evict": self._op_schema_evict,
+            "schema.list": self._op_schema_list,
+            "analyze": self._op_analyze,
+            "matrix": self._op_matrix,
+            "schedule": self._op_schedule,
+            "doc.load": self._op_doc_load,
+            "doc.unload": self._op_doc_unload,
+            "view.register": self._op_view_register,
+            "view.result": self._op_view_result,
+            "update.apply": self._op_update_apply,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }
+        for name in self.config.preload:
+            self.registry.register_builtin(name)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        """Request shutdown (what the ``shutdown`` op calls)."""
+        self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        assert self._server is not None, "service not started"
+        async with self._server:
+            await self._stopping.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Connections idling in readline never observe _stopping on
+        # their own; cancel them so shutdown is prompt and quiet.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        await self.batcher.drain()
+        self.batcher.close()
+        self.store.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        self._connections.add(asyncio.current_task())
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized line: the stream cannot be resynced
+                    # reliably, so answer and drop the connection.
+                    async with write_lock:
+                        writer.write(error_response(
+                            None, BAD_PARAMS, "request line too long"))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # Concurrent dispatch: requests on one connection may be
+                # answered out of order (clients match on "id"), which
+                # lets pipelined analyze calls coalesce in the batcher.
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(asyncio.current_task())
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        self.stats.requests += 1
+        request_id = None
+        try:
+            request = decode_request(line)
+            request_id = request.id
+            response = ok_response(
+                request_id, await self._dispatch(request)
+            )
+        except ProtocolError as error:
+            self.stats.errors += 1
+            response = error_response(request_id, error.code, error.message)
+        except UnknownSchemaError as error:
+            self.stats.errors += 1
+            response = error_response(
+                request_id, UNKNOWN_SCHEMA,
+                f"schema not registered: {error.args[0]!r}",
+            )
+        except Exception as error:  # noqa: BLE001 -- wire boundary
+            self.stats.errors += 1
+            response = error_response(
+                request_id, INTERNAL, f"{type(error).__name__}: {error}"
+            )
+        try:
+            async with write_lock:
+                writer.write(response)
+                await writer.drain()
+        except ConnectionError:
+            pass
+
+    async def _dispatch(self, request: Request) -> dict:
+        handler = self._ops.get(request.op)
+        if handler is None:
+            raise ProtocolError(UNKNOWN_OP, f"unknown op {request.op!r}")
+        self.stats.ops[request.op] = self.stats.ops.get(request.op, 0) + 1
+        return await handler(request.params)
+
+    async def _in_analysis_thread(self, fn, *args):
+        """Run engine-touching work on the single analysis worker."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.batcher._executor, fn, *args
+        )
+
+    # -- ops: basics ---------------------------------------------------------
+
+    async def _op_ping(self, params: dict) -> dict:
+        return {"pong": True}
+
+    async def _op_stats(self, params: dict) -> dict:
+        # store.stats() scans the verdicts table; keep that off the
+        # event loop so a monitoring poller can't stall live traffic.
+        store_stats = await self._in_analysis_thread(self.store.stats)
+        return {
+            "uptime_seconds": time.perf_counter() - self.stats.started,
+            "analysis_mode": self.config.analysis_mode,
+            "connections": self.stats.connections,
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "ops": dict(self.stats.ops),
+            "documents": len(self._documents),
+            "document_evictions": self.document_evictions,
+            "registry": self.registry.stats(),
+            "batcher": self.batcher.stats(),
+            "store": store_stats,
+        }
+
+    async def _op_shutdown(self, params: dict) -> dict:
+        # Respond first; serve_until_stopped tears the service down.
+        asyncio.get_running_loop().call_soon(self.stop)
+        return {"stopping": True}
+
+    # -- ops: schema registry ------------------------------------------------
+
+    async def _op_schema_register(self, params: dict) -> dict:
+        name = params.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError(BAD_PARAMS, 'parameter "name" must be str')
+        if "builtin" in params:
+            digest = self.registry.register_builtin(
+                require(params, "builtin")
+            )
+        else:
+            try:
+                digest = self.registry.register_text(
+                    require(params, "root"),
+                    require(params, "dtd"),
+                    name=name,
+                )
+            except ProtocolError:
+                raise
+            except Exception as error:
+                raise ProtocolError(
+                    BAD_PARAMS, f"unparsable DTD: {error}"
+                ) from error
+        schema = self.registry.schema(digest)
+        return {
+            "schema": digest,
+            "tags": len(schema.alphabet),
+            "start": schema.start,
+        }
+
+    async def _op_schema_evict(self, params: dict) -> dict:
+        return {
+            "evicted": self.registry.evict(require(params, "schema"))
+        }
+
+    async def _op_schema_list(self, params: dict) -> dict:
+        return {"schemas": self.registry.describe()}
+
+    # -- ops: analysis -------------------------------------------------------
+
+    @staticmethod
+    def _optional_k(params: dict) -> int | None:
+        k = params.get("k")
+        if k is not None and not isinstance(k, int):
+            raise ProtocolError(BAD_PARAMS, 'parameter "k" must be int')
+        return k
+
+    async def _op_analyze(self, params: dict) -> dict:
+        schema_ref = require(params, "schema")
+        query = require(params, "query")
+        update = require(params, "update")
+        k = self._optional_k(params)
+        if self.config.analysis_mode == "oneshot":
+            schema = self.registry.schema(schema_ref)
+            report = await self._in_analysis_thread(
+                lambda: oneshot_analyze(query, update, schema, k=k,
+                                        collect_witnesses=False)
+            )
+            verdict = wire_verdict(report)
+        else:
+            verdict = await self.batcher.submit(
+                schema_ref, query, update, k=k
+            )
+        return verdict.as_dict()
+
+    async def _op_matrix(self, params: dict) -> dict:
+        engine = self.registry.engine(require(params, "schema"))
+        queries = require(params, "queries", list)
+        updates = require(params, "updates", list)
+        k = self._optional_k(params)
+        if not all(isinstance(q, str) for q in queries) or \
+                not all(isinstance(u, str) for u in updates):
+            raise ProtocolError(
+                BAD_PARAMS, "queries/updates must be lists of strings"
+            )
+
+        def run():
+            with self.store.deferred():
+                return engine.analyze_matrix(queries, updates, k=k)
+
+        matrix = await self._in_analysis_thread(run)
+        return {
+            "independent": [list(row) for row in matrix.verdict_rows()],
+            "pairs": matrix.pairs,
+            "independent_pairs": matrix.independent_pairs,
+            "wall_seconds": matrix.wall_seconds,
+        }
+
+    async def _op_schedule(self, params: dict) -> dict:
+        schema_ref = require(params, "schema")
+        operations = require(params, "operations", list)
+        schema = self.registry.schema(schema_ref)
+        engine = self.registry.engine(schema_ref)
+        scheduler = IsolationScheduler(schema, engine=engine)
+        for index, operation in enumerate(operations):
+            if not isinstance(operation, dict) or \
+                    "name" not in operation or \
+                    ("query" in operation) == ("update" in operation):
+                raise ProtocolError(
+                    BAD_PARAMS,
+                    f"operation #{index} needs a name and exactly one "
+                    'of "query"/"update"',
+                )
+            try:
+                if "query" in operation:
+                    scheduler.add_query(operation["name"],
+                                        operation["query"])
+                else:
+                    scheduler.add_update(operation["name"],
+                                         operation["update"])
+            except Exception as error:
+                raise ProtocolError(
+                    BAD_PARAMS,
+                    f"operation #{index} does not parse: {error}",
+                ) from error
+        waves = await self._in_analysis_thread(scheduler.schedule)
+        return {"waves": waves}
+
+    # -- ops: view maintenance -----------------------------------------------
+
+    def _document(self, params: dict) -> ViewCache:
+        doc_id = require(params, "doc")
+        cache = self._documents.get(doc_id)
+        if cache is None:
+            raise ProtocolError(UNKNOWN_DOC,
+                                f"document not loaded: {doc_id!r}")
+        self._documents.move_to_end(doc_id)
+        return cache
+
+    async def _op_doc_load(self, params: dict) -> dict:
+        schema_ref = require(params, "schema")
+        schema = self.registry.schema(schema_ref)
+        engine = self.registry.engine(schema_ref)
+        if "xml" in params:
+            xml = require(params, "xml")
+
+            def parse():
+                # Off the event loop: client XML may be megabytes.
+                try:
+                    return parse_xml(xml)
+                except Exception as error:
+                    raise ProtocolError(
+                        BAD_PARAMS, f"unparsable document: {error}"
+                    ) from error
+
+            tree = await self._in_analysis_thread(parse)
+        else:
+            target = params.get("bytes", 10_000)
+            seed = params.get("seed", 0)
+            if not isinstance(target, int) or not isinstance(seed, int):
+                raise ProtocolError(
+                    BAD_PARAMS, '"bytes" and "seed" must be ints'
+                )
+            tree = await self._in_analysis_thread(
+                lambda: generate_document(schema, target, seed=seed)
+            )
+        self._next_doc += 1
+        doc_id = f"d{self._next_doc}"
+        self._documents[doc_id] = ViewCache(schema, tree, engine=engine)
+        while len(self._documents) > self.config.max_documents:
+            self._documents.popitem(last=False)
+            self.document_evictions += 1
+        return {"doc": doc_id, "nodes": tree.size()}
+
+    async def _op_doc_unload(self, params: dict) -> dict:
+        doc_id = require(params, "doc")
+        return {"unloaded": self._documents.pop(doc_id, None) is not None}
+
+    async def _op_view_register(self, params: dict) -> dict:
+        cache = self._document(params)
+        name = require(params, "name")
+        query = require(params, "query")
+
+        def run():
+            try:
+                cache.register(name, query)
+            except Exception as error:
+                raise ProtocolError(
+                    BAD_PARAMS, f"view does not parse: {error}"
+                ) from error
+            return len(cache.result(name))
+
+        return {"count": await self._in_analysis_thread(run)}
+
+    async def _op_view_result(self, params: dict) -> dict:
+        cache = self._document(params)
+        name = require(params, "name")
+        if name not in cache.view_names():
+            raise ProtocolError(UNKNOWN_VIEW,
+                                f"view not registered: {name!r}")
+        return {"count": len(cache.result(name))}
+
+    async def _op_update_apply(self, params: dict) -> dict:
+        cache = self._document(params)
+        update = require(params, "update")
+
+        def run():
+            with self.store.deferred():
+                try:
+                    return cache.apply(update)
+                except ProtocolError:
+                    raise
+                except Exception as error:
+                    raise ProtocolError(
+                        BAD_PARAMS, f"update failed: {error}"
+                    ) from error
+
+        refreshed = await self._in_analysis_thread(run)
+        return {
+            "refreshed": refreshed,
+            "skipped": len(cache.view_names()) - len(refreshed),
+            "skip_ratio": cache.stats.skip_ratio,
+        }
+
+
+async def run_service(config: ServeConfig, ready=None) -> None:
+    """Start a service and block until a ``shutdown`` op (CLI body)."""
+    service = IndependenceService(config)
+    host, port = await service.start()
+    if ready is not None:
+        ready(service, host, port)
+    await service.serve_until_stopped()

@@ -1,0 +1,144 @@
+"""Persistent verdict store: SQLite behind the engine's pair memo.
+
+A verdict row is keyed by ``(schema_digest, k, query_digest,
+update_digest)`` -- exactly the key :meth:`AnalysisEngine.analyze_pair`
+uses when consulting an attached store -- and carries the slim
+:class:`~repro.analysis.engine.PairVerdict` fields.  Because digests are
+content hashes of the canonical schema spec and the normalized
+expression sources, rows survive restarts, schema re-registration, and
+even store sharing between services: a cold engine attached to a warm
+store serves already-seen pairs without ever building its inference
+tables (the warm-start property the serve subsystem's tests pin).
+
+Write durability is transactional per :meth:`put` by default; the
+micro-batcher wraps a whole coalesced flush in :meth:`deferred` so a
+batch of verdicts costs one commit (group commit), which is a large
+part of the batched service's throughput win.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from contextlib import contextmanager
+
+from ..analysis.engine import PairVerdict
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS verdicts (
+    schema_digest TEXT NOT NULL,
+    k             INTEGER NOT NULL,
+    query_digest  TEXT NOT NULL,
+    update_digest TEXT NOT NULL,
+    independent   INTEGER NOT NULL,
+    k_query       INTEGER NOT NULL,
+    k_update      INTEGER NOT NULL,
+    PRIMARY KEY (schema_digest, k, query_digest, update_digest)
+) WITHOUT ROWID;
+"""
+
+
+class VerdictStore:
+    """SQLite-backed map from pair keys to slim verdicts.
+
+    Thread-safe: the asyncio service touches it from the event loop
+    (stats) and from the analysis worker thread (engine write-through),
+    so every connection access holds one lock.  ``":memory:"`` gives an
+    ephemeral store with identical semantics (tests, `--store none`).
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._deferred_depth = 0
+        self._closed = False
+        with self._lock:
+            if path != ":memory:":
+                # WAL keeps readers unblocked and makes group commit cheap.
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute(_SCHEMA)
+            self._connection.commit()
+
+    # -- engine-facing protocol ----------------------------------------------
+
+    def get(self, schema_digest: str, k: int, query_digest: str,
+            update_digest: str) -> PairVerdict | None:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT independent, k_query, k_update FROM verdicts"
+                " WHERE schema_digest=? AND k=? AND query_digest=?"
+                " AND update_digest=?",
+                (schema_digest, k, query_digest, update_digest),
+            ).fetchone()
+        if row is None:
+            return None
+        independent, k_query, k_update = row
+        return PairVerdict(
+            independent=bool(independent),
+            k=k,
+            k_query=k_query,
+            k_update=k_update,
+            analysis_seconds=0.0,
+        )
+
+    def put(self, schema_digest: str, k: int, query_digest: str,
+            update_digest: str, verdict: PairVerdict) -> None:
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO verdicts VALUES (?,?,?,?,?,?,?)",
+                (schema_digest, k, query_digest, update_digest,
+                 int(verdict.independent), verdict.k_query,
+                 verdict.k_update),
+            )
+            if self._deferred_depth == 0:
+                self._connection.commit()
+
+    # -- service-facing helpers ----------------------------------------------
+
+    @contextmanager
+    def deferred(self):
+        """Group-commit scope: writes inside commit once at exit.
+
+        Nests; only the outermost exit commits.  Entered by the
+        micro-batcher around one coalesced ``analyze_matrix`` flush.
+        """
+        with self._lock:
+            self._deferred_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._deferred_depth -= 1
+                if self._deferred_depth == 0:
+                    self._connection.commit()
+
+    def count(self, schema_digest: str | None = None) -> int:
+        with self._lock:
+            if schema_digest is None:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM verdicts"
+                ).fetchone()
+            else:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM verdicts WHERE schema_digest=?",
+                    (schema_digest,),
+                ).fetchone()
+        return row[0]
+
+    def stats(self) -> dict:
+        return {"path": self.path, "verdicts": self.count()}
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._connection.commit()
+            self._connection.close()
+
+    def __enter__(self) -> VerdictStore:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

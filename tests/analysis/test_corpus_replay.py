@@ -31,7 +31,18 @@ from repro.testkit.differential import (
 )
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
-CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _is_differential(path: Path) -> bool:
+    """Differential-fuzzer entries only: served-replay corpus files are
+    replayed over the wire by ``tests/serve/test_served_corpus.py``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return payload.get("kind") != "served-replay"
+
+
+CORPUS_FILES = sorted(
+    path for path in CORPUS_DIR.glob("*.json") if _is_differential(path)
+)
 
 
 def _load(path: Path) -> Counterexample:

@@ -231,6 +231,97 @@ class TestMatrixSemantics:
                 query, update, bib).independent
 
 
+class TestPairMemoBound:
+    PAIRS = [("//title", "delete //price"),
+             ("//price", "delete //price"),
+             ("//author", "delete //editor"),
+             ("//last", "delete //first")]
+
+    def test_lru_eviction_counts_and_bounds(self, bib):
+        engine = AnalysisEngine(bib, pair_cache_size=2)
+        for query, update in self.PAIRS:
+            engine.analyze_pair(query, update, collect_witnesses=False)
+        assert len(engine._pair_cache) == 2
+        assert engine.stats.pair_evictions == len(self.PAIRS) - 2
+
+    def test_eviction_is_least_recently_used(self, bib):
+        engine = AnalysisEngine(bib, pair_cache_size=2)
+        first, second, third = self.PAIRS[:3]
+        engine.analyze_pair(*first, collect_witnesses=False)
+        engine.analyze_pair(*second, collect_witnesses=False)
+        engine.analyze_pair(*first, collect_witnesses=False)   # touch
+        engine.analyze_pair(*third, collect_witnesses=False)   # evicts 2nd
+        hits = engine.stats.pair_hits
+        engine.analyze_pair(*first, collect_witnesses=False)
+        assert engine.stats.pair_hits == hits + 1
+        engine.analyze_pair(*second, collect_witnesses=False)
+        assert engine.stats.pair_hits == hits + 1  # second was evicted
+
+    def test_evicted_verdicts_recompute_identically(self, bib):
+        engine = AnalysisEngine(bib, pair_cache_size=1)
+        before = [
+            engine.analyze_pair(q, u, collect_witnesses=False).independent
+            for q, u in self.PAIRS
+        ]
+        after = [
+            engine.analyze_pair(q, u, collect_witnesses=False).independent
+            for q, u in self.PAIRS
+        ]
+        assert before == after
+        assert engine.stats.pair_evictions > 0
+
+    def test_pair_cache_size_validation(self, bib):
+        with pytest.raises(ValueError):
+            AnalysisEngine(bib, pair_cache_size=0)
+
+    def test_default_bound_unchanged(self, bib):
+        engine = AnalysisEngine(bib)
+        assert engine.pair_cache_size == AnalysisEngine.PAIR_CACHE_SIZE
+        assert engine.expr_cache_size == AnalysisEngine.EXPR_CACHE_SIZE
+
+    def test_expression_caches_are_bounded_too(self, bib):
+        # A service accepts arbitrarily many distinct expressions: the
+        # per-expression memos must evict, and evicted expressions must
+        # recompute to the same verdicts.
+        engine = AnalysisEngine(bib, pair_cache_size=1, expr_cache_size=2)
+        before = [
+            engine.analyze_pair(q, u, collect_witnesses=False).independent
+            for q, u in self.PAIRS
+        ]
+        assert engine.stats.expr_evictions > 0
+        assert len(engine._parsed_queries) <= 2
+        assert len(engine._query_chains) <= 2
+        after = [
+            engine.analyze_pair(q, u, collect_witnesses=False).independent
+            for q, u in self.PAIRS
+        ]
+        assert before == after
+
+    def test_expr_cache_size_validation(self, bib):
+        with pytest.raises(ValueError):
+            AnalysisEngine(bib, expr_cache_size=0)
+
+
+class TestEngineStats:
+    def test_cachestats_alias_survives(self):
+        from repro.analysis import CacheStats, EngineStats
+
+        assert CacheStats is EngineStats
+
+    def test_as_dict_is_json_ready(self, bib):
+        import json
+
+        engine = AnalysisEngine(bib)
+        engine.analyze_pair("//title", "delete //price",
+                            collect_witnesses=False)
+        payload = engine.stats.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["pair_misses"] == 1
+        assert payload["pair_evictions"] == 0
+        assert payload["store_hits"] == 0
+        assert 0.0 <= payload["pair_hit_ratio"] <= 1.0
+
+
 class TestBackwardsCompat:
     def test_legacy_signature_and_attributes(self, bib):
         engine = AnalysisEngine(bib, 4)

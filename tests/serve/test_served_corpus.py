@@ -1,0 +1,78 @@
+"""Replay the served-scenario regression corpus over the wire.
+
+``tests/corpus/served-xmark-pairs.json`` pins XMark pair verdicts three
+ways: the values committed in the file, the engine's current
+``analyze_pair`` ground truth, and the verdicts the service returns
+over TCP (in both batched and batching-disabled modes).  Any pairwise
+disagreement -- an analysis regression, a serving-layer translation
+bug, or a stale pin -- fails here with the offending pair named.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.schema.catalog import xmark_dtd
+
+from .util import ServiceClient, running_service
+
+CORPUS_PATH = (Path(__file__).resolve().parent.parent / "corpus"
+               / "served-xmark-pairs.json")
+CORPUS = json.loads(CORPUS_PATH.read_text(encoding="utf-8"))
+FIELDS = ("independent", "k", "k_query", "k_update")
+
+
+def _pinned(entry: dict) -> dict:
+    return {field: entry[field] for field in FIELDS}
+
+
+def test_corpus_file_shape():
+    assert CORPUS["kind"] == "served-replay"
+    assert CORPUS["schema"] == {"builtin": "xmark"}
+    assert len(CORPUS["pairs"]) >= 5
+    kinds = {entry["independent"] for entry in CORPUS["pairs"]}
+    assert kinds == {True, False}, "corpus must pin both verdict kinds"
+
+
+@pytest.mark.parametrize(
+    "entry", CORPUS["pairs"],
+    ids=[f"{e['view']}-{e['update_name']}" for e in CORPUS["pairs"]],
+)
+def test_pinned_verdicts_match_engine_ground_truth(entry):
+    engine = AnalysisEngine(xmark_dtd())
+    report = engine.analyze_pair(entry["query"], entry["update"],
+                                 collect_witnesses=False)
+    assert _pinned(entry) == {
+        "independent": report.independent,
+        "k": report.k,
+        "k_query": report.k_query,
+        "k_update": report.k_update,
+    }, f"engine drifted from pin on {entry['view']}/{entry['update_name']}"
+
+
+@pytest.mark.parametrize("mode", ["batched", "engine"])
+def test_served_verdicts_match_pins(mode):
+    async def run():
+        async with running_service(analysis_mode=mode,
+                                   preload=("xmark",)) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                return [
+                    await client.call("analyze", schema="xmark",
+                                      query=entry["query"],
+                                      update=entry["update"])
+                    for entry in CORPUS["pairs"]
+                ]
+
+    responses = asyncio.run(run())
+    for entry, response in zip(CORPUS["pairs"], responses):
+        assert response["ok"], response
+        served = {field: response[field] for field in FIELDS}
+        assert served == _pinned(entry), (
+            "served verdict drifted from pin on "
+            f"{entry['view']}/{entry['update_name']} (mode={mode})"
+        )

@@ -1,0 +1,45 @@
+"""Duration stats must come from the monotonic clock.
+
+``time.time()`` is subject to NTP steps and leap adjustments, so a
+duration computed from it can come out negative or wildly wrong; every
+elapsed-time measurement in the library (engine reports, view
+maintenance stats, bench harness, serving/loadgen latencies) must use
+``time.perf_counter()``.  This guard greps the source tree so a future
+module cannot quietly reintroduce wall-clock deltas.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+FORBIDDEN = re.compile(
+    r"\btime\.time\(\)|\btime\.clock\(\)|\bdatetime\.now\(\)"
+)
+
+
+def test_no_wall_clock_durations_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if FORBIDDEN.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{number}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "use time.perf_counter() for durations:\n" + "\n".join(offenders)
+    )
+
+
+def test_perf_counter_is_actually_used():
+    # The guard above would pass vacuously on an empty tree; anchor it.
+    timed_modules = [
+        SRC / "repro" / "analysis" / "engine.py",
+        SRC / "repro" / "viewmaint" / "cache.py",
+        SRC / "repro" / "serve" / "loadgen.py",
+        SRC / "repro" / "bench" / "batch.py",
+    ]
+    for path in timed_modules:
+        assert "perf_counter" in path.read_text(encoding="utf-8"), path
