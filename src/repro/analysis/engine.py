@@ -98,6 +98,11 @@ def normalize_source(text: str) -> str:
     Whitespace inside string literals is significant (two queries
     differing only inside quotes are different expressions), so only
     runs of whitespace *outside* quotes collapse to one space.
+
+    >>> normalize_source("delete   //price")
+    'delete //price'
+    >>> normalize_source('//a[text()  =  "x  y"]')
+    '//a[text() = "x  y"]'
     """
     out: list[str] = []
     quote: str | None = None
@@ -153,12 +158,14 @@ class EngineStats:
 
     @property
     def chain_hit_ratio(self) -> float:
+        """Fraction of chain-inference lookups served from cache."""
         hits = self.query_hits + self.update_hits
         total = hits + self.query_misses + self.update_misses
         return hits / total if total else 0.0
 
     @property
     def pair_hit_ratio(self) -> float:
+        """Fraction of pair verdicts served from the in-memory memo."""
         total = self.pair_hits + self.pair_misses
         return self.pair_hits / total if total else 0.0
 
@@ -207,15 +214,18 @@ class MatrixResult:
 
     @property
     def shape(self) -> tuple[int, int]:
+        """The grid's ``(rows, columns)`` = ``(queries, updates)``."""
         return (len(self.grid), len(self.grid[0]) if self.grid else 0)
 
     @property
     def pairs(self) -> int:
+        """Total number of analyzed ``(query, update)`` pairs."""
         rows, cols = self.shape
         return rows * cols
 
     @property
     def independent_pairs(self) -> int:
+        """How many pairs the analysis proved independent."""
         return sum(v.independent for row in self.grid for v in row)
 
     @property
@@ -224,9 +234,11 @@ class MatrixResult:
         return self.wall_seconds / self.pairs if self.pairs else 0.0
 
     def verdict(self, row: int, col: int) -> PairVerdict:
+        """The slim verdict for ``queries[row]`` vs ``updates[col]``."""
         return self.grid[row][col]
 
     def independent(self, row: int, col: int) -> bool:
+        """Shorthand: is ``queries[row]`` independent of ``updates[col]``?"""
         return self.grid[row][col].independent
 
     def verdict_rows(self) -> tuple[tuple[bool, ...], ...]:
@@ -454,14 +466,17 @@ class AnalysisEngine:
 
     @property
     def universe(self):
+        """The leveled chain universe of the ``default_k`` state."""
         return self._default_state().universe
 
     @property
     def queries(self) -> QueryInference:
+        """The query inference table of the ``default_k`` state."""
         return self._default_state().queries
 
     @property
     def updates(self) -> UpdateInference:
+        """The update inference table of the ``default_k`` state."""
         return self._default_state().updates
 
     # -- expression interning ------------------------------------------------

@@ -1,8 +1,10 @@
-"""Serve-layer benchmark: micro-batched vs batching-disabled service.
+"""Serve-layer benchmarks: micro-batching and multi-core sharding.
 
-Runs the same closed-loop 20x20 XMark workload (the paper's benchmark
-views and updates, seeded random pair draws) against three in-process
-service configurations on loopback TCP:
+Two experiments share one closed-loop loadgen harness over loopback
+TCP:
+
+**Mode comparison** (PR 3's gate): the same 20x20 XMark workload
+against three in-process service configurations --
 
 * ``batched``  -- the default: micro-batching admission queue feeding
   coalesced ``analyze_matrix`` calls, group-committed store writes;
@@ -14,12 +16,16 @@ service configurations on loopback TCP:
   rebuilt per call), i.e. the service you would write without the
   engine/serving layers of PRs 1-3.
 
-The acceptance gate (``benchmarks/test_serve_gate.py``) asserts the
-micro-batched service reaches >= 3x the throughput of the
-batching-disabled one-shot configuration with byte-identical verdicts
-across all modes; ``speedup_vs_engine`` is reported alongside so the
-queue's own contribution stays visible.  ``repro serve-bench`` writes
-the JSON trajectory point committed as ``BENCH_serve.json``.
+**Shard comparison** (this PR's gate): a *two-schema* workload (the
+XMark benchmark pool plus a deterministic generated schema) against a
+single-shard service and an N-shard service.  The schemas hash to
+different shards, so on a multi-core machine the two admission queues
+drain on separate cores; on a >= 2-core runner the acceptance gate
+(``benchmarks/test_serve_gate.py``) requires 2-shard throughput >=
+1.6x single-shard with byte-identical verdicts across shard counts.
+
+``repro serve-bench`` runs both and appends the JSON trajectory point
+committed as ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -29,57 +35,90 @@ import json
 import os
 import sys
 import tempfile
+from contextlib import contextmanager
 
 from ..serve.loadgen import LoadgenConfig, run_loadgen
-from ..serve.server import IndependenceService, ServeConfig
+from ..serve.server import IndependenceService, ServeConfig, make_service
 
-#: The gate's workload: 20 x 20 XMark views/updates, closed loop.
+#: The mode-comparison gate's workload: 20 x 20 XMark views/updates.
 DEFAULT_WORKLOAD = dict(n_queries=20, n_updates=20, clients=32,
                         requests=1200, seed=7)
 
+#: The shard-comparison workload: two schemas whose digests hash to
+#: different shards in a 2-shard pool (pinned by the sharding tests),
+#: so affinity routing actually spreads the traffic.
+SHARD_WORKLOAD = dict(schema=("xmark", "gen:11"), n_queries=12,
+                      n_updates=12, clients=32, requests=1000, seed=7)
 
-async def _run_mode(mode: str, store_path: str,
-                    workload: dict, batch_window: float) -> dict:
-    service = IndependenceService(ServeConfig(
-        port=0,
-        store_path=store_path,
-        analysis_mode=mode,
-        batch_window=batch_window,
-        preload=("xmark",),
-    ))
+
+def available_cores() -> int:
+    """Cores this process may schedule on (the shard gate's skip knob)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover -- non-Linux
+        return os.cpu_count() or 1
+
+
+@contextmanager
+def _store_file(tag: str):
+    """A throwaway SQLite path, WAL siblings cleaned up on exit."""
+    handle, path = tempfile.mkstemp(prefix=f"repro-serve-{tag}-",
+                                    suffix=".sqlite")
+    os.close(handle)
+    try:
+        yield path
+    finally:
+        for suffix in ("", "-wal", "-shm"):
+            if os.path.exists(path + suffix):
+                os.unlink(path + suffix)
+
+
+async def _run_config(config: ServeConfig, loadgen: LoadgenConfig) -> dict:
+    """Start a service, drive one loadgen run against it, tear down."""
+    service = make_service(config)
     host, port = await service.start()
     server_task = asyncio.create_task(service.serve_until_stopped())
     try:
-        report = await run_loadgen(LoadgenConfig(
-            host=host, port=port, schema="xmark", source="bench",
-            **workload,
-        ))
+        loadgen.host, loadgen.port = host, port
+        report = await run_loadgen(loadgen)
     finally:
         service.stop()
         await server_task
     return report
 
 
+async def _run_mode(mode: str, store_path: str,
+                    workload: dict, batch_window: float) -> dict:
+    """One mode-comparison leg (always unsharded)."""
+    config = ServeConfig(
+        port=0,
+        store_path=store_path,
+        analysis_mode=mode,
+        batch_window=batch_window,
+        preload=("xmark",),
+    )
+    assert isinstance(make_service(config), IndependenceService)
+    return await _run_config(config, LoadgenConfig(
+        schema="xmark", source="bench", **workload,
+    ))
+
+
 async def run_serve_bench_async(workload: dict | None = None,
                                 batch_window: float = 0.002) -> dict:
+    """The three-mode comparison (the PR 3 acceptance numbers)."""
     workload = {**DEFAULT_WORKLOAD, **(workload or {})}
     reports: dict[str, dict] = {}
     for mode in ("batched", "engine", "oneshot"):
         if mode == "oneshot":
-            store_path = ":memory:"  # stateless mode never touches it
-        else:
-            handle, store_path = tempfile.mkstemp(
-                prefix=f"repro-serve-{mode}-", suffix=".sqlite")
-            os.close(handle)
-        try:
+            # Stateless mode never touches the store.
+            reports[mode] = await _run_mode(
+                mode, ":memory:", workload, batch_window
+            )
+            continue
+        with _store_file(mode) as store_path:
             reports[mode] = await _run_mode(
                 mode, store_path, workload, batch_window
             )
-        finally:
-            for suffix in ("", "-wal", "-shm"):
-                path = store_path + suffix
-                if path != ":memory:" and os.path.exists(path):
-                    os.unlink(path)
 
     verdict_blobs = {
         mode: json.dumps(report["verdicts"], sort_keys=True)
@@ -111,10 +150,93 @@ async def run_serve_bench_async(workload: dict | None = None,
     }
 
 
+async def run_shard_bench_async(shards: int = 2,
+                                workload: dict | None = None,
+                                batch_window: float = 0.002) -> dict:
+    """Single-shard vs ``shards``-shard throughput, same workload.
+
+    Both legs run the default batched mode; the single-shard leg is the
+    plain in-process service (what ``--shards 1`` deploys), the sharded
+    leg is the router + worker-process pool.  Verdicts must be
+    byte-identical across shard counts -- the analysis is a pure
+    function of ``(schema digest, k, query, update)``, so topology may
+    only change speed, never answers.
+    """
+    workload = {**SHARD_WORKLOAD, **(workload or {})}
+    reports: dict[int, dict] = {}
+    for count in sorted({1, shards}):
+        with _store_file(f"{count}shard") as store_path:
+            config = ServeConfig(
+                port=0,
+                store_path=store_path,
+                batch_window=batch_window,
+                preload=("xmark",),
+                shards=count,
+            )
+            reports[count] = await _run_config(
+                config, LoadgenConfig(source="bench", **workload)
+            )
+
+    verdict_blobs = {
+        count: json.dumps(report["verdicts"], sort_keys=True)
+        for count, report in reports.items()
+    }
+    identical = len(set(verdict_blobs.values())) == 1
+    single = reports[1]["throughput_rps"]
+    sharded = reports[shards]["throughput_rps"]
+    return {
+        "workload": reports[shards]["workload"],
+        "batch_window_seconds": batch_window,
+        "cores": available_cores(),
+        "shards": shards,
+        "shard_counts": {
+            str(count): {
+                "throughput_rps": report["throughput_rps"],
+                "latency_ms": report["latency_ms"],
+                "errors": report["errors"],
+                "coalesced_requests": report["service"]
+                ["coalesced_requests"],
+                "batches": report["service"]["batches"],
+                "shard_routing": report["service"]["shard_routing"],
+            }
+            for count, report in reports.items()
+        },
+        "verdicts_identical": identical,
+        "distinct_pairs": reports[shards]["distinct_pairs"],
+        "shard_speedup": sharded / single if single else 0.0,
+    }
+
+
+def append_trajectory_point(path: str, point: dict) -> None:
+    """Append one benchmark point to the ``BENCH_serve.json`` trajectory.
+
+    The file holds ``{"points": [...]}``; a pre-existing single-object
+    file (the original PR 3 format) is wrapped as the first point.
+    """
+    points: list[dict] = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and \
+                isinstance(existing.get("points"), list):
+            points = existing["points"]
+        elif isinstance(existing, dict):
+            points = [existing]
+    points.append(point)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"points": points}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def run_serve_bench(workload: dict | None = None,
                     batch_window: float = 0.002,
+                    shards: int = 2,
                     out=sys.stdout) -> dict:
-    """Run all three modes and print the comparison (CLI body)."""
+    """Run the mode and shard comparisons; print both (CLI body).
+
+    Pass ``shards <= 1`` to skip the shard comparison (e.g. on a
+    single-core box where it only measures router overhead).
+    """
     results = asyncio.run(run_serve_bench_async(workload, batch_window))
     shape = results["workload"]
     print(f"serve benchmark -- {shape['n_queries']}x{shape['n_updates']} "
@@ -134,4 +256,24 @@ def run_serve_bench(workload: dict | None = None,
           f"{'identical' if results['verdicts_identical'] else 'DIFFER'} "
           f"({results['independent_pairs']}/"
           f"{results['distinct_pairs']} independent)", file=out)
+
+    if shards > 1:
+        sharding = asyncio.run(run_shard_bench_async(shards, workload))
+        results["sharding"] = sharding
+        print(f"shard comparison -- schemas "
+              f"{','.join(sharding['workload']['schemas'])}, "
+              f"{sharding['cores']} core(s)", file=out)
+        for count, row in sharding["shard_counts"].items():
+            routing = row["shard_routing"] or {}
+            spread = "+".join(str(routing[key])
+                              for key in sorted(routing)) or "-"
+            print(f"{count + ' shard':>10} "
+                  f"{row['throughput_rps']:>9.0f} "
+                  f"{row['latency_ms']['p50']:>8.2f} "
+                  f"{row['latency_ms']['p99']:>8.2f} "
+                  f"{'routed ' + spread:>19}", file=out)
+        print(f"shard speedup: {sharding['shard_speedup']:.2f}x "
+              f"({sharding['shards']} shards vs 1) -- verdicts "
+              f"{'identical' if sharding['verdicts_identical'] else 'DIFFER'}",
+              file=out)
     return results

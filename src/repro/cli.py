@@ -14,13 +14,19 @@ Subcommands::
     python -m repro fuzz [--count N] [--seed S] [--max-tags N] \\
         [--json report.json] [--corpus-dir DIR]
     python -m repro serve [--port P] [--store FILE] [--window MS] \\
-        [--mode batched|engine|oneshot] [--preload xmark ...]
+        [--shards N] [--mode batched|engine|oneshot] \\
+        [--max-documents N] [--preload xmark ...]
     python -m repro loadgen [--port P] [--clients N] [--requests N] \\
-        [--source bench|exprgen] [--json report.json]
-    python -m repro serve-bench [--json BENCH_serve.json]
+        [--schema xmark --schema gen:11 ...] [--source bench|exprgen] \\
+        [--shards N] [--expect-coalescing] [--json report.json]
+    python -m repro serve-bench [--shards N] [--json BENCH_serve.json]
 
 ``--dtd`` accepts a file of ``<!ELEMENT ...>`` declarations; the built-in
 schemas are available as ``--builtin xmark|bib|paper-doc|paper-d1``.
+Flag defaults for ``serve`` and ``loadgen`` are read from
+:class:`repro.serve.ServeConfig` / :class:`repro.serve.LoadgenConfig`,
+so ``--help`` cannot drift from the code (pinned by the argparse smoke
+tests in ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ from .schema.catalog import (
 )
 from .schema.dtd import DTD
 from .schema.infer import infer_dtd
+from .serve.loadgen import LoadgenConfig
+from .serve.server import ANALYSIS_MODES, ServeConfig
 from .xmldm.generator import generate_document
 from .xmldm.parse import parse_xml
 from .xmldm.serialize import serialize
@@ -182,7 +190,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .serve.server import ServeConfig, run_service
+    from .serve.server import run_service
 
     config = ServeConfig(
         host=args.host,
@@ -195,12 +203,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_documents=args.max_documents,
         pair_cache_size=args.pair_cache,
         preload=tuple(args.preload),
+        shards=args.shards,
     )
 
     def ready(service, host, port):
         print(f"repro serve: listening on {host}:{port} "
-              f"(mode={config.analysis_mode}, store={config.store_path}, "
-              f"window={args.window}ms)", flush=True)
+              f"(mode={config.analysis_mode}, shards={config.shards}, "
+              f"store={config.store_path}, window={args.window}ms)",
+              flush=True)
 
     try:
         asyncio.run(run_service(config, ready=ready))
@@ -212,26 +222,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from .serve.loadgen import LoadgenConfig, run_loadgen_sync
+    from .serve.loadgen import run_loadgen_sync
 
+    kwargs = {}
+    if args.schema:
+        kwargs["schema"] = tuple(args.schema)
+    # Omitting the kwarg keeps LoadgenConfig the single source of
+    # truth for the default workload schema.
     report = run_loadgen_sync(LoadgenConfig(
         host=args.host,
         port=args.port,
-        schema=args.schema,
         source=args.source,
         n_queries=args.queries,
         n_updates=args.updates,
         clients=args.clients,
         requests=args.requests,
         seed=args.seed,
+        **kwargs,
     ))
+    service = report["service"]
     print(f"loadgen: {report['completed']}/{report['workload']['requests']}"
           f" ok, {report['errors']} errors, "
           f"{report['throughput_rps']:.0f} req/s, "
           f"p50 {report['latency_ms']['p50']:.2f} ms, "
           f"p99 {report['latency_ms']['p99']:.2f} ms, "
-          f"{report['service']['batches']} batches "
-          f"({report['service']['coalesced_requests']} coalesced)")
+          f"{service['batches']} batches "
+          f"({service['coalesced_requests']} coalesced, "
+          f"{service['shards']} shard(s))")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report, handle, indent=2, sort_keys=True)
@@ -240,32 +257,42 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if report["errors"]:
         return 1
     if args.expect_coalescing and (
-            not report["service"]["batches"]
-            or not report["service"]["coalesced_requests"]):
+            not service["batches"] or not service["coalesced_requests"]):
         # batches alone is not enough: 600 one-entry batches would mean
         # the admission window coalesced nothing.
         print("error: --expect-coalescing, but no requests coalesced "
-              f"({report['service']['batches']} batches, "
-              f"{report['service']['coalesced_requests']} coalesced)")
+              f"({service['batches']} batches, "
+              f"{service['coalesced_requests']} coalesced)")
         return 1
+    if args.shards is not None:
+        if service["shards"] != args.shards:
+            print(f"error: --shards {args.shards}, but the service "
+                  f"reports {service['shards']} shard(s)")
+            return 1
+        routing = service["shard_routing"] or {}
+        busy = sum(1 for routed in routing.values() if routed > 0)
+        if args.shards > 1 and busy < 2:
+            print("error: --shards expects analyze traffic to spread, "
+                  f"but only {busy} shard(s) received requests "
+                  f"({routing})")
+            return 1
     return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    import json as json_module
-
-    from .bench.serve_bench import run_serve_bench
+    from .bench.serve_bench import append_trajectory_point, run_serve_bench
 
     results = run_serve_bench(
         workload={"requests": args.requests, "clients": args.clients},
         batch_window=args.window / 1e3,
+        shards=args.shards,
     )
+    ok = results["verdicts_identical"] and \
+        results.get("sharding", {}).get("verdicts_identical", True)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json_module.dump(results, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
-    return 0 if results["verdicts_identical"] else 1
+        append_trajectory_point(args.json, results)
+        print(f"appended trajectory point to {args.json}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -369,77 +396,133 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print progress every 10 scenarios")
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
+    # Serve/loadgen defaults come straight from the config dataclasses,
+    # so the CLI surface cannot drift from the code (and the epilogs
+    # below always quote the real values).  Pinned by the argparse
+    # smoke tests in tests/test_cli.py.
+    serve_defaults = ServeConfig()
     serve_cmd = commands.add_parser(
         "serve",
         help="run the concurrent independence service (JSON lines/TCP)",
+        epilog="defaults: "
+               f"window {serve_defaults.batch_window * 1e3:g} ms, "
+               f"max-batch {serve_defaults.max_batch}, "
+               f"max-schemas {serve_defaults.max_schemas}, "
+               f"max-documents {serve_defaults.max_documents}, "
+               f"shards {serve_defaults.shards}, store "
+               f"{serve_defaults.store_path} (ephemeral). "
+               "Wire reference: docs/PROTOCOL.md; architecture: "
+               "docs/ARCHITECTURE.md.",
     )
-    serve_cmd.add_argument("--host", default="127.0.0.1")
-    serve_cmd.add_argument("--port", type=int, default=8765,
+    serve_cmd.add_argument("--host", default=serve_defaults.host)
+    serve_cmd.add_argument("--port", type=int,
+                           default=serve_defaults.port,
                            help="TCP port (0 picks a free one)")
-    serve_cmd.add_argument("--store", default=":memory:",
+    serve_cmd.add_argument("--store", default=serve_defaults.store_path,
                            help="SQLite verdict store path "
-                                "(default: in-memory)")
-    serve_cmd.add_argument("--window", type=float, default=2.0,
+                                "(default: in-memory; with --shards, "
+                                "a file is shared by all shards)")
+    serve_cmd.add_argument("--window", type=float,
+                           default=serve_defaults.batch_window * 1e3,
                            help="micro-batch admission window, ms")
-    serve_cmd.add_argument("--max-batch", type=int, default=512,
+    serve_cmd.add_argument("--max-batch", type=int,
+                           default=serve_defaults.max_batch,
                            help="flush a window early at this many "
                                 "requests")
-    serve_cmd.add_argument("--mode", default="batched",
-                           choices=["batched", "engine", "oneshot"],
+    serve_cmd.add_argument("--mode", default=serve_defaults.analysis_mode,
+                           choices=list(ANALYSIS_MODES),
                            help="analyze path: micro-batched (default), "
                                 "shared engine without batching, or "
                                 "stateless one-shot")
-    serve_cmd.add_argument("--max-schemas", type=int, default=256,
+    serve_cmd.add_argument("--max-schemas", type=int,
+                           default=serve_defaults.max_schemas,
                            help="LRU bound on registered schemas")
-    serve_cmd.add_argument("--max-documents", type=int, default=64,
-                           help="LRU bound on loaded documents")
-    serve_cmd.add_argument("--pair-cache", type=int, default=None,
+    serve_cmd.add_argument("--max-documents", type=int,
+                           default=serve_defaults.max_documents,
+                           help="LRU bound on loaded documents "
+                                f"(default {serve_defaults.max_documents};"
+                                " overflow evicts oldest)")
+    serve_cmd.add_argument("--pair-cache", type=int,
+                           default=serve_defaults.pair_cache_size,
                            help="per-engine pair-memo LRU bound")
+    serve_cmd.add_argument("--shards", type=int,
+                           default=serve_defaults.shards,
+                           help="worker processes; requests route to "
+                                "shards by schema-digest affinity "
+                                "(1 = classic in-process service)")
     serve_cmd.add_argument("--preload", nargs="*", default=["xmark"],
                            help="builtin schemas to register at startup")
     serve_cmd.set_defaults(func=_cmd_serve)
 
+    loadgen_defaults = LoadgenConfig()
     loadgen_cmd = commands.add_parser(
         "loadgen",
         help="closed-loop load generator against a running service",
+        epilog="defaults: "
+               f"{loadgen_defaults.clients} clients, "
+               f"{loadgen_defaults.requests} requests, "
+               f"{loadgen_defaults.n_queries}x"
+               f"{loadgen_defaults.n_updates} pools, schema "
+               f"{loadgen_defaults.schema} ({loadgen_defaults.source}). "
+               "Repeat --schema (builtins or gen:<seed>) for a "
+               "multi-schema workload that exercises a sharded service.",
     )
-    loadgen_cmd.add_argument("--host", default="127.0.0.1")
-    loadgen_cmd.add_argument("--port", type=int, default=8765)
-    loadgen_cmd.add_argument("--schema", default="xmark",
-                             help="schema ref sent with each request")
-    loadgen_cmd.add_argument("--source", default="bench",
+    loadgen_cmd.add_argument("--host", default=loadgen_defaults.host)
+    loadgen_cmd.add_argument("--port", type=int,
+                             default=loadgen_defaults.port)
+    loadgen_cmd.add_argument("--schema", action="append",
+                             help="schema ref sent with requests; repeat "
+                                  "for a multi-schema workload "
+                                  "(builtin name or gen:<seed>; "
+                                  f"default {loadgen_defaults.schema})")
+    loadgen_cmd.add_argument("--source", default=loadgen_defaults.source,
                              choices=["bench", "exprgen"],
                              help="workload pool: paper benchmark "
-                                  "views/updates or schema-aware "
-                                  "random expressions")
-    loadgen_cmd.add_argument("--queries", type=int, default=20,
-                             help="query pool size")
-    loadgen_cmd.add_argument("--updates", type=int, default=20,
-                             help="update pool size")
-    loadgen_cmd.add_argument("--clients", type=int, default=16,
+                                  "views/updates (xmark only; other "
+                                  "schemas fall back to exprgen) or "
+                                  "schema-aware random expressions")
+    loadgen_cmd.add_argument("--queries", type=int,
+                             default=loadgen_defaults.n_queries,
+                             help="query pool size per schema")
+    loadgen_cmd.add_argument("--updates", type=int,
+                             default=loadgen_defaults.n_updates,
+                             help="update pool size per schema")
+    loadgen_cmd.add_argument("--clients", type=int,
+                             default=loadgen_defaults.clients,
                              help="concurrent closed-loop connections")
-    loadgen_cmd.add_argument("--requests", type=int, default=2000,
+    loadgen_cmd.add_argument("--requests", type=int,
+                             default=loadgen_defaults.requests,
                              help="total requests across all clients")
-    loadgen_cmd.add_argument("--seed", type=int, default=0)
+    loadgen_cmd.add_argument("--seed", type=int,
+                             default=loadgen_defaults.seed)
     loadgen_cmd.add_argument("--json", help="write the full report here")
     loadgen_cmd.add_argument("--expect-coalescing", action="store_true",
-                             help="fail unless requests actually "
-                                  "coalesced into shared batches "
-                                  "(CI smoke)")
+                             help="fail unless the admission window "
+                                  "actually coalesced requests: both "
+                                  "batches > 0 and coalesced_requests "
+                                  "> 0 after the run (CI smoke)")
+    loadgen_cmd.add_argument("--shards", type=int, default=None,
+                             help="fail unless the service reports this "
+                                  "many shards and (for > 1) analyze "
+                                  "traffic reached at least two of them")
     loadgen_cmd.set_defaults(func=_cmd_loadgen)
 
     serve_bench_cmd = commands.add_parser(
         "serve-bench",
-        help="micro-batched vs batching-disabled service throughput "
-             "(the PR 3 acceptance gate workload)",
+        help="serving acceptance numbers: batched vs unbatched modes, "
+             "plus the sharded vs single-shard comparison",
     )
     serve_bench_cmd.add_argument("--requests", type=int, default=1200,
                                  help="requests per mode")
     serve_bench_cmd.add_argument("--clients", type=int, default=32)
     serve_bench_cmd.add_argument("--window", type=float, default=2.0,
                                  help="admission window, ms")
+    serve_bench_cmd.add_argument("--shards", type=int, default=2,
+                                 help="shard count for the sharding "
+                                      "comparison (<= 1 skips it)")
     serve_bench_cmd.add_argument("--json",
-                                 help="write the comparison JSON here")
+                                 help="append a trajectory point to "
+                                      "this file (BENCH_serve.json)")
     serve_bench_cmd.set_defaults(func=_cmd_serve_bench)
 
     return parser

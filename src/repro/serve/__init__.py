@@ -7,38 +7,68 @@ concurrent requests through a micro-batching admission queue
 (:mod:`.batching`) into coalesced ``analyze_matrix`` calls, with every
 verdict written through to a restart-surviving SQLite store
 (:mod:`.store`) and schemas hosted in an LRU-bounded registry
-(:mod:`.registry`).  :mod:`.loadgen` is the closed-loop traffic
-generator used by the benchmark gate and the CI smoke job.
+(:mod:`.registry`).
+
+With ``shards > 1`` the service becomes a schema-affinity **router**
+over a pool of shard worker processes (:mod:`.sharding`): each shard
+owns a partition of the schema space (its own engines, admission
+queue, and registry), all shards share one persistent verdict store,
+and distinct schemas analyze truly in parallel on separate cores.
+
+:mod:`.loadgen` is the closed-loop traffic generator used by the
+benchmark gate and the CI smoke job.  See ``docs/ARCHITECTURE.md`` for
+the layer map and ``docs/PROTOCOL.md`` for the wire reference.
 """
 
 from .batching import MicroBatcher, WireVerdict
-from .loadgen import LoadgenConfig, run_loadgen, run_loadgen_sync, workload_pool
-from .protocol import ProtocolError, decode_request, encode
+from .loadgen import (
+    LoadgenConfig,
+    dtd_text,
+    generated_schema,
+    run_loadgen,
+    run_loadgen_sync,
+    workload_pool,
+    workload_pools,
+)
+from .protocol import ERROR_CODES, OPS, ProtocolError, decode_request, encode
 from .registry import BUILTIN_SCHEMAS, SchemaRegistry, UnknownSchemaError
 from .server import (
     ANALYSIS_MODES,
     IndependenceService,
     ServeConfig,
+    ShardedService,
+    make_service,
     run_service,
 )
+from .sharding import ShardLink, builtin_digest, shard_for
 from .store import VerdictStore
 
 __all__ = [
     "ANALYSIS_MODES",
     "BUILTIN_SCHEMAS",
+    "ERROR_CODES",
     "IndependenceService",
     "LoadgenConfig",
     "MicroBatcher",
+    "OPS",
     "ProtocolError",
     "SchemaRegistry",
     "ServeConfig",
+    "ShardLink",
+    "ShardedService",
     "UnknownSchemaError",
     "VerdictStore",
     "WireVerdict",
+    "builtin_digest",
     "decode_request",
+    "dtd_text",
     "encode",
+    "generated_schema",
+    "make_service",
     "run_loadgen",
     "run_loadgen_sync",
     "run_service",
+    "shard_for",
     "workload_pool",
+    "workload_pools",
 ]

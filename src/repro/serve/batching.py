@@ -41,6 +41,7 @@ class WireVerdict:
     k_update: int
 
     def as_dict(self) -> dict:
+        """The JSON-ready ``analyze`` response payload."""
         return {
             "independent": self.independent,
             "k": self.k,
@@ -130,9 +131,11 @@ class MicroBatcher:
             self._flushes.difference_update(tasks)
 
     def close(self) -> None:
+        """Stop the analysis worker thread (after :meth:`drain`)."""
         self._executor.shutdown(wait=True)
 
     def stats(self) -> dict:
+        """Admission-queue counters (the ``/stats`` batcher section)."""
         return {
             "enabled": self.enabled,
             "window_seconds": self.window,

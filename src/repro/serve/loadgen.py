@@ -1,19 +1,31 @@
 """Closed-loop load generator for the independence service.
 
 ``clients`` concurrent connections each run a send-one/await-one loop
-drawing ``(query, update)`` pairs from a seeded workload pool, so
-offered load is bounded by service latency (closed loop), and the
+drawing ``(schema, query, update)`` triples from seeded workload pools,
+so offered load is bounded by service latency (closed loop), and the
 report contains both sides of that coin: throughput and latency
-percentiles.  The pool comes either from the XMark benchmark workload
-(``source="bench"``: the paper's views and updates, the 20x20 default
-of the serve benchmark gate) or from the schema-aware random expression
-generators (``source="exprgen"``: any registered schema, seeded).
+percentiles.
+
+The workload may span **several schemas** (the shape that exercises a
+sharded service: distinct schema digests route to distinct shard
+processes and analyze in parallel).  Each schema ref in
+:attr:`LoadgenConfig.schema` gets its own query/update pool:
+
+* ``"xmark"`` with ``source="bench"`` -- the paper's benchmark views
+  and updates (the 20x20 default of the serve benchmark gate);
+* ``"gen:<seed>"`` -- a deterministic random DTD from the testkit
+  schema generator, registered over the wire before the run starts,
+  with schema-aware random expressions drawn for it;
+* any other builtin (or any ref with ``source="exprgen"``) -- seeded
+  schema-aware random expressions.
 
 The generator also snapshots the service's ``stats`` endpoint before
 and after the run, so a report shows how many admission batches the
 traffic coalesced into -- the CI smoke job asserts this is nonzero --
-and it cross-checks that every verdict for one pair is identical across
-clients and repeats (any divergence counts as an error).
+plus, against a sharded service, how requests spread across shards.
+It cross-checks that every verdict for one ``(schema, pair)`` is
+identical across clients and repeats (any divergence counts as an
+error).
 """
 
 from __future__ import annotations
@@ -22,9 +34,11 @@ import asyncio
 import json
 import random
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..schema.dtd import DTD
+from ..testkit.dtdgen import SchemaGenerator, SchemaSpec
 from ..testkit.exprgen import random_query, random_update
 from .protocol import MAX_LINE_BYTES, encode
 from .registry import BUILTIN_SCHEMAS
@@ -32,9 +46,16 @@ from .registry import BUILTIN_SCHEMAS
 
 @dataclass
 class LoadgenConfig:
+    """One load-generation run (CLI flags map 1:1).
+
+    ``schema`` is one ref or a sequence of refs; multi-schema runs
+    interleave requests across all of them (uniformly at random, per
+    client, seeded).  ``requests`` is the total across all clients.
+    """
+
     host: str = "127.0.0.1"
     port: int = 8765
-    schema: str = "xmark"
+    schema: str | Sequence[str] = "xmark"
     source: str = "bench"          # "bench" | "exprgen"
     n_queries: int = 20
     n_updates: int = 20
@@ -43,10 +64,61 @@ class LoadgenConfig:
     seed: int = 0
     expr_depth: int = 2
 
+    @property
+    def schemas(self) -> tuple[str, ...]:
+        """The workload's schema refs as a tuple (order preserved)."""
+        if isinstance(self.schema, str):
+            return (self.schema,)
+        return tuple(self.schema)
 
-def workload_pool(config: LoadgenConfig) -> tuple[list[str], list[str]]:
-    """The seeded query/update pools the clients draw pairs from."""
-    if config.source == "bench":
+
+def generated_schema(seed: int) -> SchemaSpec:
+    """The deterministic ``gen:<seed>`` workload schema.
+
+    A pure function of ``seed``: the router, the loadgen process, and
+    any test all derive the same spec (and therefore the same content
+    digest, and the same owning shard).
+    """
+    return SchemaGenerator(
+        random.Random(seed), min_tags=5, max_tags=7,
+        recursion_probability=0.5,
+    ).generate()
+
+
+def dtd_text(spec: SchemaSpec) -> str:
+    """Render a :class:`SchemaSpec` as ``<!ELEMENT ...>`` declarations
+    (the ``schema.register`` wire format)."""
+    return "\n".join(
+        f"<!ELEMENT {tag} {model}>" for tag, model in spec.rules
+    )
+
+
+def _schema_dtd(ref: str) -> tuple[DTD, SchemaSpec | None]:
+    """The DTD behind a workload schema ref (and its spec if generated)."""
+    if ref.startswith("gen:"):
+        spec = generated_schema(int(ref[4:]))
+        return spec.to_dtd(), spec
+    factory = BUILTIN_SCHEMAS.get(ref)
+    if factory is None:
+        raise ValueError(
+            f"workload schema must be a builtin or 'gen:<seed>', "
+            f"not {ref!r}"
+        )
+    return factory(), None
+
+
+def workload_pool(config: LoadgenConfig,
+                  ref: str | None = None) -> tuple[list[str], list[str]]:
+    """The seeded query/update pools clients draw pairs from.
+
+    ``ref`` defaults to the first workload schema.  The XMark benchmark
+    pool is used for ``"xmark"`` under ``source="bench"``; every other
+    ref gets schema-aware random expressions seeded per ``(seed, ref)``
+    so multi-schema pools are independent but reproducible.
+    """
+    if ref is None:
+        ref = config.schemas[0]
+    if config.source == "bench" and ref == "xmark":
         from ..bench.updates import ALL_UPDATES
         from ..bench.views import ALL_VIEWS
         queries = list(ALL_VIEWS.values())[:config.n_queries]
@@ -58,25 +130,27 @@ def workload_pool(config: LoadgenConfig) -> tuple[list[str], list[str]]:
                 f"{len(ALL_UPDATES)} updates"
             )
         return queries, updates
-    if config.source == "exprgen":
-        factory = BUILTIN_SCHEMAS.get(config.schema)
-        if factory is None:
-            raise ValueError(
-                "exprgen workload needs a builtin schema, "
-                f"not {config.schema!r}"
-            )
-        dtd: DTD = factory()
-        rng = random.Random(config.seed)
-        queries = [random_query(rng, dtd, max_depth=config.expr_depth)
-                   for _ in range(config.n_queries)]
-        updates = [random_update(rng, dtd, max_depth=config.expr_depth)
-                   for _ in range(config.n_updates)]
-        return queries, updates
-    raise ValueError(f"unknown workload source {config.source!r}")
+    if config.source not in ("bench", "exprgen"):
+        raise ValueError(f"unknown workload source {config.source!r}")
+    dtd, _ = _schema_dtd(ref)
+    rng = random.Random(f"{config.seed}/{ref}")
+    queries = [random_query(rng, dtd, max_depth=config.expr_depth)
+               for _ in range(config.n_queries)]
+    updates = [random_update(rng, dtd, max_depth=config.expr_depth)
+               for _ in range(config.n_updates)]
+    return queries, updates
+
+
+def workload_pools(
+    config: LoadgenConfig,
+) -> dict[str, tuple[list[str], list[str]]]:
+    """One ``(queries, updates)`` pool per workload schema ref."""
+    return {ref: workload_pool(config, ref) for ref in config.schemas}
 
 
 async def _request(reader: asyncio.StreamReader,
                    writer: asyncio.StreamWriter, payload: dict) -> dict:
+    """One send-one/await-one wire round trip."""
     writer.write(encode(payload))
     await writer.drain()
     line = await reader.readline()
@@ -85,23 +159,64 @@ async def _request(reader: asyncio.StreamReader,
     return json.loads(line)
 
 
+async def _register_generated(config: LoadgenConfig) -> None:
+    """Register every ``gen:<seed>`` workload schema over the wire.
+
+    Registration is idempotent (content digests), so concurrent or
+    repeated loadgen runs against one service are safe.  The generated
+    ref itself becomes the schema's alias, so clients can use it
+    directly in requests.
+    """
+    generated = [ref for ref in config.schemas if ref.startswith("gen:")]
+    if not generated:
+        return
+    reader, writer = await asyncio.open_connection(
+        config.host, config.port, limit=MAX_LINE_BYTES
+    )
+    try:
+        for ref in generated:
+            _, spec = _schema_dtd(ref)
+            assert spec is not None
+            response = await _request(reader, writer, {
+                "id": f"register-{ref}",
+                "op": "schema.register",
+                "root": spec.start,
+                "dtd": dtd_text(spec),
+                "name": ref,
+            })
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"registering {ref} failed: {response.get('error')}"
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
 async def _client(config: LoadgenConfig, index: int, count: int,
-                  queries: list[str], updates: list[str],
+                  pools: dict[str, tuple[list[str], list[str]]],
                   latencies: list[float], verdicts: dict,
                   errors: list[str]) -> None:
+    """One closed-loop connection: draw, send, await, record."""
     rng = random.Random(f"{config.seed}/{index}")
+    schemas = config.schemas
     reader, writer = await asyncio.open_connection(
         config.host, config.port, limit=MAX_LINE_BYTES
     )
     try:
         for sequence in range(count):
+            ref = schemas[rng.randrange(len(schemas))]
+            queries, updates = pools[ref]
             qi = rng.randrange(len(queries))
             ui = rng.randrange(len(updates))
             started = time.perf_counter()
             response = await _request(reader, writer, {
                 "id": f"c{index}-{sequence}",
                 "op": "analyze",
-                "schema": config.schema,
+                "schema": ref,
                 "query": queries[qi],
                 "update": updates[ui],
             })
@@ -114,10 +229,10 @@ async def _client(config: LoadgenConfig, index: int, count: int,
             latencies.append(time.perf_counter() - started)
             verdict = {key: response[key] for key in
                        ("independent", "k", "k_query", "k_update")}
-            previous = verdicts.setdefault((qi, ui), verdict)
+            previous = verdicts.setdefault((ref, qi, ui), verdict)
             if previous != verdict:
                 errors.append(
-                    f"verdict divergence on pair ({qi}, {ui}): "
+                    f"verdict divergence on {ref} pair ({qi}, {ui}): "
                     f"{previous} vs {verdict}"
                 )
     finally:
@@ -129,6 +244,7 @@ async def _client(config: LoadgenConfig, index: int, count: int,
 
 
 async def _stats(config: LoadgenConfig) -> dict:
+    """One ``stats`` snapshot (empty dict when the call fails)."""
     reader, writer = await asyncio.open_connection(
         config.host, config.port, limit=MAX_LINE_BYTES
     )
@@ -146,6 +262,7 @@ async def _stats(config: LoadgenConfig) -> dict:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
     if not sorted_values:
         return 0.0
     index = min(len(sorted_values) - 1,
@@ -153,9 +270,26 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def _shard_routing(before: dict, after: dict) -> dict[str, int] | None:
+    """Requests the router forwarded to each shard during the run."""
+    shards_after = after.get("per_shard")
+    if not shards_after:
+        return None
+    routed_before = {
+        entry["shard"]: entry.get("routed", 0)
+        for entry in before.get("per_shard", ())
+    }
+    return {
+        str(entry["shard"]):
+            entry.get("routed", 0) - routed_before.get(entry["shard"], 0)
+        for entry in shards_after
+    }
+
+
 async def run_loadgen(config: LoadgenConfig) -> dict:
     """Drive the service; returns the JSON-ready report."""
-    queries, updates = workload_pool(config)
+    pools = workload_pools(config)
+    await _register_generated(config)
     before = await _stats(config)
     latencies: list[float] = []
     verdicts: dict = {}
@@ -165,8 +299,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
         per_client[index] += 1
     started = time.perf_counter()
     await asyncio.gather(*(
-        _client(config, index, count, queries, updates,
-                latencies, verdicts, errors)
+        _client(config, index, count, pools, latencies, verdicts, errors)
         for index, count in enumerate(per_client) if count
     ))
     wall_seconds = time.perf_counter() - started
@@ -181,10 +314,11 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
                - batcher_before.get("batches", 0))
     return {
         "workload": {
-            "schema": config.schema,
+            "schema": ",".join(config.schemas),
+            "schemas": list(config.schemas),
             "source": config.source,
-            "n_queries": len(queries),
-            "n_updates": len(updates),
+            "n_queries": config.n_queries,
+            "n_updates": config.n_updates,
             "clients": config.clients,
             "requests": config.requests,
             "seed": config.seed,
@@ -208,11 +342,13 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             1 for verdict in verdicts.values() if verdict["independent"]
         ),
         "verdicts": {
-            f"q{qi}|u{ui}": verdict
-            for (qi, ui), verdict in sorted(verdicts.items())
+            f"{ref}|q{qi}|u{ui}": verdict
+            for (ref, qi, ui), verdict in sorted(verdicts.items())
         },
         "service": {
             "analysis_mode": after.get("analysis_mode"),
+            "shards": after.get("shards", 1),
+            "shard_routing": _shard_routing(before, after),
             "coalesced_requests": coalesced,
             "batches": batches,
             "store_verdicts": after.get("store", {}).get("verdicts"),
@@ -223,4 +359,5 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
 
 
 def run_loadgen_sync(config: LoadgenConfig) -> dict:
+    """Blocking wrapper around :func:`run_loadgen` (CLI body)."""
     return asyncio.run(run_loadgen(config))

@@ -34,6 +34,43 @@ UNKNOWN_DOC = "unknown-doc"
 UNKNOWN_VIEW = "unknown-view"
 INTERNAL = "internal"
 
+#: Every error code a response may carry, in documentation order.
+#: ``docs/PROTOCOL.md`` must mention each one
+#: (``tests/docs/test_protocol_doc.py`` enforces it).
+ERROR_CODES = (
+    BAD_JSON,
+    BAD_REQUEST,
+    BAD_PARAMS,
+    UNKNOWN_OP,
+    UNKNOWN_SCHEMA,
+    UNKNOWN_DOC,
+    UNKNOWN_VIEW,
+    INTERNAL,
+)
+
+#: Every operation the service understands, in documentation order.
+#: This tuple is the single source of truth for the op list: the
+#: server's dispatch table, the sharded router's routing table, and the
+#: op sections of ``docs/PROTOCOL.md`` are all diffed against it by
+#: ``tests/docs/test_protocol_doc.py`` -- the documentation cannot
+#: drift from the wire without a test failure.
+OPS = (
+    "ping",
+    "analyze",
+    "matrix",
+    "schedule",
+    "schema.register",
+    "schema.evict",
+    "schema.list",
+    "doc.load",
+    "doc.unload",
+    "view.register",
+    "view.result",
+    "update.apply",
+    "stats",
+    "shutdown",
+)
+
 
 class ProtocolError(Exception):
     """A request the service can answer only with an error response."""
@@ -54,7 +91,15 @@ class Request:
 
 
 def encode(payload: dict) -> bytes:
-    """One compact JSON line, ready for the socket."""
+    """One compact JSON line, ready for the socket.
+
+    Keys are sorted, so equal payloads encode byte-identically -- the
+    property the benchmark gate's cross-mode (and cross-shard-count)
+    verdict comparison rests on.
+
+    >>> encode({"op": "ping", "id": 1})
+    b'{"id":1,"op":"ping"}\\n'
+    """
     return (json.dumps(payload, separators=(",", ":"), sort_keys=True)
             + "\n").encode("utf-8")
 
@@ -77,10 +122,16 @@ def decode_request(line: bytes) -> Request:
 
 
 def ok_response(request_id: object, result: dict) -> bytes:
+    """A success line: ``{"id": ..., "ok": true, ...result}``.
+
+    ``result`` keys override the envelope, so a forwarded response
+    that already carries ``ok`` passes through unchanged.
+    """
     return encode({"id": request_id, "ok": True, **result})
 
 
 def error_response(request_id: object, code: str, message: str) -> bytes:
+    """An error line with the stable ``{code, message}`` shape."""
     return encode({
         "id": request_id,
         "ok": False,

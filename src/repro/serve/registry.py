@@ -132,11 +132,13 @@ class SchemaRegistry:
         raise UnknownSchemaError(ref)
 
     def engine(self, ref: str) -> AnalysisEngine:
+        """The analysis engine for a ref (LRU touch on access)."""
         digest = self.resolve(ref)
         self._entries.move_to_end(digest)
         return self._entries[digest].engine
 
     def schema(self, ref: str) -> DTD:
+        """The schema object behind a ref (LRU touch on access)."""
         digest = self.resolve(ref)
         self._entries.move_to_end(digest)
         return self._entries[digest].schema
@@ -172,6 +174,7 @@ class SchemaRegistry:
         ]
 
     def stats(self) -> dict:
+        """Occupancy plus per-engine counters (``/stats`` payload)."""
         return {
             "schemas": len(self._entries),
             "max_schemas": self.max_schemas,

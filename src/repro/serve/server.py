@@ -1,6 +1,6 @@
 """The independence service: an asyncio JSON-lines-over-TCP server.
 
-Architecture (top to bottom)::
+Architecture of one (unsharded) service instance, top to bottom::
 
     connections (asyncio streams, one task per connection,
                  concurrent per-request dispatch, responses tagged by id)
@@ -15,6 +15,25 @@ waves), and materialized-view maintenance
 connection-independent doc ids.  All engine work runs on the batcher's
 single analysis worker thread; the event loop only parses, dispatches,
 and writes.
+
+With ``shards`` > 1 the admission path changes shape from "one queue,
+one thread" to "router + shard pool": :class:`ShardedService` spawns a
+pool of worker *processes* (each a complete single-shard service on a
+loopback port, see :mod:`.sharding`) and becomes a thin router that
+hashes each request's schema digest onto its owning shard::
+
+    clients -> ShardedService (router: resolve ref -> digest,
+               shard_for(digest, N), forward over one pipelined
+               ShardLink per shard)
+      -> shard 0..N-1 (each: its own MicroBatcher + SchemaRegistry
+                       partition + AnalysisEngine instances)
+      -> one shared SQLite VerdictStore (WAL, multi-process writers)
+
+Coalescing still happens per ``(schema, k)`` inside the owning shard --
+affinity routing guarantees all traffic for one schema meets in one
+admission queue -- while distinct schemas analyze truly in parallel on
+separate cores, which is what lifts the single-core throughput cap of
+the unsharded service.
 
 ``analysis_mode`` selects how ``analyze`` requests are served:
 
@@ -37,7 +56,9 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..analysis.engine import schema_digest
 from ..analysis.independence import analyze as oneshot_analyze
+from ..schema.dtd import DTD
 from ..viewmaint.cache import ViewCache
 from ..viewmaint.scheduler import IsolationScheduler
 from ..xmldm.generator import generate_document
@@ -58,7 +79,15 @@ from .protocol import (
     ok_response,
     require,
 )
-from .registry import SchemaRegistry, UnknownSchemaError
+from .registry import BUILTIN_SCHEMAS, SchemaRegistry, UnknownSchemaError
+from .sharding import (
+    DIGEST_RE,
+    ShardLink,
+    builtin_digest,
+    join_shards,
+    shard_for,
+    spawn_shards,
+)
 from .store import VerdictStore
 
 ANALYSIS_MODES = ("batched", "engine", "oneshot")
@@ -66,7 +95,16 @@ ANALYSIS_MODES = ("batched", "engine", "oneshot")
 
 @dataclass
 class ServeConfig:
-    """Knobs of one service instance (CLI flags map 1:1)."""
+    """Knobs of one service instance (CLI flags map 1:1).
+
+    ``shards`` selects the serving topology: ``1`` (default) runs the
+    classic in-process service; ``N > 1`` runs a router plus ``N``
+    worker processes with schema-affinity request routing (see
+    :class:`ShardedService`).  ``shard_index`` and ``doc_id_prefix``
+    are set by the router on the worker copies of the config -- they
+    label a worker's ``/stats`` payload and namespace its document ids
+    so the router can route document operations statelessly.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8765
@@ -78,16 +116,23 @@ class ServeConfig:
     max_documents: int = 64
     pair_cache_size: int | None = None
     preload: tuple[str, ...] = ()
+    shards: int = 1
+    shard_index: int | None = None
+    doc_id_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.analysis_mode not in ANALYSIS_MODES:
             raise ValueError(
                 f"analysis_mode must be one of {ANALYSIS_MODES}"
             )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
 
 @dataclass
 class _ServiceStats:
+    """Front-door counters shared by the plain service and the router."""
+
     started: float = field(default_factory=time.perf_counter)
     connections: int = 0
     requests: int = 0
@@ -95,51 +140,25 @@ class _ServiceStats:
     ops: dict[str, int] = field(default_factory=dict)
 
 
-class IndependenceService:
-    """One service instance: registry + store + batcher + TCP front."""
+class JsonLinesFront:
+    """The shared TCP front: line framing, concurrent dispatch, errors.
 
-    def __init__(self, config: ServeConfig | None = None):
-        self.config = config or ServeConfig()
-        self.store = VerdictStore(self.config.store_path)
-        self.registry = SchemaRegistry(
-            store=self.store,
-            max_schemas=self.config.max_schemas,
-            pair_cache_size=self.config.pair_cache_size,
-        )
-        self.batcher = MicroBatcher(
-            self.registry,
-            window=self.config.batch_window,
-            max_batch=self.config.max_batch,
-            enabled=self.config.analysis_mode == "batched",
-        )
+    Both the unsharded :class:`IndependenceService` and the
+    :class:`ShardedService` router serve the same wire surface; this
+    base owns everything protocol-shaped -- accepting connections,
+    reading one JSON request per line, dispatching requests
+    concurrently (responses may be answered out of order; clients match
+    on ``id``), mapping exceptions to error responses, and orderly
+    shutdown -- while subclasses implement ``_dispatch`` only.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
         self.stats = _ServiceStats()
-        # LRU like the schema registry: loaded documents (tree + view
-        # materializations) are the service's largest per-tenant state
-        # and must not accumulate for its lifetime.
-        self._documents: OrderedDict[str, ViewCache] = OrderedDict()
-        self._next_doc = 0
-        self.document_evictions = 0
         self._server: asyncio.Server | None = None
         self._stopping = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
-        self._ops = {
-            "ping": self._op_ping,
-            "schema.register": self._op_schema_register,
-            "schema.evict": self._op_schema_evict,
-            "schema.list": self._op_schema_list,
-            "analyze": self._op_analyze,
-            "matrix": self._op_matrix,
-            "schedule": self._op_schedule,
-            "doc.load": self._op_doc_load,
-            "doc.unload": self._op_doc_unload,
-            "view.register": self._op_view_register,
-            "view.result": self._op_view_result,
-            "update.apply": self._op_update_apply,
-            "stats": self._op_stats,
-            "shutdown": self._op_shutdown,
-        }
-        for name in self.config.preload:
-            self.registry.register_builtin(name)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -147,8 +166,8 @@ class IndependenceService:
         """Bind and start accepting; returns the bound ``(host, port)``."""
         self._server = await asyncio.start_server(
             self._handle_connection,
-            self.config.host,
-            self.config.port,
+            self._host,
+            self._port,
             limit=MAX_LINE_BYTES,
         )
         sockname = self._server.sockets[0].getsockname()
@@ -156,6 +175,7 @@ class IndependenceService:
 
     @property
     def port(self) -> int:
+        """The bound TCP port (valid once :meth:`start` returned)."""
         assert self._server is not None, "service not started"
         return self._server.sockets[0].getsockname()[1]
 
@@ -164,12 +184,14 @@ class IndependenceService:
         self._stopping.set()
 
     async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`stop`, then tear everything down."""
         assert self._server is not None, "service not started"
         async with self._server:
             await self._stopping.wait()
         await self.aclose()
 
     async def aclose(self) -> None:
+        """Close the front door, live connections, then backend state."""
         self._stopping.set()
         if self._server is not None:
             self._server.close()
@@ -181,14 +203,16 @@ class IndependenceService:
         if self._connections:
             await asyncio.gather(*self._connections,
                                  return_exceptions=True)
-        await self.batcher.drain()
-        self.batcher.close()
-        self.store.close()
+        await self._close_backend()
+
+    async def _close_backend(self) -> None:
+        """Release subclass-owned resources (overridden)."""
 
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """One task per client connection: frame lines, spawn dispatch."""
         self.stats.connections += 1
         self._connections.add(asyncio.current_task())
         write_lock = asyncio.Lock()
@@ -231,14 +255,17 @@ class IndependenceService:
 
     async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
                           write_lock: asyncio.Lock) -> None:
+        """Decode, dispatch, and answer one request line."""
         self.stats.requests += 1
         request_id = None
         try:
             request = decode_request(line)
             request_id = request.id
-            response = ok_response(
-                request_id, await self._dispatch(request)
-            )
+            result = await self._dispatch(request)
+            if result.get("ok") is False:
+                # A forwarded shard error: count it like a local one.
+                self.stats.errors += 1
+            response = ok_response(request_id, result)
         except ProtocolError as error:
             self.stats.errors += 1
             response = error_response(request_id, error.code, error.message)
@@ -261,6 +288,77 @@ class IndependenceService:
             pass
 
     async def _dispatch(self, request: Request) -> dict:
+        """Serve one decoded request (implemented by subclasses)."""
+        raise NotImplementedError
+
+
+class IndependenceService(JsonLinesFront):
+    """One unsharded service instance: registry + store + batcher + TCP.
+
+    Also the body of every shard worker process in the sharded
+    topology (a shard *is* an ordinary single-threaded service, plus a
+    ``doc_id_prefix`` so the router can route document ops to it).
+    """
+
+    #: op name -> handler method name; the dispatch table is built from
+    #: this mapping, and ``tests/docs/test_protocol_doc.py`` diffs its
+    #: keys against :data:`repro.serve.protocol.OPS`.
+    OP_HANDLERS = {
+        "ping": "_op_ping",
+        "schema.register": "_op_schema_register",
+        "schema.evict": "_op_schema_evict",
+        "schema.list": "_op_schema_list",
+        "analyze": "_op_analyze",
+        "matrix": "_op_matrix",
+        "schedule": "_op_schedule",
+        "doc.load": "_op_doc_load",
+        "doc.unload": "_op_doc_unload",
+        "view.register": "_op_view_register",
+        "view.result": "_op_view_result",
+        "update.apply": "_op_update_apply",
+        "stats": "_op_stats",
+        "shutdown": "_op_shutdown",
+    }
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        super().__init__(self.config.host, self.config.port)
+        self.store = VerdictStore(self.config.store_path)
+        self.registry = SchemaRegistry(
+            store=self.store,
+            max_schemas=self.config.max_schemas,
+            pair_cache_size=self.config.pair_cache_size,
+        )
+        self.batcher = MicroBatcher(
+            self.registry,
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            enabled=self.config.analysis_mode == "batched",
+        )
+        # LRU like the schema registry: loaded documents (tree + view
+        # materializations) are the service's largest per-tenant state
+        # and must not accumulate for its lifetime.
+        self._documents: OrderedDict[str, ViewCache] = OrderedDict()
+        self._next_doc = 0
+        self.document_evictions = 0
+        self._ops = {
+            op: getattr(self, method)
+            for op, method in self.OP_HANDLERS.items()
+        }
+        for name in self.config.preload:
+            self.registry.register_builtin(name)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def _close_backend(self) -> None:
+        """Drain the admission queue, stop the worker, close the store."""
+        await self.batcher.drain()
+        self.batcher.close()
+        self.store.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> dict:
         handler = self._ops.get(request.op)
         if handler is None:
             raise ProtocolError(UNKNOWN_OP, f"unknown op {request.op!r}")
@@ -277,15 +375,18 @@ class IndependenceService:
     # -- ops: basics ---------------------------------------------------------
 
     async def _op_ping(self, params: dict) -> dict:
+        """Liveness probe; carries no state."""
         return {"pong": True}
 
     async def _op_stats(self, params: dict) -> dict:
+        """Service counters: front door, registry, batcher, store."""
         # store.stats() scans the verdicts table; keep that off the
         # event loop so a monitoring poller can't stall live traffic.
         store_stats = await self._in_analysis_thread(self.store.stats)
-        return {
+        payload = {
             "uptime_seconds": time.perf_counter() - self.stats.started,
             "analysis_mode": self.config.analysis_mode,
+            "shards": 1,
             "connections": self.stats.connections,
             "requests": self.stats.requests,
             "errors": self.stats.errors,
@@ -296,8 +397,12 @@ class IndependenceService:
             "batcher": self.batcher.stats(),
             "store": store_stats,
         }
+        if self.config.shard_index is not None:
+            payload["shard_index"] = self.config.shard_index
+        return payload
 
     async def _op_shutdown(self, params: dict) -> dict:
+        """Stop serving (the response is written before teardown)."""
         # Respond first; serve_until_stopped tears the service down.
         asyncio.get_running_loop().call_soon(self.stop)
         return {"stopping": True}
@@ -305,6 +410,8 @@ class IndependenceService:
     # -- ops: schema registry ------------------------------------------------
 
     async def _op_schema_register(self, params: dict) -> dict:
+        """Register a builtin or ``<!ELEMENT ...>`` schema; returns its
+        digest (the canonical schema ref for later requests)."""
         name = params.get("name")
         if name is not None and not isinstance(name, str):
             raise ProtocolError(BAD_PARAMS, 'parameter "name" must be str')
@@ -333,23 +440,27 @@ class IndependenceService:
         }
 
     async def _op_schema_evict(self, params: dict) -> dict:
+        """Drop a schema's warm engine (verdicts stay in the store)."""
         return {
             "evicted": self.registry.evict(require(params, "schema"))
         }
 
     async def _op_schema_list(self, params: dict) -> dict:
+        """Describe every registered schema (digest, aliases, size)."""
         return {"schemas": self.registry.describe()}
 
     # -- ops: analysis -------------------------------------------------------
 
     @staticmethod
     def _optional_k(params: dict) -> int | None:
+        """Validate the optional explicit ``k`` override."""
         k = params.get("k")
         if k is not None and not isinstance(k, int):
             raise ProtocolError(BAD_PARAMS, 'parameter "k" must be int')
         return k
 
     async def _op_analyze(self, params: dict) -> dict:
+        """One independence verdict, via the admission queue."""
         schema_ref = require(params, "schema")
         query = require(params, "query")
         update = require(params, "update")
@@ -368,6 +479,7 @@ class IndependenceService:
         return verdict.as_dict()
 
     async def _op_matrix(self, params: dict) -> dict:
+        """A full queries x updates verdict grid in one round trip."""
         engine = self.registry.engine(require(params, "schema"))
         queries = require(params, "queries", list)
         updates = require(params, "updates", list)
@@ -391,6 +503,7 @@ class IndependenceService:
         }
 
     async def _op_schedule(self, params: dict) -> dict:
+        """Conflict-free execution waves for a mixed operation batch."""
         schema_ref = require(params, "schema")
         operations = require(params, "operations", list)
         schema = self.registry.schema(schema_ref)
@@ -423,6 +536,7 @@ class IndependenceService:
     # -- ops: view maintenance -----------------------------------------------
 
     def _document(self, params: dict) -> ViewCache:
+        """Resolve the ``doc`` param to a loaded document (LRU touch)."""
         doc_id = require(params, "doc")
         cache = self._documents.get(doc_id)
         if cache is None:
@@ -432,6 +546,7 @@ class IndependenceService:
         return cache
 
     async def _op_doc_load(self, params: dict) -> dict:
+        """Load (or generate) a document; returns its doc id."""
         schema_ref = require(params, "schema")
         schema = self.registry.schema(schema_ref)
         engine = self.registry.engine(schema_ref)
@@ -459,7 +574,9 @@ class IndependenceService:
                 lambda: generate_document(schema, target, seed=seed)
             )
         self._next_doc += 1
-        doc_id = f"d{self._next_doc}"
+        # The prefix namespaces ids per shard (``s<index>-d<n>``) so the
+        # sharded router can route later doc ops without shared state.
+        doc_id = f"{self.config.doc_id_prefix}d{self._next_doc}"
         self._documents[doc_id] = ViewCache(schema, tree, engine=engine)
         while len(self._documents) > self.config.max_documents:
             self._documents.popitem(last=False)
@@ -467,10 +584,12 @@ class IndependenceService:
         return {"doc": doc_id, "nodes": tree.size()}
 
     async def _op_doc_unload(self, params: dict) -> dict:
+        """Drop a loaded document (idempotent)."""
         doc_id = require(params, "doc")
         return {"unloaded": self._documents.pop(doc_id, None) is not None}
 
     async def _op_view_register(self, params: dict) -> dict:
+        """Materialize a named view over a loaded document."""
         cache = self._document(params)
         name = require(params, "name")
         query = require(params, "query")
@@ -487,6 +606,7 @@ class IndependenceService:
         return {"count": await self._in_analysis_thread(run)}
 
     async def _op_view_result(self, params: dict) -> dict:
+        """Current size of a materialized view."""
         cache = self._document(params)
         name = require(params, "name")
         if name not in cache.view_names():
@@ -495,6 +615,7 @@ class IndependenceService:
         return {"count": len(cache.result(name))}
 
     async def _op_update_apply(self, params: dict) -> dict:
+        """Apply an update; refresh only the views it may affect."""
         cache = self._document(params)
         update = require(params, "update")
 
@@ -517,9 +638,347 @@ class IndependenceService:
         }
 
 
+class ShardedService(JsonLinesFront):
+    """Schema-affinity router over a pool of shard worker processes.
+
+    The router owns no engines: it resolves each request's schema ref
+    to a content digest, hashes the digest onto the owning shard
+    (:func:`~repro.serve.sharding.shard_for`), and forwards the request
+    over that shard's pipelined :class:`~repro.serve.sharding.ShardLink`.
+    Verdicts are pure functions of ``(schema digest, k, query,
+    update)``, so any topology answers byte-identically -- the shard
+    count only decides how many cores analyze concurrently.
+
+    Reference resolution is stateless where possible (a 64-hex ref *is*
+    a digest; builtin names digest deterministically) plus a bounded
+    alias table mirrored from successful ``schema.register`` calls.
+    Document ids carry their shard (``s<index>-d<n>``), so document
+    operations route without any router-side document state.
+    """
+
+    #: op name -> routing class.  Diffed against
+    #: :data:`repro.serve.protocol.OPS` by the protocol-doc test so a
+    #: new op cannot silently bypass the router.
+    ROUTING = {
+        "ping": "local",
+        "analyze": "schema",
+        "matrix": "schema",
+        "schedule": "schema",
+        "schema.register": "register",
+        "schema.evict": "evict",
+        "schema.list": "fanout",
+        "doc.load": "schema",
+        "doc.unload": "doc",
+        "view.register": "doc",
+        "view.result": "doc",
+        "update.apply": "doc",
+        "stats": "fanout",
+        "shutdown": "local",
+    }
+
+    #: Floor for the router's alias and registration-digest tables;
+    #: the effective bound scales with the pool's registry capacity
+    #: (``max_schemas`` per shard) so the router cannot forget names
+    #: its shards still hold.
+    MAX_ALIASES = 4096
+
+    def __init__(self, config: ServeConfig):
+        super().__init__(config.host, config.port)
+        self.config = config
+        self.max_aliases = max(
+            self.MAX_ALIASES, config.max_schemas * config.shards
+        )
+        self._handles: list = []
+        self._links: list[ShardLink] = []
+        self._shards_closed = False
+        # name -> digest, mirrored from successful registrations (and
+        # preloads); bounded so hostile clients cannot grow the router.
+        self._aliases: OrderedDict[str, str] = OrderedDict()
+        # (root, dtd text) digest memo so re-registrations skip the
+        # router-side DTD parse.
+        self._text_digests: OrderedDict[tuple[str, str], str] = (
+            OrderedDict()
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Spawn and connect the shard pool, then open the front door."""
+        loop = asyncio.get_running_loop()
+        self._handles = await loop.run_in_executor(
+            None, spawn_shards, self.config, self.config.shards
+        )
+        try:
+            for handle in self._handles:
+                link = ShardLink(handle.index, handle.host, handle.port)
+                await link.connect()
+                self._links.append(link)
+            for name in self.config.preload:
+                self._remember_alias(name, builtin_digest(name))
+            return await super().start()
+        except BaseException:
+            await self._close_backend()
+            raise
+
+    async def _close_backend(self) -> None:
+        """Shut down every shard worker and reap the processes."""
+        if self._shards_closed:
+            return
+        self._shards_closed = True
+        for link in self._links:
+            try:
+                await asyncio.wait_for(link.call("shutdown", {}),
+                                       timeout=5.0)
+            except (TimeoutError, ConnectionError, AssertionError):
+                pass
+            await link.aclose()
+        if self._handles:
+            await asyncio.get_running_loop().run_in_executor(
+                None, join_shards, self._handles
+            )
+
+    # -- routing -------------------------------------------------------------
+
+    def _remember_alias(self, name: str, digest: str) -> None:
+        self._aliases[name] = digest
+        self._aliases.move_to_end(name)
+        while len(self._aliases) > self.max_aliases:
+            self._aliases.popitem(last=False)
+
+    def _route_digest(self, ref: str) -> str:
+        """Schema ref -> content digest, without asking any shard.
+
+        Raises :class:`UnknownSchemaError` when the ref is neither a
+        known alias, a builtin name, nor a literal digest.
+        """
+        digest = self._aliases.get(ref)
+        if digest is not None:
+            self._aliases.move_to_end(ref)
+            return digest
+        if ref in BUILTIN_SCHEMAS:
+            return builtin_digest(ref)
+        if DIGEST_RE.fullmatch(ref):
+            return ref
+        raise UnknownSchemaError(ref)
+
+    def _link_for_digest(self, digest: str) -> ShardLink:
+        return self._links[shard_for(digest, self.config.shards)]
+
+    def _link_for_doc(self, doc_id: str) -> ShardLink:
+        """Doc id -> owning shard, parsed from the ``s<index>-`` prefix."""
+        if doc_id.startswith("s"):
+            index, dash, _ = doc_id[1:].partition("-")
+            if dash and index.isdigit() and \
+                    int(index) < self.config.shards:
+                return self._links[int(index)]
+        raise ProtocolError(UNKNOWN_DOC,
+                            f"document not loaded: {doc_id!r}")
+
+    @staticmethod
+    def _payload(response: dict) -> dict:
+        """A forwarded response minus the shard-internal ``id``."""
+        return {key: value for key, value in response.items()
+                if key != "id"}
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> dict:
+        routing = self.ROUTING.get(request.op)
+        if routing is None:
+            raise ProtocolError(UNKNOWN_OP,
+                                f"unknown op {request.op!r}")
+        self.stats.ops[request.op] = \
+            self.stats.ops.get(request.op, 0) + 1
+        params = request.params
+        if routing == "local":
+            if request.op == "ping":
+                return {"pong": True}
+            return await self._op_shutdown(params)
+        if routing == "schema":
+            digest = self._route_digest(require(params, "schema"))
+            link = self._link_for_digest(digest)
+            return self._payload(await link.call(request.op, params))
+        if routing == "doc":
+            link = self._link_for_doc(require(params, "doc"))
+            return self._payload(await link.call(request.op, params))
+        if routing == "register":
+            return await self._op_schema_register(params)
+        if routing == "evict":
+            return await self._op_schema_evict(params)
+        if request.op == "stats":
+            return await self._op_stats(params)
+        return await self._op_schema_list(params)
+
+    # -- ops -----------------------------------------------------------------
+
+    async def _op_shutdown(self, params: dict) -> dict:
+        """Stop the router; shards are shut down during teardown."""
+        asyncio.get_running_loop().call_soon(self.stop)
+        return {"stopping": True}
+
+    async def _op_schema_register(self, params: dict) -> dict:
+        """Digest the schema router-side, then register on its owner."""
+        name = params.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError(BAD_PARAMS,
+                                'parameter "name" must be str')
+        if "builtin" in params:
+            builtin = require(params, "builtin")
+            digest = builtin_digest(builtin)  # raises UnknownSchemaError
+        else:
+            root = require(params, "root")
+            dtd_text = require(params, "dtd")
+            digest = self._text_digests.get((root, dtd_text))
+            if digest is None:
+                try:
+                    digest = schema_digest(
+                        DTD.from_dtd_text(root, dtd_text)
+                    )
+                except Exception as error:
+                    raise ProtocolError(
+                        BAD_PARAMS, f"unparsable DTD: {error}"
+                    ) from error
+                self._text_digests[(root, dtd_text)] = digest
+                while len(self._text_digests) > self.MAX_ALIASES:
+                    self._text_digests.popitem(last=False)
+        link = self._link_for_digest(digest)
+        response = await link.call("schema.register", params)
+        if response.get("ok"):
+            if "builtin" in params:
+                self._remember_alias(params["builtin"], digest)
+            if name:
+                self._remember_alias(name, digest)
+        return self._payload(response)
+
+    async def _op_schema_evict(self, params: dict) -> dict:
+        """Evict on the owning shard; unknown refs evict nothing."""
+        ref = require(params, "schema")
+        try:
+            digest = self._route_digest(ref)
+        except UnknownSchemaError:
+            return {"evicted": False}
+        link = self._link_for_digest(digest)
+        response = await link.call("schema.evict", params)
+        if response.get("ok") and response.get("evicted") and \
+                self._aliases.get(ref) == digest:
+            del self._aliases[ref]
+        return self._payload(response)
+
+    async def _fanout(self, op: str) -> list[dict]:
+        """One call per shard, concurrently; raises on any failure."""
+        responses = await asyncio.gather(
+            *(link.call(op, {}) for link in self._links)
+        )
+        for link, response in zip(self._links, responses):
+            if not response.get("ok"):
+                raise ProtocolError(
+                    INTERNAL,
+                    f"shard {link.index} failed {op!r}: "
+                    f"{response.get('error')}",
+                )
+        return [self._payload(response) for response in responses]
+
+    async def _op_schema_list(self, params: dict) -> dict:
+        """Union of every shard's registered schemas."""
+        payloads = await self._fanout("schema.list")
+        schemas = []
+        for shard_payload in payloads:
+            schemas.extend(shard_payload["schemas"])
+        return {"schemas": schemas}
+
+    #: Batcher counters summed across shards in aggregated ``/stats``.
+    _BATCHER_SUMMED = ("requests", "batches", "coalesced_requests",
+                       "matrix_pairs", "sparse_batches",
+                       "fallback_singles")
+    #: Registry counters summed across shards.
+    _REGISTRY_SUMMED = ("schemas", "registrations", "evictions",
+                        "explicit_evictions")
+
+    async def _op_stats(self, params: dict) -> dict:
+        """Aggregated service counters plus the raw per-shard payloads.
+
+        Top-level keys mirror the unsharded ``stats`` payload (so
+        monitoring and the load generator work unchanged): batcher and
+        registry counters are summed across shards, per-engine stats
+        merge collision-free (affinity routing puts each digest on
+        exactly one shard), and the store verdict count is the shared
+        file's.  ``per_shard`` carries each worker's full payload,
+        annotated with the router's per-shard routing counter.
+        """
+        payloads = await self._fanout("stats")
+        per_shard = []
+        for link, shard_payload in zip(self._links, payloads):
+            shard_payload = dict(shard_payload)
+            shard_payload.pop("ok", None)
+            shard_payload["shard"] = link.index
+            shard_payload["routed"] = link.routed
+            per_shard.append(shard_payload)
+        batcher = {
+            "enabled": self.config.analysis_mode == "batched",
+            "window_seconds": self.config.batch_window,
+            "max_batch": self.config.max_batch,
+            "max_batch_size": max(
+                (p["batcher"]["max_batch_size"] for p in per_shard),
+                default=0,
+            ),
+        }
+        for key in self._BATCHER_SUMMED:
+            batcher[key] = sum(p["batcher"][key] for p in per_shard)
+        registry = {
+            "max_schemas": self.config.max_schemas,
+            "engines": {},
+        }
+        for key in self._REGISTRY_SUMMED:
+            registry[key] = sum(p["registry"][key] for p in per_shard)
+        for shard_payload in per_shard:
+            registry["engines"].update(
+                shard_payload["registry"]["engines"]
+            )
+        return {
+            "uptime_seconds": time.perf_counter() - self.stats.started,
+            "analysis_mode": self.config.analysis_mode,
+            "shards": self.config.shards,
+            "connections": self.stats.connections,
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "ops": dict(self.stats.ops),
+            "documents": sum(p["documents"] for p in per_shard),
+            "document_evictions": sum(
+                p["document_evictions"] for p in per_shard
+            ),
+            "registry": registry,
+            "batcher": batcher,
+            "store": {
+                "path": self.config.store_path,
+                # One shared file: every shard reports the same count
+                # (take max to tolerate snapshot skew).  In-memory
+                # stores are private per worker and disjoint under
+                # affinity routing, so the true total is the sum.
+                "verdicts": (
+                    sum(p["store"]["verdicts"] for p in per_shard)
+                    if self.config.store_path == ":memory:"
+                    else max(
+                        (p["store"]["verdicts"] for p in per_shard),
+                        default=0,
+                    )
+                ),
+            },
+            "per_shard": per_shard,
+        }
+
+
+def make_service(
+    config: ServeConfig,
+) -> IndependenceService | ShardedService:
+    """The service topology ``config`` asks for (``shards`` decides)."""
+    if config.shards > 1:
+        return ShardedService(config)
+    return IndependenceService(config)
+
+
 async def run_service(config: ServeConfig, ready=None) -> None:
     """Start a service and block until a ``shutdown`` op (CLI body)."""
-    service = IndependenceService(config)
+    service = make_service(config)
     host, port = await service.start()
     if ready is not None:
         ready(service, host, port)

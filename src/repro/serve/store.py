@@ -55,8 +55,16 @@ class VerdictStore:
         self._closed = False
         with self._lock:
             if path != ":memory:":
-                # WAL keeps readers unblocked and makes group commit cheap.
+                # WAL keeps readers unblocked and makes group commit
+                # cheap; it also supports writers in *separate
+                # processes*, which is what lets every shard of a
+                # sharded service share one store file.  A shard
+                # holding a deferred() group-commit transaction briefly
+                # blocks other shards' commits, so give the write lock
+                # a generous wait instead of surfacing SQLITE_BUSY.
                 self._connection.execute("PRAGMA journal_mode=WAL")
+                self._connection.execute("PRAGMA busy_timeout=10000")
+                self._connection.execute("PRAGMA synchronous=NORMAL")
             self._connection.execute(_SCHEMA)
             self._connection.commit()
 
@@ -64,6 +72,7 @@ class VerdictStore:
 
     def get(self, schema_digest: str, k: int, query_digest: str,
             update_digest: str) -> PairVerdict | None:
+        """The stored verdict for one pair key, or ``None``."""
         with self._lock:
             row = self._connection.execute(
                 "SELECT independent, k_query, k_update FROM verdicts"
@@ -84,6 +93,7 @@ class VerdictStore:
 
     def put(self, schema_digest: str, k: int, query_digest: str,
             update_digest: str, verdict: PairVerdict) -> None:
+        """Write one verdict through (committed unless deferred)."""
         with self._lock:
             self._connection.execute(
                 "INSERT OR REPLACE INTO verdicts VALUES (?,?,?,?,?,?,?)",
@@ -114,6 +124,7 @@ class VerdictStore:
                     self._connection.commit()
 
     def count(self, schema_digest: str | None = None) -> int:
+        """Stored verdicts, optionally restricted to one schema."""
         with self._lock:
             if schema_digest is None:
                 row = self._connection.execute(
@@ -127,9 +138,11 @@ class VerdictStore:
         return row[0]
 
     def stats(self) -> dict:
+        """Path and size (the ``/stats`` store section)."""
         return {"path": self.path, "verdicts": self.count()}
 
     def close(self) -> None:
+        """Commit and close the connection (idempotent)."""
         with self._lock:
             if self._closed:
                 return

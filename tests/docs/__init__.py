@@ -1,0 +1,1 @@
+"""Documentation-enforcement tests: the docs cannot rot silently."""

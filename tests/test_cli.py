@@ -161,3 +161,86 @@ class TestExplainModule:
                        "delete /descendant::node()",
                        recursive_schema(5))
         assert "DEPENDENT" in text
+
+
+class TestParserMatchesConfigs:
+    """Argparse smoke tests: the CLI surface cannot drift from the
+    serve/loadgen config dataclasses or from its own help text."""
+
+    def test_serve_defaults_match_serveconfig(self):
+        from repro.cli import build_parser
+        from repro.serve.server import ServeConfig
+
+        args = build_parser().parse_args(["serve"])
+        config = ServeConfig()
+        assert args.host == config.host
+        assert args.port == config.port
+        assert args.store == config.store_path
+        assert args.window / 1e3 == config.batch_window
+        assert args.max_batch == config.max_batch
+        assert args.mode == config.analysis_mode
+        assert args.max_schemas == config.max_schemas
+        assert args.max_documents == config.max_documents
+        assert args.pair_cache == config.pair_cache_size
+        assert args.shards == config.shards
+
+    def test_loadgen_defaults_match_loadgenconfig(self):
+        from repro.cli import build_parser
+        from repro.serve.loadgen import LoadgenConfig
+
+        args = build_parser().parse_args(["loadgen"])
+        config = LoadgenConfig()
+        assert args.host == config.host
+        assert args.port == config.port
+        # --schema unset falls through to LoadgenConfig's own default
+        # (the CLI never hardcodes a schema name).
+        assert args.schema is None
+        assert args.source == config.source
+        assert args.queries == config.n_queries
+        assert args.updates == config.n_updates
+        assert args.clients == config.clients
+        assert args.requests == config.requests
+        assert args.seed == config.seed
+        assert args.shards is None
+
+    def test_serve_help_quotes_real_defaults(self):
+        """The epilog and flag help must carry the live default values
+        (the PR 3 -> PR 4 drift this guards against)."""
+        from repro.cli import build_parser
+        from repro.serve.server import ServeConfig
+
+        parser = build_parser()
+        serve_parser = parser._subparsers._group_actions[0] \
+            .choices["serve"]
+        text = serve_parser.format_help()
+        config = ServeConfig()
+        assert f"max-documents {config.max_documents}" in text
+        assert f"max-batch {config.max_batch}" in text
+        assert f"shards {config.shards}" in text
+        assert "docs/PROTOCOL.md" in text
+
+    def test_loadgen_expect_coalescing_semantics_documented(self):
+        """--expect-coalescing requires coalesced_requests > 0, not
+        just batches > 0; the help text must say so."""
+        from repro.cli import build_parser
+
+        loadgen_parser = build_parser()._subparsers \
+            ._group_actions[0].choices["loadgen"]
+        text = loadgen_parser.format_help()
+        assert "coalesced_requests" in text
+        assert "batches > 0" in text
+
+    def test_loadgen_schema_repeatable(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["loadgen", "--schema", "xmark", "--schema", "gen:11"]
+        )
+        assert args.schema == ["xmark", "gen:11"]
+
+    def test_serve_bench_shard_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve-bench", "--shards", "3"])
+        assert args.shards == 3
+        assert build_parser().parse_args(["serve-bench"]).shards == 2
