@@ -1,0 +1,67 @@
+"""Acceptance gate for the indexed document store (ISSUE 5).
+
+On a generated ~100k-node XMark document:
+
+* indexed and indexed+projected evaluation answers are byte-identical
+  to dict-store evaluation for the whole bench query pool;
+* projected loads keep <= 25% of nodes for the chain-selective
+  queries (projection pushdown actually pays);
+* accelerated descendant-axis queries beat the dict-store walk by
+  >= 3x.
+
+The committed ``BENCH_docstore.json`` trajectory records the same
+numbers over time (``repro docstore-bench --json BENCH_docstore.json``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.docstore_bench import run_docstore_bench
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_docstore_bench(target_bytes=4_500_000, seed=7,
+                              repeats=3, out=None)
+
+
+def test_document_is_benchmark_scale(results):
+    assert results["nodes"] >= 80_000, (
+        f"bench document shrank to {results['nodes']} nodes"
+    )
+
+
+def test_answers_byte_identical(results):
+    differing = [q["name"] for q in results["queries"]
+                 if not q["answers_identical"]]
+    assert results["answers_identical"], (
+        f"indexed/projected answers differ from dict store: {differing}"
+    )
+
+
+def test_projection_keeps_at_most_quarter(results):
+    ratios = {q["name"]: round(q["kept_ratio"], 4)
+              for q in results["queries"] if "selective" in q["kinds"]}
+    assert results["max_selective_kept_ratio"] <= 0.25, ratios
+
+
+def test_descendant_axis_at_least_3x(results):
+    speedups = {q["name"]: round(q["speedup"], 1)
+                for q in results["queries"]
+                if "descendant" in q["kinds"]}
+    assert results["min_descendant_speedup"] >= 3.0, speedups
+
+
+def test_trajectory_point_committed():
+    path = ROOT / "BENCH_docstore.json"
+    assert path.is_file(), "BENCH_docstore.json not committed"
+    data = json.loads(path.read_text())
+    assert data["points"], "trajectory has no points"
+    first = data["points"][0]
+    assert first["answers_identical"] is True
+    assert first["min_descendant_speedup"] >= 3.0
+    assert first["max_selective_kept_ratio"] <= 0.25

@@ -15,7 +15,7 @@ useful on its own to cut memory for repeated evaluation of a fixed query.
 from __future__ import annotations
 
 from ..schema.dtd import DTD
-from ..xmldm.projection import project
+from ..xmldm.projection import ChainKeep, keep_set_for_chains, project
 from ..xmldm.store import Location, Tree
 from ..xquery.ast import ROOT_VAR, Query
 from ..xquery.parser import parse_query
@@ -41,16 +41,27 @@ def _component_chain_index(
     return chains, False
 
 
-def projection_locations(
-    tree: Tree, chains: QueryChains, limit: int = 200_000
-) -> set[Location] | None:
-    """Locations of ``tree`` covered by the query's chains.
+def chain_keep_for_chains(
+    chains: QueryChains, limit: int = 200_000,
+    depth_cap: int | None = None,
+) -> ChainKeep | None:
+    """The :class:`ChainKeep` spec of an inferred ``(r; v; e)`` triple.
 
-    Return-chain locations keep their whole subtrees (a return node
-    embodies its descendants -- Section 3); used-chain locations keep
-    just themselves (ancestors are added by the projection's upward
-    closure).  Returns None when the chain sets are too large to
-    enumerate -- the caller should skip projecting.
+    Return-chain hits keep their whole subtrees (a return node embodies
+    its descendants -- Section 3); used-chain hits keep just themselves
+    (ancestors come from the projection's upward closure).  Returns
+    None when the chain sets are too large to enumerate -- callers must
+    then keep everything (sound fallback).
+
+    ``depth_cap`` is the universe's maximum chain length, recorded on
+    the spec as its truncation depth: on a recursive schema a valid
+    document may nest past the cap, where the capped universe saw
+    nothing -- no inferred chain, no productivity verdict -- so any
+    still-viable path reaching that depth must keep its whole subtree.
+    Without this the projection silently drops the deepest nodes
+    (found by the docstore bench: a ~100k-node XMark document nests
+    ``parlist``/``listitem`` recursion past the cap, and the projected
+    ``//text()`` answer lost exactly the depth-13 text nodes).
     """
     return_chains, blown = _component_chain_index(chains.returns, limit)
     if blown:
@@ -58,17 +69,86 @@ def projection_locations(
     used_chains, blown = _component_chain_index(chains.used, limit)
     if blown:
         return None
+    return ChainKeep.from_chains(return_chains, used_chains,
+                                 truncation=depth_cap)
 
-    keep: set[Location] = set()
-    store = tree.store
-    for loc in store.descendants_or_self(tree.root):
-        node_chain = store.node_chain(loc)
-        if node_chain in used_chains:
-            keep.add(loc)
-        if node_chain in return_chains:
-            keep.add(loc)
-            keep.update(store.descendants(loc))
+
+def chain_keep_for_query(
+    query: Query | str,
+    schema: DTD | None = None,
+    k: int | None = None,
+    engine=None,
+    limit: int = 200_000,
+) -> ChainKeep | None:
+    """Infer a query's chains and turn them into a :class:`ChainKeep`.
+
+    This is the entry point of the *projection pushdown* path: the
+    returned spec drives :func:`repro.docstore.streamload.load_xml` so
+    a document is projected onto ``t|L`` while parsing (Theorem 3.2
+    licenses evaluating on the projection).  With ``engine`` (a
+    :class:`repro.analysis.engine.AnalysisEngine`) the inference is
+    served from the engine's chain caches; otherwise ``schema`` is
+    required and a throwaway universe is built.  Returns None when the
+    chain sets are too large to enumerate (callers load unprojected).
+    """
+    if engine is not None:
+        if k is None:
+            k = max(1, engine.query_multiplicity(query))
+        chains = engine.query_chains(query, k)
+        depth_cap = engine.state(k).depth_cap
+    else:
+        if schema is None:
+            raise ValueError("chain_keep_for_query needs schema or engine")
+        if isinstance(query, str):
+            query = parse_query(query)
+        if k is None:
+            k = max(1, multiplicity(query))
+        universe = build_universe(schema, k)
+        chains = QueryInference(universe).infer_root(query, ROOT_VAR)
+        depth_cap = universe.depth_cap
+    return chain_keep_for_chains(chains, limit, depth_cap=depth_cap)
+
+
+def chain_keep_for_queries(
+    queries,
+    schema: DTD | None = None,
+    engine=None,
+    limit: int = 200_000,
+) -> ChainKeep | None:
+    """The union :class:`ChainKeep` of several queries' chains.
+
+    The one implementation behind every "project for these queries"
+    entry point (``doc.load project_for``, ``repro load --project``).
+    Returns None when ``queries`` is empty or any query's chain sets
+    are too large to enumerate -- the sound fallback is loading
+    everything.  Parse errors propagate to the caller.
+    """
+    keep: ChainKeep | None = None
+    for query in queries:
+        one = chain_keep_for_query(query, schema=schema, engine=engine,
+                                   limit=limit)
+        if one is None:
+            return None
+        keep = one if keep is None else keep.union(one)
     return keep
+
+
+def projection_locations(
+    tree: Tree, chains: QueryChains, limit: int = 200_000,
+    depth_cap: int | None = None,
+) -> set[Location] | None:
+    """Locations of ``tree`` covered by the query's chains.
+
+    A thin composition of :func:`chain_keep_for_chains` and
+    :func:`repro.xmldm.projection.keep_set_for_chains` -- the same two
+    halves the streaming projected loader uses, so the materialized and
+    streaming paths cannot diverge.  Returns None when the chain sets
+    are too large to enumerate -- the caller should skip projecting.
+    """
+    keep = chain_keep_for_chains(chains, limit, depth_cap=depth_cap)
+    if keep is None:
+        return None
+    return keep_set_for_chains(tree, keep)
 
 
 def project_for_query(
@@ -103,7 +183,9 @@ def project_for_query(
     else:
         inference = QueryInference(build_universe(schema, k))
     chains = inference.infer_root(query, ROOT_VAR)
-    keep = projection_locations(tree, chains)
+    keep = projection_locations(
+        tree, chains, depth_cap=inference.universe.depth_cap
+    )
     if keep is None:
         return tree
     return project(tree, keep)

@@ -8,7 +8,11 @@ Subcommands::
     python -m repro generate --dtd schema.dtd --root site --bytes 10000 \\
         [--seed 7] [--out doc.xml]
     python -m repro infer-dtd doc1.xml doc2.xml ...
+    python -m repro load document.xml --builtin xmark \\
+        [--project '//title' ...] [--docstore docs.sqlite --doc ID]
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
+    python -m repro docstore-bench [--bytes N] [--seed S] \\
+        [--json BENCH_docstore.json]
     python -m repro bench-batch [--queries N] [--updates N] \\
         [--processes N]
     python -m repro fuzz [--count N] [--seed S] [--max-tags N] \\
@@ -136,6 +140,51 @@ def _cmd_infer_dtd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.project import chain_keep_for_queries
+    from .docstore.backend import DocumentBackend
+    from .docstore.streamload import load_path
+
+    schema = _load_schema(args)
+    keep = None
+    if args.project:
+        keep = chain_keep_for_queries(args.project, schema)
+        if keep is None:
+            print("warning: inferred chains too large to enumerate; "
+                  "loading unprojected")
+    started = time.perf_counter()
+    result = load_path(args.document, keep=keep)
+    seconds = time.perf_counter() - started
+    print(f"loaded {args.document}: kept {result.nodes_kept:,}/"
+          f"{result.nodes_seen:,} nodes ({result.kept_ratio:.1%}), "
+          f"skipped {result.subtrees_skipped:,} subtrees, "
+          f"{seconds * 1e3:.1f} ms"
+          + (" [projected]" if keep is not None else ""))
+    if args.docstore:
+        from .analysis.engine import schema_digest
+
+        doc_id = args.doc or args.document
+        with DocumentBackend(args.docstore) as backend:
+            rows = backend.save(
+                doc_id, result.tree, schema_digest(schema),
+                nodes_seen=result.nodes_seen,
+                subtrees_skipped=result.subtrees_skipped,
+                # Same meta shape as the server's doc.load persistence:
+                # recording project_for lets a later served reload
+                # check that its queries are covered by the projection.
+                meta={
+                    "projected": keep is not None,
+                    "project_for": list(args.project)
+                    if keep is not None else None,
+                },
+            )
+        print(f"persisted {rows:,} node rows as {doc_id!r} "
+              f"in {args.docstore}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.harness import main as harness_main
 
@@ -151,6 +200,21 @@ def _cmd_bench_batch(args: argparse.Namespace) -> int:
         processes=args.processes,
     )
     return 0 if results["verdicts_equal"] else 1
+
+
+def _cmd_docstore_bench(args: argparse.Namespace) -> int:
+    from .bench.docstore_bench import (
+        append_trajectory_point,
+        run_docstore_bench,
+    )
+
+    results = run_docstore_bench(
+        target_bytes=args.bytes, seed=args.seed, repeats=args.repeats
+    )
+    if args.json:
+        append_trajectory_point(args.json, results)
+        print(f"appended trajectory point to {args.json}")
+    return 0 if results["answers_identical"] else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -196,6 +260,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         store_path=args.store,
+        doc_store_path=args.doc_store,
         batch_window=args.window / 1e3,
         max_batch=args.max_batch,
         analysis_mode=args.mode,
@@ -339,6 +404,25 @@ def build_parser() -> argparse.ArgumentParser:
     infer_cmd.add_argument("documents", nargs="+")
     infer_cmd.set_defaults(func=_cmd_infer_dtd)
 
+    load_cmd = commands.add_parser(
+        "load",
+        help="stream a document into the indexed store, optionally "
+             "projected onto the chains of the queries that will run",
+    )
+    _add_schema_options(load_cmd)
+    load_cmd.add_argument("document", help="XML file to load")
+    load_cmd.add_argument("--project", action="append", default=[],
+                          help="query whose inferred chains drive "
+                               "projection pushdown (repeatable; the "
+                               "union of chains is kept)")
+    load_cmd.add_argument("--docstore",
+                          help="persist the node table into this "
+                               "SQLite document store")
+    load_cmd.add_argument("--doc",
+                          help="document id in the store (default: "
+                               "the file path)")
+    load_cmd.set_defaults(func=_cmd_load)
+
     bench_cmd = commands.add_parser(
         "bench", help="regenerate a Figure 3 panel"
     )
@@ -358,6 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--processes", type=int, default=None,
                            help="also time a process-pool fan-out")
     batch_cmd.set_defaults(func=_cmd_bench_batch)
+
+    docstore_bench_cmd = commands.add_parser(
+        "docstore-bench",
+        help="docstore acceptance numbers: dict store vs indexed vs "
+             "indexed+projected on a generated ~100k-node document",
+    )
+    docstore_bench_cmd.add_argument(
+        "--bytes", type=int, default=4_500_000,
+        help="generator byte budget (~100k parsed nodes)")
+    docstore_bench_cmd.add_argument("--seed", type=int, default=7)
+    docstore_bench_cmd.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per query (median reported)")
+    docstore_bench_cmd.add_argument(
+        "--json",
+        help="append a trajectory point to this file "
+             "(BENCH_docstore.json)")
+    docstore_bench_cmd.set_defaults(func=_cmd_docstore_bench)
 
     fuzz_cmd = commands.add_parser(
         "fuzz",
@@ -422,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="SQLite verdict store path "
                                 "(default: in-memory; with --shards, "
                                 "a file is shared by all shards)")
+    serve_cmd.add_argument("--doc-store",
+                           default=serve_defaults.doc_store_path,
+                           help="SQLite document store path: loaded "
+                                "documents persist as node tables and "
+                                "survive restarts without a re-parse "
+                                "(default: disabled)")
     serve_cmd.add_argument("--window", type=float,
                            default=serve_defaults.batch_window * 1e3,
                            help="micro-batch admission window, ms")

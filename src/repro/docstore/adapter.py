@@ -1,0 +1,77 @@
+"""Migration and update glue between dict-store and indexed trees.
+
+The evaluators are duck-typed over the store interface, so an
+:class:`~repro.docstore.encode.IndexedTree` drops into the query
+evaluator, the update pipeline, and view maintenance unchanged.  This
+module provides the explicit conversions plus
+:func:`apply_update_indexed`, which applies a PUL against an indexed
+tree and immediately re-encodes the touched spans (the lazy default
+defers that to the next accelerated read).
+"""
+
+from __future__ import annotations
+
+from ..xmldm.store import Store, Tree
+from ..xquery.ast import ROOT_VAR
+from ..xupdate.ast import Update
+from ..xupdate.evaluator import apply_update
+from ..xupdate.parser import parse_update
+from ..xupdate.pul import Command
+from .encode import IndexedStoreBuilder, IndexedTree
+
+
+def to_indexed(tree: Tree) -> IndexedTree:
+    """Encode a dict-store tree into an :class:`IndexedTree`.
+
+    One pre-order pass through the shared builder; the source tree is
+    not modified.
+    """
+    builder = IndexedStoreBuilder()
+    store = tree.store
+    stack: list[tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        loc, closing = stack.pop()
+        if closing:
+            builder.end_element()
+            continue
+        if store.is_text(loc):
+            builder.text(store.text(loc))
+            continue
+        builder.start_element(store.tag(loc))
+        stack.append((loc, True))
+        for child in reversed(store.children(loc)):
+            stack.append((child, False))
+    return builder.finish()
+
+
+def to_tree(tree: IndexedTree) -> Tree:
+    """Materialize an indexed tree as a Section-2 dict-store tree."""
+    store = Store()
+    source = tree.store
+    mapping: dict[int, int] = {}
+    order = list(source.descendants_or_self(tree.root))
+    for loc in reversed(order):  # children before parents
+        if source.is_text(loc):
+            mapping[loc] = store.new_text(source.text(loc))
+        else:
+            mapping[loc] = store.new_element(
+                source.tag(loc),
+                [mapping[child] for child in source.children(loc)],
+            )
+    return Tree(store, mapping[tree.root])
+
+
+def apply_update_indexed(update: Update | str, tree: IndexedTree
+                         ) -> list[Command]:
+    """Apply an update to an indexed tree, re-encoding touched spans.
+
+    Equivalent to ``apply_update`` + an eager
+    :meth:`~repro.docstore.encode.IndexedStore.reencode`; returns the
+    applied UPL like the dict-store path does.
+    """
+    if isinstance(update, str):
+        update = parse_update(update)
+    commands = apply_update(update, tree.store,
+                            {ROOT_VAR: [tree.root]})
+    tree.store.reencode()
+    return commands

@@ -1,0 +1,145 @@
+"""Per-axis accelerators over the interval encoding.
+
+Every XPath axis of the fragment becomes array work on an
+:class:`~repro.docstore.encode.IndexedStore` (the shape pioneered by
+the XPath-accelerator encodings: each axis is a region of the pre/post
+plane, here expressed through ``pre``/``size`` intervals):
+
+=================== =====================================================
+axis                accelerated form
+=================== =====================================================
+descendant(-or-self) the ``order`` slice ``(pre, pre + size)``; with a
+                     name/text test, two bisects in the per-tag rank
+                     index instead of visiting the span at all
+child                the materialized child list, filtered inline
+following-sibling /  a slice of the parent's child list
+preceding-sibling
+parent / ancestor    ``parent`` pointer chases (root-first for ancestor,
+                     matching the generic evaluator's document order)
+self                 an inline test
+=================== =====================================================
+
+The evaluator calls :func:`axis_step` through the store's
+``axis_step`` method for *every* step over an indexed store and falls
+back to the generic walk whenever this module returns None (unencoded
+location, foreign store).  Results are guaranteed to equal the generic
+evaluator's output, order included -- pinned by the axis-parity tests.
+"""
+
+from __future__ import annotations
+
+from ..xquery.ast import (
+    Axis,
+    NameTest,
+    NodeKindTest,
+    NodeTest,
+    TextTest,
+    WildcardTest,
+)
+from .encode import UNENCODED, IndexedStore, Location
+
+
+def _matches(store: IndexedStore, test: NodeTest, loc: Location) -> bool:
+    tag = store._tags[loc]
+    if isinstance(test, NameTest):
+        return tag == test.name
+    if isinstance(test, TextTest):
+        return tag is None
+    if isinstance(test, NodeKindTest):
+        return True
+    if isinstance(test, WildcardTest):
+        return tag is not None
+    raise ValueError(f"unknown node test {test!r}")
+
+
+def _span_nodes(store: IndexedStore, test: NodeTest, lo: int, hi: int
+                ) -> list[Location]:
+    """Matching locations with pre rank in ``[lo, hi)``, document order."""
+    order = store._order
+    if isinstance(test, NameTest):
+        return [order[rank]
+                for rank in store.tag_ranks_in(test.name, lo, hi)]
+    if isinstance(test, TextTest):
+        return [order[rank] for rank in store.text_ranks_in(lo, hi)]
+    if isinstance(test, NodeKindTest):
+        return order[lo:hi]
+    if isinstance(test, WildcardTest):
+        tags = store._tags
+        return [loc for loc in order[lo:hi] if tags[loc] is not None]
+    raise ValueError(f"unknown node test {test!r}")
+
+
+def descendant_child_step(store: IndexedStore, test: NodeTest,
+                          loc: Location) -> list[Location] | None:
+    """Accelerated ``descendant-or-self::node()/child::test`` from ``loc``.
+
+    This is the shape the parser desugars ``//test`` into, and its
+    output order is *not* document order: the outer loop visits the
+    subtree in pre-order and concatenates each node's matching
+    children, so a node's grandchildren come after all its children.
+    The accelerated form selects the k matching strict descendants via
+    the rank index and restores exactly that order with one stable sort
+    on the parent's pre rank -- O(k log k) instead of visiting the
+    whole span.
+    """
+    store.reencode()
+    if not 0 <= loc < len(store._tags):
+        return None
+    rank = store._pre[loc]
+    if rank == UNENCODED:
+        return None
+    matches = _span_nodes(store, test, rank + 1, rank + store._size[loc])
+    pre, parent = store._pre, store._parent
+    matches.sort(key=lambda m: pre[parent[m]])
+    return matches
+
+
+def axis_step(store: IndexedStore, axis: Axis, test: NodeTest,
+              loc: Location) -> list[Location] | None:
+    """One accelerated ``axis::test`` step from ``loc``.
+
+    Returns None when the location cannot be served from the index
+    (freshly constructed nodes, detached garbage) -- the evaluator
+    falls back to the generic walk for exactly that context node.
+    """
+    store.reencode()
+    if not 0 <= loc < len(store._tags):
+        return None
+    if axis is Axis.SELF:
+        return [loc] if _matches(store, test, loc) else []
+    if axis is Axis.CHILD:
+        kids = store._kids[loc]
+        if kids is None:
+            return []
+        return [k for k in kids if _matches(store, test, k)]
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        rank = store._pre[loc]
+        if rank == UNENCODED:
+            return None
+        lo = rank if axis is Axis.DESCENDANT_OR_SELF else rank + 1
+        return _span_nodes(store, test, lo, rank + store._size[loc])
+    if axis is Axis.PARENT:
+        parent = store._parent[loc]
+        if parent is None:
+            return []
+        return [parent] if _matches(store, test, parent) else []
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        chain: list[Location] = []
+        current = store._parent[loc]
+        while current is not None:
+            chain.append(current)
+            current = store._parent[current]
+        chain.reverse()  # document order: root first
+        if axis is Axis.ANCESTOR_OR_SELF:
+            chain.append(loc)
+        return [a for a in chain if _matches(store, test, a)]
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        parent = store._parent[loc]
+        if parent is None:
+            return []
+        kids = store._kids[parent]
+        index = kids.index(loc)
+        siblings = kids[index + 1:] \
+            if axis is Axis.FOLLOWING_SIBLING else kids[:index]
+        return [s for s in siblings if _matches(store, test, s)]
+    return None

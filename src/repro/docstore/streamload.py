@@ -1,0 +1,241 @@
+"""Event-driven bulk loading with projection pushdown.
+
+The loader drives :mod:`xml.parsers.expat` (stdlib, C speed) straight
+into an :class:`~repro.docstore.encode.IndexedStoreBuilder`.  Without a
+projection it is simply a streaming encoder; with a
+:class:`~repro.xmldm.projection.ChainKeep` (built from the inferred
+chains of the queries that will run on the document) it performs
+*projection pushdown*:
+
+* a subtree whose label chain cannot extend any kept chain
+  (``SKIP``) is never materialized -- the handlers just count it;
+* a chain hitting a return chain (``SUBTREE``) streams its whole
+  subtree into the builder;
+* an ``EXPLORE`` element (a potential ancestor of a kept node) is held
+  *speculatively* on the open-element stack and committed to the
+  builder only when a kept descendant appears, so the result equals
+  ``project(parse(doc), keep_set_for_chains(...))`` exactly -- the
+  upward closure materializes on the fly, and dead exploration costs
+  nothing.
+
+The output is ``t|L`` built directly (Theorem 3.2 licenses evaluating
+on it); the full tree never exists in memory, which is what lets
+``doc.load`` scale past the dict store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from xml.parsers import expat
+
+from ..schema.regex import TEXT_SYMBOL as _TEXT
+from ..xmldm.parse import XMLParseError
+from ..xmldm.projection import ChainKeep, KeepDecision
+from .encode import IndexedStoreBuilder, IndexedTree
+
+
+@dataclass
+class LoadResult:
+    """A loaded (possibly projected) tree plus pushdown accounting."""
+
+    tree: IndexedTree
+    #: Element/text events observed in the input document.
+    nodes_seen: int
+    #: Nodes materialized in the store (== tree size after a load).
+    nodes_kept: int
+    #: Subtree roots pruned without materialization.
+    subtrees_skipped: int
+
+    @property
+    def kept_ratio(self) -> float:
+        """Fraction of observed nodes kept (1.0 for unprojected loads)."""
+        return self.nodes_kept / self.nodes_seen if self.nodes_seen else 0.0
+
+
+class _Frame:
+    """One open element during a projected parse."""
+
+    __slots__ = ("tag", "chain", "mode", "committed")
+
+    def __init__(self, tag: str, chain: tuple[str, ...],
+                 mode: KeepDecision, committed: bool):
+        self.tag = tag
+        self.chain = chain
+        self.mode = mode
+        self.committed = committed
+
+
+class _Loader:
+    """Expat handler set feeding the one-pass encoder."""
+
+    def __init__(self, keep: ChainKeep | None, strip_whitespace: bool):
+        self._keep = keep
+        self._strip = strip_whitespace
+        self._builder = IndexedStoreBuilder()
+        self._frames: list[_Frame] = []
+        self._skip_depth = 0
+        self._decisions: dict[tuple[str, ...], KeepDecision] = {}
+        # One logical text run can arrive as several expat events
+        # (chunked file parses flush expat's buffer at every Parse()
+        # call); pieces accumulate here and flush as ONE text node at
+        # the next element boundary, keeping chunked loads
+        # byte-identical to whole-string parses.
+        self._pending_text: list[str] = []
+        self.nodes_seen = 0
+        self.subtrees_skipped = 0
+
+    # -- decision ------------------------------------------------------------
+
+    def _decide(self, chain: tuple[str, ...]) -> KeepDecision:
+        decision = self._decisions.get(chain)
+        if decision is None:
+            decision = self._keep.decide(chain)
+            self._decisions[chain] = decision
+        return decision
+
+    def _commit_ancestors(self) -> None:
+        """Flush speculative ancestors (upward closure, on the fly)."""
+        start = len(self._frames)
+        while start and not self._frames[start - 1].committed:
+            start -= 1
+        for frame in self._frames[start:]:
+            frame.committed = True
+            self._builder.start_element(frame.tag)
+
+    # -- expat handlers ------------------------------------------------------
+
+    def start_element(self, tag: str, attrs: dict) -> None:
+        self._flush_text()
+        self.nodes_seen += 1
+        if self._skip_depth:
+            self._skip_depth += 1
+            return
+        if self._keep is None:
+            self._builder.start_element(tag)
+            return
+        parent_mode = self._frames[-1].mode if self._frames \
+            else KeepDecision.EXPLORE
+        if parent_mode is KeepDecision.SUBTREE:
+            frame = _Frame(tag, (), KeepDecision.SUBTREE, True)
+            self._builder.start_element(tag)
+            self._frames.append(frame)
+            return
+        chain = self._frames[-1].chain + (tag,) if self._frames else (tag,)
+        decision = self._decide(chain)
+        if decision is KeepDecision.SKIP and len(chain) > 1:
+            self.subtrees_skipped += 1
+            self._skip_depth = 1
+            return
+        # The root is always kept (projection keeps the root even when
+        # no chain mentions it), as are NODE/SUBTREE hits; EXPLORE
+        # frames stay speculative until a kept descendant commits them.
+        committed = decision in (KeepDecision.SUBTREE, KeepDecision.NODE) \
+            or len(chain) == 1
+        if committed:
+            self._commit_ancestors()
+            self._builder.start_element(tag)
+        self._frames.append(_Frame(tag, chain, decision, committed))
+
+    def end_element(self, tag: str) -> None:
+        self._flush_text()
+        if self._skip_depth:
+            self._skip_depth -= 1
+            return
+        if self._keep is None:
+            self._builder.end_element()
+            return
+        frame = self._frames.pop()
+        if frame.committed:
+            self._builder.end_element()
+
+    def character_data(self, data: str) -> None:
+        # Buffer only: text runs can't span element boundaries, and
+        # skip state only changes at element events, so deciding at
+        # flush time is always correct.
+        self._pending_text.append(data)
+
+    def _flush_text(self) -> None:
+        """Emit the buffered text run as one node (if kept)."""
+        if not self._pending_text:
+            return
+        data = "".join(self._pending_text)
+        self._pending_text.clear()
+        if self._strip and not data.strip():
+            return
+        if self._skip_depth:
+            self.nodes_seen += 1
+            return
+        if self._builder.depth == 0 and not self._frames:
+            # Text outside the root element (prolog/epilog noise).
+            return
+        self.nodes_seen += 1
+        if self._keep is None:
+            self._builder.text(data)
+            return
+        frame = self._frames[-1]
+        if frame.mode is KeepDecision.SUBTREE:
+            self._builder.text(data)
+            return
+        decision = self._decide(frame.chain + (_TEXT,))
+        if decision in (KeepDecision.SUBTREE, KeepDecision.NODE):
+            self._commit_ancestors()
+            self._builder.text(data)
+
+    def finish(self) -> LoadResult:
+        self._flush_text()
+        tree = self._builder.finish()
+        kept = len(tree.store)
+        return LoadResult(
+            tree=tree,
+            nodes_seen=self.nodes_seen,
+            nodes_kept=kept,
+            subtrees_skipped=self.subtrees_skipped,
+        )
+
+
+def _make_parser(loader: _Loader) -> expat.XMLParserType:
+    parser = expat.ParserCreate()
+    parser.buffer_text = True  # coalesce character-data events
+    parser.StartElementHandler = loader.start_element
+    parser.EndElementHandler = loader.end_element
+    parser.CharacterDataHandler = loader.character_data
+    return parser
+
+
+def load_xml(text: str | bytes, keep: ChainKeep | None = None,
+             strip_whitespace: bool = True) -> LoadResult:
+    """Load an XML document string into an :class:`IndexedTree`.
+
+    With ``keep`` the load is *projected*: the result is exactly
+    ``project(parse(text), keep_set_for_chains(...))``, built without
+    ever materializing the pruned subtrees.  ``strip_whitespace``
+    mirrors :func:`repro.xmldm.parse.parse_xml` (whitespace-only text
+    is formatting noise w.r.t. DTD validation).
+    """
+    loader = _Loader(keep, strip_whitespace)
+    parser = _make_parser(loader)
+    data = text.encode("utf-8") if isinstance(text, str) else text
+    try:
+        parser.Parse(data, True)
+    except expat.ExpatError as error:
+        raise XMLParseError(f"unparsable document: {error}") from error
+    return loader.finish()
+
+
+def load_path(path: str, keep: ChainKeep | None = None,
+              strip_whitespace: bool = True,
+              chunk_size: int = 1 << 16) -> LoadResult:
+    """Stream a document from disk (never holds the text in memory)."""
+    loader = _Loader(keep, strip_whitespace)
+    parser = _make_parser(loader)
+    try:
+        with open(path, "rb") as handle:
+            while True:
+                chunk = handle.read(chunk_size)
+                if not chunk:
+                    parser.Parse(b"", True)
+                    break
+                parser.Parse(chunk, False)
+    except expat.ExpatError as error:
+        raise XMLParseError(f"unparsable document: {error}") from error
+    return loader.finish()

@@ -58,11 +58,15 @@ from dataclasses import dataclass, field
 
 from ..analysis.engine import schema_digest
 from ..analysis.independence import analyze as oneshot_analyze
+from ..analysis.project import chain_keep_for_queries
+from ..docstore.adapter import to_indexed
+from ..docstore.backend import DocumentBackend
+from ..docstore.streamload import load_path, load_xml
 from ..schema.dtd import DTD
 from ..viewmaint.cache import ViewCache
 from ..viewmaint.scheduler import IsolationScheduler
 from ..xmldm.generator import generate_document
-from ..xmldm.parse import parse_xml
+from ..xmldm.projection import keep_set_for_chains, project
 from .batching import MicroBatcher, wire_verdict
 from .protocol import (
     BAD_PARAMS,
@@ -104,11 +108,18 @@ class ServeConfig:
     are set by the router on the worker copies of the config -- they
     label a worker's ``/stats`` payload and namespace its document ids
     so the router can route document operations statelessly.
+
+    ``doc_store_path`` names the SQLite document store (one node-table
+    database per registry): loaded documents persist there and are
+    served from the table after a restart instead of being re-parsed.
+    Empty (the default) disables persistence.  With ``shards`` the
+    file, like the verdict store, is shared by all shard workers.
     """
 
     host: str = "127.0.0.1"
     port: int = 8765
     store_path: str = ":memory:"
+    doc_store_path: str = ""
     batch_window: float = 0.002
     max_batch: int = 512
     analysis_mode: str = "batched"
@@ -339,6 +350,13 @@ class IndependenceService(JsonLinesFront):
         # materializations) are the service's largest per-tenant state
         # and must not accumulate for its lifetime.
         self._documents: OrderedDict[str, ViewCache] = OrderedDict()
+        #: Per-document load accounting (kept vs skipped-by-projection,
+        #: provenance), mirrored into ``/stats``.
+        self._doc_meta: dict[str, dict] = {}
+        self.docstore = (
+            DocumentBackend(self.config.doc_store_path)
+            if self.config.doc_store_path else None
+        )
         self._next_doc = 0
         self.document_evictions = 0
         self._ops = {
@@ -351,10 +369,12 @@ class IndependenceService(JsonLinesFront):
     # -- lifecycle -----------------------------------------------------------
 
     async def _close_backend(self) -> None:
-        """Drain the admission queue, stop the worker, close the store."""
+        """Drain the admission queue, stop the worker, close the stores."""
         await self.batcher.drain()
         self.batcher.close()
         self.store.close()
+        if self.docstore is not None:
+            self.docstore.close()
 
     # -- dispatch ------------------------------------------------------------
 
@@ -383,6 +403,13 @@ class IndependenceService(JsonLinesFront):
         # store.stats() scans the verdicts table; keep that off the
         # event loop so a monitoring poller can't stall live traffic.
         store_stats = await self._in_analysis_thread(self.store.stats)
+        if self.docstore is not None:
+            docstore_stats = await self._in_analysis_thread(
+                self.docstore.stats
+            )
+            docstore_stats["enabled"] = True
+        else:
+            docstore_stats = {"enabled": False}
         payload = {
             "uptime_seconds": time.perf_counter() - self.stats.started,
             "analysis_mode": self.config.analysis_mode,
@@ -393,6 +420,10 @@ class IndependenceService(JsonLinesFront):
             "ops": dict(self.stats.ops),
             "documents": len(self._documents),
             "document_evictions": self.document_evictions,
+            "documents_detail": {
+                doc: dict(meta) for doc, meta in self._doc_meta.items()
+            },
+            "docstore": docstore_stats,
             "registry": self.registry.stats(),
             "batcher": self.batcher.stats(),
             "store": store_stats,
@@ -545,47 +576,249 @@ class IndependenceService(JsonLinesFront):
         self._documents.move_to_end(doc_id)
         return cache
 
+    @staticmethod
+    def _validated_project_for(params: dict) -> list[str] | None:
+        """The ``project_for`` parameter, shape-checked (every branch
+        of ``doc.load`` consumes it, so every branch must reject a
+        malformed value with ``bad-params``, not a stack trace)."""
+        queries = params.get("project_for")
+        if queries is None:
+            return None
+        if not isinstance(queries, list) or \
+                not all(isinstance(q, str) for q in queries):
+            raise ProtocolError(
+                BAD_PARAMS, '"project_for" must be a list of query strings'
+            )
+        return queries
+
+    def _projection_keep(self, engine, queries: list[str] | None):
+        """The union :class:`ChainKeep` of the ``project_for`` queries.
+
+        Returns None when no projection was requested *or* when some
+        query's chain sets are too large to enumerate (the sound
+        fallback is loading everything).  Runs chain inference, so it
+        must be called on the analysis worker thread.
+        """
+        if queries is None:
+            return None
+        try:
+            return chain_keep_for_queries(queries, engine=engine)
+        except Exception as error:
+            raise ProtocolError(
+                BAD_PARAMS,
+                f"project_for query does not parse: {error}",
+            ) from error
+
+    def _fresh_doc_name(self) -> str:
+        """An anonymous doc name that cannot clobber an existing one.
+
+        Skips names already loaded in this service or persisted in the
+        document store (a client-supplied ``doc: "d1"`` must never be
+        silently overwritten by a later anonymous load).  Sharded
+        workers scope their anonymous names (``d<shard>x<n>``) so two
+        shards sharing one document-store file cannot race each other
+        to the same persistence key.
+        """
+        shard = self.config.shard_index
+        stem = "d" if shard is None else f"d{shard}x"
+        while True:
+            self._next_doc += 1
+            name = f"{stem}{self._next_doc}"
+            if f"{self.config.doc_id_prefix}{name}" in self._documents:
+                continue
+            if self.docstore is not None and \
+                    self.docstore.describe(name) is not None:
+                continue
+            return name
+
     async def _op_doc_load(self, params: dict) -> dict:
-        """Load (or generate) a document; returns its doc id."""
+        """Load a document; returns its doc id and load accounting.
+
+        Sources, in precedence order: inline ``xml`` text, a
+        server-local file ``path`` (both streamed through the indexed
+        bulk loader, with projection pushdown when ``project_for``
+        names the queries that will run), the persisted node table
+        (when ``doc`` names a previously persisted document and no
+        source is given -- no re-parse), or schema-driven generation
+        (``bytes``/``seed``).  With a document store configured, parsed
+        and generated documents persist under their doc id.
+        """
         schema_ref = require(params, "schema")
         schema = self.registry.schema(schema_ref)
         engine = self.registry.engine(schema_ref)
-        if "xml" in params:
-            xml = require(params, "xml")
+        name = params.get("doc")
+        if name is not None and (not isinstance(name, str) or not name):
+            raise ProtocolError(BAD_PARAMS,
+                                'parameter "doc" must be a non-empty str')
+        if name is None:
+            name = await self._in_analysis_thread(self._fresh_doc_name)
+        # The prefix namespaces ids per shard (``s<index>-<name>``) so
+        # the sharded router can route later doc ops without shared
+        # state; the *persistence* key is the unprefixed name, so a
+        # persisted document survives topology changes (affinity
+        # routing reloads it on whichever shard now owns its schema).
+        doc_id = f"{self.config.doc_id_prefix}{name}"
+        meta = {
+            "projected": False,
+            "from_store": False,
+            "subtrees_skipped": 0,
+        }
+        requested = self._validated_project_for(params)
+        if "xml" in params or "path" in params:
+            keep = await self._in_analysis_thread(
+                self._projection_keep, engine, requested
+            )
+            meta["projected"] = keep is not None
+            if "xml" in params:
+                xml = require(params, "xml")
+                loader = lambda: load_xml(xml, keep=keep)  # noqa: E731
+            else:
+                path = require(params, "path")
+                loader = lambda: load_path(path, keep=keep)  # noqa: E731
 
-            def parse():
-                # Off the event loop: client XML may be megabytes.
+            def run():
+                # Off the event loop: documents may be megabytes.
                 try:
-                    return parse_xml(xml)
+                    return loader()
+                except OSError as error:
+                    raise ProtocolError(
+                        BAD_PARAMS, f"unreadable document: {error}"
+                    ) from error
                 except Exception as error:
                     raise ProtocolError(
                         BAD_PARAMS, f"unparsable document: {error}"
                     ) from error
 
-            tree = await self._in_analysis_thread(parse)
+            result = await self._in_analysis_thread(run)
+            tree = result.tree
+            meta["nodes_seen"] = result.nodes_seen
+            meta["subtrees_skipped"] = result.subtrees_skipped
+            persist = True
         else:
-            target = params.get("bytes", 10_000)
-            seed = params.get("seed", 0)
-            if not isinstance(target, int) or not isinstance(seed, int):
+            reload_request = params.get("doc") is not None and \
+                "bytes" not in params and "seed" not in params
+            if reload_request and self.docstore is None:
+                # Naming a document with no source reads as "reload
+                # the persisted copy"; without a document store that
+                # would silently generate a random document under the
+                # client's name.
                 raise ProtocolError(
-                    BAD_PARAMS, '"bytes" and "seed" must be ints'
+                    BAD_PARAMS,
+                    f"doc {name!r} given without a source, but the "
+                    "service has no document store (--doc-store); "
+                    "pass xml/path or explicit bytes/seed",
                 )
-            tree = await self._in_analysis_thread(
-                lambda: generate_document(schema, target, seed=seed)
+            loaded = None
+            # Only a reload request consults the store: explicit
+            # bytes/seed is a generation request that must not be
+            # shadowed by a stale persisted document, and anonymous
+            # names were just invented (a lookup would only pollute
+            # the miss counter).
+            if reload_request and self.docstore is not None:
+                # One load() call: a hit re-materializes the node
+                # table with a range scan (no re-parse), a miss counts
+                # in the docstore miss counter.
+                loaded = await self._in_analysis_thread(
+                    self.docstore.load, name
+                )
+            if loaded is None and reload_request:
+                # A reload of a name the store does not hold is a
+                # client error (likely a typo), not a license to
+                # generate and persist a random document under it.
+                raise ProtocolError(
+                    BAD_PARAMS,
+                    f"doc {name!r} is not persisted in the document "
+                    "store; pass xml/path or explicit bytes/seed",
+                )
+            if loaded is not None:
+                tree, stored = loaded
+                if stored.schema_digest != schema_digest(schema):
+                    raise ProtocolError(
+                        BAD_PARAMS,
+                        f"document {name!r} was persisted under a "
+                        "different schema (digest "
+                        f"{stored.schema_digest[:12]}...); pass the "
+                        "matching schema or reload from a source",
+                    )
+                # A persisted *projection* only answers the queries it
+                # was projected for (Theorem 3.2); a reload asking for
+                # queries outside the recorded set must not silently
+                # get the narrower tree.
+                recorded = stored.meta.get("project_for")
+                if stored.meta.get("projected") and \
+                        requested is not None and recorded is not None \
+                        and not set(requested) <= set(recorded):
+                    raise ProtocolError(
+                        BAD_PARAMS,
+                        f"persisted document {name!r} is projected for "
+                        f"{sorted(recorded)}, which does not cover "
+                        "project_for; reload it from a source",
+                    )
+                meta.update(
+                    from_store=True,
+                    projected=stored.meta.get("projected", False),
+                    nodes_seen=stored.nodes_seen,
+                    subtrees_skipped=stored.subtrees_skipped,
+                )
+                persist = False
+            else:
+                target = params.get("bytes", 10_000)
+                seed = params.get("seed", 0)
+                if not isinstance(target, int) or \
+                        not isinstance(seed, int):
+                    raise ProtocolError(
+                        BAD_PARAMS, '"bytes" and "seed" must be ints'
+                    )
+                keep = await self._in_analysis_thread(
+                    self._projection_keep, engine, requested
+                )
+                meta["projected"] = keep is not None
+
+                def generate():
+                    document = generate_document(schema, target,
+                                                 seed=seed)
+                    if keep is None:
+                        return to_indexed(document), document.size()
+                    # Generated documents project post-hoc (there is
+                    # no parse stream to push the projection into).
+                    projected = project(
+                        document, keep_set_for_chains(document, keep)
+                    )
+                    return to_indexed(projected), document.size()
+
+                tree, seen = await self._in_analysis_thread(generate)
+                meta["nodes_seen"] = seen
+                persist = True
+        meta["nodes"] = tree.size()
+        if persist and self.docstore is not None:
+            await self._in_analysis_thread(
+                lambda: self.docstore.save(
+                    name, tree, schema_digest(schema),
+                    nodes_seen=meta["nodes_seen"],
+                    subtrees_skipped=meta["subtrees_skipped"],
+                    meta={
+                        "projected": meta["projected"],
+                        "project_for": requested
+                        if meta["projected"] else None,
+                    },
+                )
             )
-        self._next_doc += 1
-        # The prefix namespaces ids per shard (``s<index>-d<n>``) so the
-        # sharded router can route later doc ops without shared state.
-        doc_id = f"{self.config.doc_id_prefix}d{self._next_doc}"
         self._documents[doc_id] = ViewCache(schema, tree, engine=engine)
+        # Reloads must count as a fresh touch, or a just-reloaded doc
+        # keeps its old LRU position and can be evicted immediately.
+        self._documents.move_to_end(doc_id)
+        self._doc_meta[doc_id] = meta
         while len(self._documents) > self.config.max_documents:
-            self._documents.popitem(last=False)
+            evicted, _ = self._documents.popitem(last=False)
+            self._doc_meta.pop(evicted, None)
             self.document_evictions += 1
-        return {"doc": doc_id, "nodes": tree.size()}
+        return {"doc": doc_id, **meta}
 
     async def _op_doc_unload(self, params: dict) -> dict:
-        """Drop a loaded document (idempotent)."""
+        """Drop a loaded document (idempotent; the persisted node
+        table, if any, keeps its copy)."""
         doc_id = require(params, "doc")
+        self._doc_meta.pop(doc_id, None)
         return {"unloaded": self._documents.pop(doc_id, None) is not None}
 
     async def _op_view_register(self, params: dict) -> dict:
@@ -886,6 +1119,28 @@ class ShardedService(JsonLinesFront):
             schemas.extend(shard_payload["schemas"])
         return {"schemas": schemas}
 
+    @staticmethod
+    def _aggregate_docstore(per_shard: list[dict]) -> dict:
+        """Aggregate shard document-store counters.
+
+        Per-process counters (hits/misses/saves) sum; table sizes come
+        from one shared file, so any shard's snapshot is authoritative
+        (take the max to tolerate skew).
+        """
+        enabled = [p["docstore"] for p in per_shard
+                   if p["docstore"].get("enabled")]
+        if not enabled:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "path": enabled[0]["path"],
+            "documents": max(p["documents"] for p in enabled),
+            "nodes": max(p["nodes"] for p in enabled),
+            "hits": sum(p["hits"] for p in enabled),
+            "misses": sum(p["misses"] for p in enabled),
+            "saves": sum(p["saves"] for p in enabled),
+        }
+
     #: Batcher counters summed across shards in aggregated ``/stats``.
     _BATCHER_SUMMED = ("requests", "batches", "coalesced_requests",
                        "matrix_pairs", "sparse_batches",
@@ -946,6 +1201,13 @@ class ShardedService(JsonLinesFront):
             "document_evictions": sum(
                 p["document_evictions"] for p in per_shard
             ),
+            # Doc ids are shard-prefixed, so the union is collision-free.
+            "documents_detail": {
+                doc: meta
+                for p in per_shard
+                for doc, meta in p["documents_detail"].items()
+            },
+            "docstore": self._aggregate_docstore(per_shard),
             "registry": registry,
             "batcher": batcher,
             "store": {

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..analysis.engine import AnalysisEngine, engine_for
+from ..docstore.encode import IndexedTree
 from ..schema.dtd import DTD
 from ..xmldm.store import Location, Tree
 from ..xquery.ast import ROOT_VAR, Query
@@ -52,6 +53,13 @@ class ViewCache:
     """Materialized views over one document, refreshed lazily via the
     chain-based independence analysis.
 
+    The document may be a Section-2 dict-store
+    :class:`~repro.xmldm.store.Tree` or an
+    :class:`~repro.docstore.encode.IndexedTree` -- evaluation and
+    update application are duck-typed over the store, and over an
+    indexed tree every refresh transparently uses the interval-index
+    axis accelerators (the serving layer always loads indexed trees).
+
     >>> from repro.schema import bib_dtd
     >>> from repro.xmldm import parse_xml
     >>> tree = parse_xml("<bib><book><title>t</title><author>"
@@ -64,7 +72,7 @@ class ViewCache:
     1
     """
 
-    def __init__(self, schema: DTD, tree: Tree,
+    def __init__(self, schema: DTD, tree: Tree | IndexedTree,
                  engine: AnalysisEngine | None = None):
         self.schema = schema
         self.tree = tree

@@ -7,7 +7,14 @@ from .generator import (
     generate_document,
 )
 from .parse import XMLParseError, parse_xml
-from .projection import project, typed_locations, upward_closure
+from .projection import (
+    ChainKeep,
+    KeepDecision,
+    keep_set_for_chains,
+    project,
+    typed_locations,
+    upward_closure,
+)
 from .serialize import serialize, serialized_size
 from .store import (
     ElementNode,
@@ -29,6 +36,9 @@ __all__ = [
     "generate_document",
     "XMLParseError",
     "parse_xml",
+    "ChainKeep",
+    "KeepDecision",
+    "keep_set_for_chains",
     "project",
     "typed_locations",
     "upward_closure",

@@ -5,11 +5,153 @@ parent relation, discarding every other subtree.  The soundness theorems
 of the paper are phrased in terms of projections; the test suite uses this
 module to check Theorem 3.2 empirically (projecting a document onto the
 chains inferred for a query preserves the query answer).
+
+Two faces of the same keep set:
+
+* :func:`keep_set_for_chains` materializes the keep set for an already
+  parsed tree (used by :func:`repro.analysis.project.project_for_query`);
+* :class:`ChainKeep` is the chain-level decision shared with the
+  streaming projected loader
+  (:func:`repro.docstore.streamload.load_xml`), which never materializes
+  the full tree.  Both paths agree by construction -- the empirical
+  Theorem 3.2 property test pins the equivalence.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from enum import Enum
+
 from .store import ElementNode, Location, Store, TextNode, Tree
+
+Chain = tuple[str, ...]
+
+
+class KeepDecision(Enum):
+    """What a :class:`ChainKeep` says about one label chain."""
+
+    #: Keep the node and its whole subtree (a return-chain hit: a
+    #: returned node embodies its descendants, Section 3).
+    SUBTREE = "subtree"
+    #: Keep the node itself; descendants still need examination.
+    NODE = "node"
+    #: The node is not kept, but some kept chain extends its chain, so
+    #: its subtree must still be explored (it may be a needed ancestor).
+    EXPLORE = "explore"
+    #: No kept chain extends this chain: the whole subtree is dead.
+    SKIP = "skip"
+
+
+@dataclass(frozen=True)
+class ChainKeep:
+    """A projection specification at the chain level.
+
+    ``subtree_chains`` keep a matching node *and its whole subtree*
+    (the query's return chains); ``node_chains`` keep just the matching
+    node (the used chains -- ancestors are added by upward closure).
+    The decision :meth:`decide` is O(1) per chain thanks to the
+    precomputed proper-prefix index.
+
+    >>> keep = ChainKeep.from_chains({("doc", "a")}, {("doc", "b")})
+    >>> keep.decide(("doc",)).value
+    'explore'
+    >>> keep.decide(("doc", "a")).value
+    'subtree'
+    >>> keep.decide(("doc", "b")).value
+    'node'
+    >>> keep.decide(("doc", "c")).value
+    'skip'
+    """
+
+    subtree_chains: frozenset[Chain]
+    node_chains: frozenset[Chain]
+    #: Every proper prefix of every kept chain (ancestor viability).
+    prefixes: frozenset[Chain] = field(default_factory=frozenset)
+    #: Chain length at which the producing analysis was *truncated*
+    #: (a k-chain universe's depth cap), or None for exact chain sets.
+    #: A viable path reaching this length keeps its whole subtree: the
+    #: analysis cannot see below the cap, so no pruning decision there
+    #: is trustworthy (recursive schemas admit arbitrarily deep valid
+    #: documents).
+    truncation: int | None = None
+
+    @classmethod
+    def from_chains(
+        cls,
+        subtree_chains: "frozenset[Chain] | set[Chain]",
+        node_chains: "frozenset[Chain] | set[Chain]" = frozenset(),
+        truncation: int | None = None,
+    ) -> "ChainKeep":
+        """Build a spec, precomputing the proper-prefix index."""
+        subtree = frozenset(subtree_chains)
+        node = frozenset(node_chains)
+        prefixes = frozenset(
+            chain[:length]
+            for chain in subtree | node
+            for length in range(1, len(chain))
+        )
+        return cls(subtree, node, prefixes, truncation)
+
+    def union(self, other: "ChainKeep") -> "ChainKeep":
+        """The spec keeping what either operand keeps."""
+        truncations = [t for t in (self.truncation, other.truncation)
+                       if t is not None]
+        return ChainKeep.from_chains(
+            self.subtree_chains | other.subtree_chains,
+            self.node_chains | other.node_chains,
+            truncation=min(truncations) if truncations else None,
+        )
+
+    def decide(self, chain: Chain) -> KeepDecision:
+        """Classify one label chain (no inherited context).
+
+        Callers walk a tree top-down, treat ``SUBTREE`` as covering
+        everything below, and stop descending at ``SKIP`` -- so a
+        chain of ``truncation`` length is only ever consulted along a
+        still-viable path, where it must keep its subtree (the chain
+        analysis saw nothing below the cap).
+        """
+        if self.truncation is not None and len(chain) >= self.truncation:
+            return KeepDecision.SUBTREE
+        if chain in self.subtree_chains:
+            return KeepDecision.SUBTREE
+        if chain in self.node_chains:
+            return KeepDecision.NODE
+        if chain in self.prefixes:
+            return KeepDecision.EXPLORE
+        return KeepDecision.SKIP
+
+
+def keep_set_for_chains(tree: Tree, keep: ChainKeep) -> set[Location]:
+    """The upward-closed keep set of ``keep`` on a materialized tree.
+
+    The single implementation behind both the classic
+    ``project(parse(doc), keep)`` path and (at the chain level) the
+    streaming pushdown loader: a location is kept iff its chain hits a
+    subtree chain (then with all descendants), hits a node chain, or is
+    an ancestor of such a location.
+    """
+    store = tree.store
+    kept: set[Location] = set()
+    # DFS carrying the label chain incrementally (node_chain() per node
+    # would be quadratic in depth).
+    stack: list[tuple[Location, Chain]] = [
+        (tree.root, (store.typ(tree.root),))
+    ]
+    while stack:
+        loc, chain = stack.pop()
+        decision = keep.decide(chain)
+        if decision is KeepDecision.SUBTREE:
+            kept.add(loc)
+            kept.update(store.descendants(loc))
+            continue
+        if decision is KeepDecision.NODE:
+            kept.add(loc)
+        elif decision is KeepDecision.SKIP:
+            continue
+        for child in store.children(loc):
+            stack.append((child, chain + (store.typ(child),)))
+    return upward_closure(store, kept | {tree.root})
 
 
 def upward_closure(store: Store, locations: set[Location]) -> set[Location]:

@@ -29,6 +29,7 @@ from .ast import (
     StringLit,
     TextTest,
     WildcardTest,
+    free_variables,
 )
 
 
@@ -63,6 +64,9 @@ def _eval(query: Query, store: Store, env: Environment) -> list[Location]:
         copies = [store.copy_subtree(store, loc) for loc in content]
         return [store.new_element(query.tag, copies)]
     if isinstance(query, For):
+        fast = _fast_descendant_child(query, store, env)
+        if fast is not None:
+            return fast
         source = _eval(query.source, store, env)
         result: list[Location] = []
         for item in source:
@@ -82,13 +86,83 @@ def _eval(query: Query, store: Store, env: Environment) -> list[Location]:
     raise EvaluationError(f"unknown query node {query!r}")
 
 
+def _fast_descendant_child(query: For, store: Store, env: Environment
+                           ) -> list[Location] | None:
+    """Accelerate the ``//test`` desugaring on indexed stores.
+
+    ``//test`` parses to ``for $v in $c/descendant-or-self::node()
+    return $v/child::test``; stores exposing ``descendant_child_step``
+    answer that whole loop per context node from their interval index
+    (in the loop's exact output order).  Longer paths nest the
+    continuation inside the loop (``//a/b`` puts the ``/b`` loop in the
+    body); when the continuation does not mention the loop variable it
+    is re-rooted onto the accelerated match list, so every ``//`` hop
+    of a path skips its full-subtree scan.  Returns None -- falling
+    back to the generic loop -- for any other query shape or whenever a
+    context node cannot be served from the index.
+    """
+    fast = getattr(store, "descendant_child_step", None)
+    if fast is None:
+        return None
+    source, body = query.source, query.body
+    if not (
+        isinstance(source, Step)
+        and source.axis is Axis.DESCENDANT_OR_SELF
+        and isinstance(source.test, NodeKindTest)
+    ):
+        return None
+    if isinstance(body, Step) and body.var == query.var \
+            and body.axis is Axis.CHILD:
+        step, continuation = body, None
+    elif (
+        isinstance(body, For)
+        and isinstance(body.source, Step)
+        and body.source.var == query.var
+        and body.source.axis is Axis.CHILD
+        and query.var not in free_variables(body.body)
+    ):
+        step, continuation = body.source, body
+    else:
+        return None
+    try:
+        context = env[source.var]
+    except KeyError:
+        raise EvaluationError(
+            f"unbound variable {source.var}"
+        ) from None
+    matches: list[Location] = []
+    for loc in context:
+        nodes = fast(step.test, loc)
+        if nodes is None:
+            return None
+        matches.extend(nodes)
+    if continuation is None:
+        return matches
+    result: list[Location] = []
+    for item in matches:
+        inner = dict(env)
+        inner[continuation.var] = [item]
+        result.extend(_eval(continuation.body, store, inner))
+    return result
+
+
 def _eval_step(step: Step, store: Store, env: Environment) -> list[Location]:
     try:
         context = env[step.var]
     except KeyError:
         raise EvaluationError(f"unbound variable {step.var}") from None
+    # Transparent fast path: stores exposing ``axis_step`` (the indexed
+    # document store) answer whole axis+test steps from their interval
+    # index; a None reply falls back to the generic walk per context
+    # node, so results are identical either way.
+    fast = getattr(store, "axis_step", None)
     result: list[Location] = []
     for loc in context:
+        if fast is not None:
+            accelerated = fast(step.axis, step.test, loc)
+            if accelerated is not None:
+                result.extend(accelerated)
+                continue
         result.extend(
             candidate
             for candidate in _axis_nodes(step.axis, store, loc)

@@ -1,0 +1,36 @@
+"""Tier-1 unit run of the docstore bench at toy scale.
+
+The full ~100k-node run with its 25%/3x acceptance thresholds lives in
+``benchmarks/test_docstore_gate.py``; here a miniature run pins the
+bench harness itself -- answer digesting across all three stacks, the
+result schema the gate and the trajectory rely on, and the
+selective/descendant query-pool tagging.
+"""
+
+from __future__ import annotations
+
+from repro.bench.docstore_bench import BENCH_QUERIES, run_docstore_bench
+
+
+def test_miniature_run_shape_and_identity():
+    results = run_docstore_bench(target_bytes=60_000, seed=5,
+                                 repeats=1, out=None)
+    assert results["answers_identical"] is True
+    assert results["nodes"] > 500
+    assert len(results["queries"]) == len(BENCH_QUERIES)
+    for entry in results["queries"]:
+        assert entry["answers_identical"] is True
+        assert 0 < entry["kept_ratio"] <= 1
+        assert entry["dict_ms"] > 0 and entry["indexed_ms"] > 0
+    assert results["min_descendant_speedup"] > 0
+    assert 0 < results["max_selective_kept_ratio"] <= 1
+    assert results["peak_nodes_kept"] > 0
+
+
+def test_query_pool_tags():
+    kinds = {name: tags for name, _, tags in BENCH_QUERIES}
+    assert any("descendant" in tags for tags in kinds.values())
+    assert any("selective" in tags for tags in kinds.values())
+    # q6 returns whole item subtrees: accelerated, but its keep ratio
+    # tracks the answer mass, so it must not gate selectivity.
+    assert "selective" not in kinds["q6"]

@@ -1,8 +1,9 @@
 """Every ``>>>`` example in the documentation runs green.
 
-Doctests in ``docs/*.md`` (and the README, which currently carries
-none) are executed here so examples cannot rot; CI additionally runs
-``pytest --doctest-glob='*.md' docs`` as a standalone job.
+Doctests in ``docs/*.md``, ``examples/*.md`` (the docstore
+walkthrough), and the README (which currently carries none) are
+executed here so examples cannot rot; CI additionally runs
+``pytest --doctest-glob='*.md' docs examples`` as a standalone job.
 """
 
 from __future__ import annotations
@@ -13,7 +14,11 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parents[2]
-DOCUMENTS = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+DOCUMENTS = (
+    sorted((ROOT / "docs").glob("*.md"))
+    + sorted((ROOT / "examples").glob("*.md"))
+    + [ROOT / "README.md"]
+)
 
 
 @pytest.mark.parametrize("path", DOCUMENTS, ids=lambda p: p.name)

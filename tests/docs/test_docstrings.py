@@ -1,9 +1,11 @@
-"""Public-API docstring coverage for the serving layer and the engine.
+"""Public-API docstring coverage for the serving layer, the engine,
+and the document store.
 
 The PR 4 docstring pass is enforced, not aspirational: every public
-module, class, function, and method across ``repro.serve`` and
-``repro.analysis.engine`` must carry a docstring.  Private names
-(leading underscore) and inherited/generated members are exempt.
+module, class, function, and method across ``repro.serve``,
+``repro.analysis.engine``, and ``repro.docstore`` must carry a
+docstring.  Private names (leading underscore) and
+inherited/generated members are exempt.
 """
 
 from __future__ import annotations
@@ -13,6 +15,11 @@ import inspect
 import pytest
 
 import repro.analysis.engine
+import repro.docstore.adapter
+import repro.docstore.axes
+import repro.docstore.backend
+import repro.docstore.encode
+import repro.docstore.streamload
 import repro.serve.batching
 import repro.serve.loadgen
 import repro.serve.protocol
@@ -23,6 +30,11 @@ import repro.serve.store
 
 MODULES = [
     repro.analysis.engine,
+    repro.docstore.adapter,
+    repro.docstore.axes,
+    repro.docstore.backend,
+    repro.docstore.encode,
+    repro.docstore.streamload,
     repro.serve.batching,
     repro.serve.loadgen,
     repro.serve.protocol,

@@ -1,0 +1,259 @@
+"""Interval encoding: invariants, store-interface parity, span
+re-encoding under mutation."""
+
+import pytest
+
+from repro.docstore.adapter import to_indexed, to_tree
+from repro.docstore.encode import (
+    UNENCODED,
+    IndexedStoreBuilder,
+)
+from repro.docstore.streamload import load_xml
+from repro.schema import xmark_dtd
+from repro.xmldm import generate_document, parse_xml, serialize
+from repro.xmldm.store import StoreError
+from repro.xquery.ast import ROOT_VAR
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.parser import parse_query
+from repro.xupdate.evaluator import apply_update
+from repro.xupdate.parser import parse_update
+
+
+def _xml(dtd, byts, seed):
+    tree = generate_document(dtd, byts, seed=seed)
+    return serialize(tree.store, tree.root)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    text = _xml(xmark_dtd(), 40_000, seed=11)
+    return parse_xml(text), load_xml(text).tree
+
+
+class TestEncodingInvariants:
+    def test_pre_order_identity_after_build(self, pair):
+        _, it = pair
+        store = it.store
+        for loc in store.locations():
+            assert store.pre(loc) == loc
+
+    def test_interval_containment(self, pair):
+        _, it = pair
+        store = it.store
+        for loc in store.locations():
+            descendants = list(store.descendants(loc))
+            lo, hi = store.pre(loc), store.pre(loc) + store.subtree_size(loc)
+            assert all(lo < store.pre(d) < hi for d in descendants)
+            assert len(descendants) == store.subtree_size(loc) - 1
+
+    def test_post_order_identity(self, pair):
+        """post = pre + size - 1 - level reproduces a real post-order."""
+        _, it = pair
+        store = it.store
+        posts = sorted(store.post(loc) for loc in store.locations())
+        assert posts == list(range(len(store)))
+        # Children's post ranks precede their parent's.
+        for loc in store.locations():
+            for child in store.children(loc):
+                assert store.post(child) < store.post(loc)
+
+    def test_levels_match_depth(self, pair):
+        _, it = pair
+        store = it.store
+        for loc in store.locations():
+            assert store.depth(loc) == len(store.node_chain(loc)) - 1
+
+
+class TestStoreParity:
+    """The indexed store behaves exactly like the dict store."""
+
+    def test_serialize_equality(self, pair):
+        dt, it = pair
+        assert serialize(it.store, it.root) == serialize(dt.store, dt.root)
+
+    def test_accessors_agree(self, pair):
+        dt, it = pair
+        dict_locs = list(dt.store.descendants_or_self(dt.root))
+        idx_locs = list(it.store.descendants_or_self(it.root))
+        assert len(dict_locs) == len(idx_locs)
+        for dl, il in zip(dict_locs, idx_locs):
+            assert dt.store.typ(dl) == it.store.typ(il)
+            assert dt.store.node_chain(dl) == it.store.node_chain(il)
+            assert dt.store.is_element(dl) == it.store.is_element(il)
+            assert len(dt.store.children(dl)) == len(it.store.children(il))
+
+    def test_type_errors_match_dict_store(self, pair):
+        _, it = pair
+        store = it.store
+        text_loc = next(loc for loc in store.locations()
+                        if store.is_text(loc))
+        with pytest.raises(StoreError):
+            store.tag(text_loc)
+        with pytest.raises(StoreError):
+            store.text(it.root)
+        with pytest.raises(StoreError):
+            store.rename(text_loc, "x")
+        with pytest.raises(StoreError):
+            store.node(len(store) + 5)
+
+    def test_round_trip_via_adapter(self, pair):
+        dt, it = pair
+        back = to_tree(it)
+        assert serialize(back.store, back.root) == \
+            serialize(dt.store, dt.root)
+        again = to_indexed(back)
+        assert serialize(again.store, again.root) == \
+            serialize(dt.store, dt.root)
+
+
+UPDATES = [
+    "delete //emailaddress",
+    "rename /site/regions as zones",
+    "for $p in /site/people/person return "
+    "if ($p/phone) then delete $p/phone else ()",
+    "for $x in //watch return replace $x with <watch>gone</watch>",
+    "for $p in /site/people/person return "
+    "insert <flag>f</flag> into $p",
+]
+
+
+class TestMutationParity:
+    """Same updates on dict and indexed stores produce the same tree,
+    and accelerated reads stay correct after span re-encoding."""
+
+    @pytest.mark.parametrize("update_text", UPDATES)
+    def test_update_differential(self, update_text):
+        text = _xml(xmark_dtd(), 25_000, seed=13)
+        dt, it = parse_xml(text), load_xml(text).tree
+        update = parse_update(update_text)
+        apply_update(update, dt.store, {ROOT_VAR: [dt.root]})
+        apply_update(update, it.store, {ROOT_VAR: [it.root]})
+        assert serialize(it.store, it.root) == serialize(dt.store, dt.root)
+        # The lazy re-encode restores every interval invariant.
+        for loc in it.store.descendants_or_self(it.root):
+            size = it.store.subtree_size(loc)
+            assert size == 1 + sum(
+                it.store.subtree_size(c) for c in it.store.children(loc)
+            )
+
+    def test_reencode_is_span_local(self):
+        text = _xml(xmark_dtd(), 25_000, seed=13)
+        it = load_xml(text).tree
+        total = len(it.store)
+        apply_update(parse_update("delete /site/people/person/phone"),
+                     it.store, {ROOT_VAR: [it.root]})
+        it.store.reencode()
+        assert 0 < it.store.nodes_reencoded < total / 2, (
+            "span re-encode re-walked most of the document"
+        )
+
+    def test_same_size_replace_shifts_no_tail(self):
+        builder = IndexedStoreBuilder()
+        builder.start_element("doc")
+        for tag in ("a", "b", "c"):
+            builder.start_element(tag)
+            builder.text(tag)
+            builder.end_element()
+        builder.end_element()
+        tree = builder.finish()
+        store = tree.store
+        b_loc = store.children(tree.root)[1]
+        pre_before = [store.pre(loc) for loc in store.locations()]
+        replacement = store.new_text("B")
+        old_text = store.children(b_loc)[0]
+        store.replace_children(b_loc, [replacement])
+        store.reencode()
+        assert store.pre(store.children(tree.root)[2]) == \
+            pre_before[store.children(tree.root)[2]]
+        assert store.pre(old_text) == UNENCODED
+
+    def test_detached_nodes_fall_back_unencoded(self):
+        builder = IndexedStoreBuilder()
+        builder.start_element("doc")
+        builder.start_element("a")
+        builder.end_element()
+        builder.end_element()
+        tree = builder.finish()
+        store = tree.store
+        a = store.children(tree.root)[0]
+        store.detach(a)
+        store.reencode()
+        assert store.parent(a) is None
+        assert store.pre(a) == UNENCODED
+        assert list(store.descendants(tree.root)) == []
+
+    def test_move_into_earlier_span_keeps_document_order(self):
+        """Moving an encoded subtree into a parent that precedes it in
+        document order must not corrupt the index (the tail shift after
+        the destination span's splice used to clobber the moved node's
+        fresh ranks through its stale duplicate order entries)."""
+        text = ("<root><b><t>first</t></b>"
+                "<a><x><t>second</t></x></a></root>")
+        dt, it = parse_xml(text), load_xml(text).tree
+        for store, root in ((dt.store, dt.root), (it.store, it.root)):
+            b, a = store.children(root)
+            x = store.children(a)[0]
+            store.detach(x)
+            store.replace_children(b, store.children(b) + [x])
+        assert serialize(it.store, it.root) == serialize(dt.store, dt.root)
+        for source in ("//t", "//text()", "//x"):
+            query = parse_query(source)
+            on_dict = evaluate_query(query, dt.store,
+                                     {ROOT_VAR: [dt.root]})
+            on_indexed = evaluate_query(query, it.store,
+                                        {ROOT_VAR: [it.root]})
+            assert [dt.store.typ(c) for c in on_dict] == \
+                [it.store.typ(c) for c in on_indexed], source
+            texts_dict = [dt.store.text(c) for c in on_dict
+                          if dt.store.is_text(c)]
+            texts_idx = [it.store.text(c) for c in on_indexed
+                         if it.store.is_text(c)]
+            assert texts_dict == texts_idx, source
+        # The interval invariant holds everywhere after the move.
+        for loc in it.store.descendants_or_self(it.root):
+            rank = it.store.pre(loc)
+            assert it.store._order[rank] == loc
+
+    def test_node_move_across_spans(self):
+        """detach + re-insert elsewhere (the hard re-encode case)."""
+        builder = IndexedStoreBuilder()
+        builder.start_element("doc")
+        builder.start_element("left")
+        builder.start_element("x")
+        builder.text("payload")
+        builder.end_element()
+        builder.end_element()
+        builder.start_element("right")
+        builder.end_element()
+        builder.end_element()
+        tree = builder.finish()
+        store = tree.store
+        left, right = store.children(tree.root)
+        x = store.children(left)[0]
+        store.detach(x)
+        store.replace_children(right, [x])
+        store.reencode()
+        assert store.parent(x) == right
+        assert store.node_chain(x) == ("doc", "right", "x")
+        order = [store.typ(loc)
+                 for loc in store.descendants_or_self(tree.root)]
+        assert order == ["doc", "left", "right", "x", "#S"]
+
+
+class TestBuilder:
+    def test_rejects_unbalanced(self):
+        builder = IndexedStoreBuilder()
+        builder.start_element("doc")
+        with pytest.raises(ValueError):
+            builder.finish()
+
+    def test_rejects_multiple_roots(self):
+        builder = IndexedStoreBuilder()
+        builder.start_element("a")
+        builder.end_element()
+        with pytest.raises(ValueError):
+            builder.start_element("b")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndexedStoreBuilder().finish()

@@ -1,0 +1,140 @@
+"""Streaming loader: parse parity with ``parse_xml``, projection
+pushdown equality, skip accounting, and error handling."""
+
+import pytest
+
+from repro.analysis.project import chain_keep_for_query
+from repro.docstore.streamload import load_path, load_xml
+from repro.schema import bib_dtd, paper_doc_dtd, xmark_dtd
+from repro.xmldm import (
+    XMLParseError,
+    generate_document,
+    keep_set_for_chains,
+    parse_xml,
+    project,
+    serialize,
+)
+from repro.xmldm.projection import ChainKeep
+
+
+def _xml(dtd, byts, seed):
+    tree = generate_document(dtd, byts, seed=seed)
+    return serialize(tree.store, tree.root)
+
+
+class TestFullLoad:
+    @pytest.mark.parametrize("dtd_factory,seed", [
+        (xmark_dtd, 3), (bib_dtd, 5), (paper_doc_dtd, 7),
+    ])
+    def test_matches_parse_xml(self, dtd_factory, seed):
+        text = _xml(dtd_factory(), 15_000, seed)
+        loaded = load_xml(text)
+        reference = parse_xml(text)
+        assert serialize(loaded.tree.store, loaded.tree.root) == \
+            serialize(reference.store, reference.root)
+        assert loaded.nodes_kept == reference.size()
+        assert loaded.kept_ratio == 1.0
+        assert loaded.subtrees_skipped == 0
+
+    def test_handles_prolog_comments_attributes_entities(self):
+        text = ('<?xml version="1.0"?><!DOCTYPE doc [ ]>\n'
+                '<!-- header -->\n'
+                '<doc a="1"><x b=\'2\'>one &amp; two</x><!-- mid -->'
+                '<y/></doc>')
+        loaded = load_xml(text)
+        reference = parse_xml(text)
+        assert serialize(loaded.tree.store, loaded.tree.root) == \
+            serialize(reference.store, reference.root)
+
+    def test_whitespace_stripping_matches(self):
+        text = "<doc>\n  <a> kept </a>\n  <b/>\n</doc>"
+        loaded = load_xml(text)
+        reference = parse_xml(text)
+        assert serialize(loaded.tree.store, loaded.tree.root) == \
+            serialize(reference.store, reference.root)
+
+    def test_malformed_raises_parse_error(self):
+        with pytest.raises(XMLParseError):
+            load_xml("<doc><open></doc>")
+        with pytest.raises(XMLParseError):
+            load_xml("not xml at all")
+
+    def test_load_path_streams_from_disk(self, tmp_path):
+        text = _xml(xmark_dtd(), 20_000, 9)
+        file = tmp_path / "doc.xml"
+        file.write_text(text)
+        loaded = load_path(str(file), chunk_size=512)
+        assert serialize(loaded.tree.store, loaded.tree.root) == \
+            serialize(parse_xml(text).store, parse_xml(text).root)
+
+    def test_text_runs_larger_than_chunk_stay_one_node(self, tmp_path):
+        """Expat flushes its text buffer at every Parse(chunk) call;
+        the loader must re-coalesce, or chunked file loads diverge
+        from whole-string parses (and //text() answers multiply)."""
+        big = "x" * 5_000
+        text = f"<doc><a>{big}</a><b>small</b></doc>"
+        file = tmp_path / "doc.xml"
+        file.write_text(text)
+        chunked = load_path(str(file), chunk_size=256)
+        whole = load_xml(text)
+        assert chunked.nodes_kept == whole.nodes_kept == 5
+        a_node = chunked.tree.store.children(chunked.tree.root)[0]
+        texts = chunked.tree.store.children(a_node)
+        assert len(texts) == 1
+        assert chunked.tree.store.text(texts[0]) == big
+        assert serialize(chunked.tree.store, chunked.tree.root) == \
+            serialize(whole.tree.store, whole.tree.root)
+
+
+PROJECTION_QUERIES = [
+    "/site/people/person/name",
+    "//emailaddress",
+    "/site/regions//item",
+    "//person/watches",
+    "for $a in /site/open_auctions/open_auction return "
+    "if ($a/bidder/increase) then $a/current else ()",
+    "//text()",
+]
+
+
+class TestProjectionPushdown:
+    """streaming projected load == project(parse(doc), keep set)."""
+
+    @pytest.mark.parametrize("query", PROJECTION_QUERIES)
+    def test_equals_materialized_projection(self, query):
+        dtd = xmark_dtd()
+        text = _xml(dtd, 40_000, 21)
+        keep = chain_keep_for_query(query, dtd)
+        assert keep is not None
+        streamed = load_xml(text, keep=keep)
+        reference_tree = parse_xml(text)
+        materialized = project(
+            reference_tree, keep_set_for_chains(reference_tree, keep)
+        )
+        assert serialize(streamed.tree.store, streamed.tree.root) == \
+            serialize(materialized.store, materialized.root)
+
+    def test_skips_whole_subtrees(self):
+        dtd = xmark_dtd()
+        text = _xml(dtd, 40_000, 21)
+        keep = chain_keep_for_query("/site/people/person/name", dtd)
+        streamed = load_xml(text, keep=keep)
+        assert streamed.subtrees_skipped > 0
+        assert streamed.nodes_kept < streamed.nodes_seen / 4
+        assert 0 < streamed.kept_ratio < 0.25
+
+    def test_root_always_kept(self):
+        keep = ChainKeep.from_chains({("nomatch",)})
+        loaded = load_xml("<doc><a/><b/></doc>", keep=keep)
+        assert loaded.nodes_kept == 1
+        assert loaded.tree.store.tag(loaded.tree.root) == "doc"
+
+    def test_union_spec_keeps_both(self):
+        dtd = xmark_dtd()
+        text = _xml(dtd, 30_000, 23)
+        keep_a = chain_keep_for_query("//emailaddress", dtd)
+        keep_b = chain_keep_for_query("/site/regions//item", dtd)
+        both = keep_a.union(keep_b)
+        kept_both = load_xml(text, keep=both).nodes_kept
+        assert kept_both >= load_xml(text, keep=keep_a).nodes_kept
+        assert kept_both >= load_xml(text, keep=keep_b).nodes_kept

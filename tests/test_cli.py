@@ -176,6 +176,7 @@ class TestParserMatchesConfigs:
         assert args.host == config.host
         assert args.port == config.port
         assert args.store == config.store_path
+        assert args.doc_store == config.doc_store_path
         assert args.window / 1e3 == config.batch_window
         assert args.max_batch == config.max_batch
         assert args.mode == config.analysis_mode
@@ -244,3 +245,66 @@ class TestParserMatchesConfigs:
         args = build_parser().parse_args(["serve-bench", "--shards", "3"])
         assert args.shards == 3
         assert build_parser().parse_args(["serve-bench"]).shards == 2
+
+
+class TestLoadCommand:
+    """`repro load`: streaming (projected) loads from the CLI."""
+
+    @pytest.fixture()
+    def xmark_file(self, tmp_path):
+        from repro.schema import xmark_dtd
+        from repro.xmldm import generate_document, serialize
+
+        tree = generate_document(xmark_dtd(), 60_000, seed=9)
+        path = tmp_path / "doc.xml"
+        path.write_text(serialize(tree.store, tree.root))
+        return str(path)
+
+    def test_full_load_reports_counts(self, xmark_file, capsys):
+        code = main(["load", xmark_file, "--builtin", "xmark"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kept" in out and "100.0%" in out
+
+    def test_projected_load_keeps_fewer(self, xmark_file, capsys):
+        code = main([
+            "load", xmark_file, "--builtin", "xmark",
+            "--project", "//emailaddress",
+            "--project", "/site/people/person/name",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[projected]" in out
+        assert "skipped" in out
+
+    def test_load_persists_into_docstore(self, xmark_file, tmp_path,
+                                         capsys):
+        from repro.docstore.backend import DocumentBackend
+
+        db = str(tmp_path / "docs.sqlite")
+        code = main([
+            "load", xmark_file, "--builtin", "xmark",
+            "--project", "//emailaddress",
+            "--docstore", db, "--doc", "cli-doc",
+        ])
+        assert code == 0
+        assert "persisted" in capsys.readouterr().out
+        with DocumentBackend(db) as backend:
+            stored = backend.describe("cli-doc")
+            assert stored is not None
+            # Same meta shape as the server's persistence, so a served
+            # reload can check projection coverage.
+            assert stored.meta == {
+                "projected": True,
+                "project_for": ["//emailaddress"],
+            }
+            loaded, _ = backend.load("cli-doc")
+            assert loaded.size() == stored.nodes
+
+    def test_docstore_bench_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["docstore-bench"])
+        assert args.bytes == 4_500_000
+        assert args.seed == 7
+        assert args.repeats == 3
