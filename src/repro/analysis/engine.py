@@ -404,16 +404,23 @@ class AnalysisEngine:
     def attach_store(self, store) -> None:
         """Back the pair memo with a persistent verdict store.
 
-        ``store`` must provide ``get(schema_digest, k, query_digest,
-        update_digest) -> PairVerdict | None`` and ``put(schema_digest,
-        k, query_digest, update_digest, verdict)`` (see
-        :class:`repro.serve.store.VerdictStore`).  Once attached, a
+        ``store`` is either a whole
+        :class:`repro.storage.StorageBackend` (its ``verdicts`` facet
+        is attached) or any verdict KV providing
+        ``get(schema_digest, k, query_digest, update_digest) ->
+        PairVerdict | None`` and ``put(schema_digest, k, query_digest,
+        update_digest, verdict)`` (see
+        :class:`repro.storage.base.VerdictKV`).  Once attached, a
         witness-free :meth:`analyze_pair` miss consults the store
         *before* chain inference -- a store hit therefore never builds
         the universe or the inference tables, which is what makes a
         restarted service warm-start from disk -- and every freshly
         computed verdict is written through.
         """
+        verdicts = getattr(store, "verdicts", None)
+        if verdicts is not None and not callable(
+                getattr(store, "get", None)):
+            store = verdicts
         self._store = store
 
     @property

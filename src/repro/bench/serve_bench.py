@@ -104,8 +104,16 @@ async def _run_mode(mode: str, store_path: str,
 
 
 async def run_serve_bench_async(workload: dict | None = None,
-                                batch_window: float = 0.002) -> dict:
-    """The three-mode comparison (the PR 3 acceptance numbers)."""
+                                batch_window: float = 0.002,
+                                store: str | None = None) -> dict:
+    """The three-mode comparison (the PR 3 acceptance numbers).
+
+    ``store`` overrides the throwaway per-mode SQLite file with one
+    store URL (``sqlite:///...``, ``postgresql://...``) so the bench
+    can measure a specific backend; the stateful legs then share that
+    backend, which warm-starts the later ones.  The oneshot leg never
+    touches a store either way.
+    """
     workload = {**DEFAULT_WORKLOAD, **(workload or {})}
     reports: dict[str, dict] = {}
     for mode in ("batched", "engine", "oneshot"):
@@ -113,6 +121,11 @@ async def run_serve_bench_async(workload: dict | None = None,
             # Stateless mode never touches the store.
             reports[mode] = await _run_mode(
                 mode, ":memory:", workload, batch_window
+            )
+            continue
+        if store is not None:
+            reports[mode] = await _run_mode(
+                mode, store, workload, batch_window
             )
             continue
         with _store_file(mode) as store_path:
@@ -152,7 +165,8 @@ async def run_serve_bench_async(workload: dict | None = None,
 
 async def run_shard_bench_async(shards: int = 2,
                                 workload: dict | None = None,
-                                batch_window: float = 0.002) -> dict:
+                                batch_window: float = 0.002,
+                                store: str | None = None) -> dict:
     """Single-shard vs ``shards``-shard throughput, same workload.
 
     Both legs run the default batched mode; the single-shard leg is the
@@ -160,22 +174,31 @@ async def run_shard_bench_async(shards: int = 2,
     leg is the router + worker-process pool.  Verdicts must be
     byte-identical across shard counts -- the analysis is a pure
     function of ``(schema digest, k, query, update)``, so topology may
-    only change speed, never answers.
+    only change speed, never answers.  ``store`` (a store URL)
+    replaces the throwaway per-leg SQLite file, so both legs share one
+    backend (the second leg warm-starts from the first).
     """
     workload = {**SHARD_WORKLOAD, **(workload or {})}
     reports: dict[int, dict] = {}
+
+    async def leg(count: int, store_path: str) -> dict:
+        config = ServeConfig(
+            port=0,
+            store_path=store_path,
+            batch_window=batch_window,
+            preload=("xmark",),
+            shards=count,
+        )
+        return await _run_config(
+            config, LoadgenConfig(source="bench", **workload)
+        )
+
     for count in sorted({1, shards}):
+        if store is not None:
+            reports[count] = await leg(count, store)
+            continue
         with _store_file(f"{count}shard") as store_path:
-            config = ServeConfig(
-                port=0,
-                store_path=store_path,
-                batch_window=batch_window,
-                preload=("xmark",),
-                shards=count,
-            )
-            reports[count] = await _run_config(
-                config, LoadgenConfig(source="bench", **workload)
-            )
+            reports[count] = await leg(count, store_path)
 
     verdict_blobs = {
         count: json.dumps(report["verdicts"], sort_keys=True)
@@ -231,13 +254,18 @@ def append_trajectory_point(path: str, point: dict) -> None:
 def run_serve_bench(workload: dict | None = None,
                     batch_window: float = 0.002,
                     shards: int = 2,
+                    store: str | None = None,
                     out=sys.stdout) -> dict:
     """Run the mode and shard comparisons; print both (CLI body).
 
     Pass ``shards <= 1`` to skip the shard comparison (e.g. on a
-    single-core box where it only measures router overhead).
+    single-core box where it only measures router overhead), and
+    ``store`` (a store URL) to bench a specific backend instead of
+    throwaway SQLite files.
     """
-    results = asyncio.run(run_serve_bench_async(workload, batch_window))
+    results = asyncio.run(
+        run_serve_bench_async(workload, batch_window, store=store)
+    )
     shape = results["workload"]
     print(f"serve benchmark -- {shape['n_queries']}x{shape['n_updates']} "
           f"XMark pool, {shape['clients']} clients, "
@@ -258,7 +286,9 @@ def run_serve_bench(workload: dict | None = None,
           f"{results['distinct_pairs']} independent)", file=out)
 
     if shards > 1:
-        sharding = asyncio.run(run_shard_bench_async(shards, workload))
+        sharding = asyncio.run(
+            run_shard_bench_async(shards, workload, store=store)
+        )
         results["sharding"] = sharding
         print(f"shard comparison -- schemas "
               f"{','.join(sharding['workload']['schemas'])}, "

@@ -9,7 +9,7 @@ Subcommands::
         [--seed 7] [--out doc.xml]
     python -m repro infer-dtd doc1.xml doc2.xml ...
     python -m repro load document.xml --builtin xmark \\
-        [--project '//title' ...] [--docstore docs.sqlite --doc ID]
+        [--project '//title' ...] [--store sqlite:///docs.db --doc ID]
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
     python -m repro docstore-bench [--bytes N] [--seed S] \\
         [--json BENCH_docstore.json]
@@ -17,7 +17,7 @@ Subcommands::
         [--processes N]
     python -m repro fuzz [--count N] [--seed S] [--max-tags N] \\
         [--json report.json] [--corpus-dir DIR]
-    python -m repro serve [--port P] [--store FILE] [--window MS] \\
+    python -m repro serve [--port P] [--store URL] [--window MS] \\
         [--shards N] [--mode batched|engine|oneshot] \\
         [--max-documents N] [--preload xmark ...]
     python -m repro loadgen [--port P] [--clients N] [--requests N] \\
@@ -142,10 +142,11 @@ def _cmd_infer_dtd(args: argparse.Namespace) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     import time
+    from contextlib import ExitStack
 
     from .analysis.project import chain_keep_for_queries
-    from .docstore.backend import DocumentBackend
     from .docstore.streamload import load_path
+    from .storage import normalize_store_flags
 
     schema = _load_schema(args)
     keep = None
@@ -162,12 +163,29 @@ def _cmd_load(args: argparse.Namespace) -> int:
           f"skipped {result.subtrees_skipped:,} subtrees, "
           f"{seconds * 1e3:.1f} ms"
           + (" [projected]" if keep is not None else ""))
-    if args.docstore:
+    normalize_store_flags("", args.docstore or "",
+                          doc_flag="--docstore")
+    target = args.store or args.docstore
+    if target:
         from .analysis.engine import schema_digest
 
         doc_id = args.doc or args.document
-        with DocumentBackend(args.docstore) as backend:
-            rows = backend.save(
+        with ExitStack() as stack:
+            if args.store:
+                from .storage import open_store
+
+                documents = stack.enter_context(
+                    open_store(args.store)
+                ).documents
+            else:
+                # Legacy --docstore path: a documents-only SQLite file,
+                # byte-compatible with what DocumentBackend produced.
+                from .storage.sqlite import SqliteDocumentStore
+
+                documents = stack.enter_context(
+                    SqliteDocumentStore(args.docstore)
+                )
+            rows = documents.save(
                 doc_id, result.tree, schema_digest(schema),
                 nodes_seen=result.nodes_seen,
                 subtrees_skipped=result.subtrees_skipped,
@@ -181,7 +199,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 },
             )
         print(f"persisted {rows:,} node rows as {doc_id!r} "
-              f"in {args.docstore}")
+              f"in {target}")
     return 0
 
 
@@ -255,7 +273,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve.server import run_service
+    from .storage import normalize_store_flags
 
+    normalize_store_flags(args.store, args.doc_store)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -351,6 +371,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workload={"requests": args.requests, "clients": args.clients},
         batch_window=args.window / 1e3,
         shards=args.shards,
+        store=args.store,
     )
     ok = results["verdicts_identical"] and \
         results.get("sharding", {}).get("verdicts_identical", True)
@@ -415,9 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="query whose inferred chains drive "
                                "projection pushdown (repeatable; the "
                                "union of chains is kept)")
+    load_cmd.add_argument("--store", default=None,
+                          help="persist the node table into this store "
+                               "URL (memory://, sqlite:///docs.db, "
+                               "postgresql://host/db; see "
+                               "docs/STORAGE.md)")
     load_cmd.add_argument("--docstore",
-                          help="persist the node table into this "
-                               "SQLite document store")
+                          help="deprecated: persist into this SQLite "
+                               "document store path (use --store with "
+                               "a store URL instead)")
     load_cmd.add_argument("--doc",
                           help="document id in the store (default: "
                                "the file path)")
@@ -514,21 +541,29 @@ def build_parser() -> argparse.ArgumentParser:
                f"shards {serve_defaults.shards}, store "
                f"{serve_defaults.store_path} (ephemeral). "
                "Wire reference: docs/PROTOCOL.md; architecture: "
-               "docs/ARCHITECTURE.md.",
+               "docs/ARCHITECTURE.md; store URLs: docs/STORAGE.md.",
     )
     serve_cmd.add_argument("--host", default=serve_defaults.host)
     serve_cmd.add_argument("--port", type=int,
                            default=serve_defaults.port,
                            help="TCP port (0 picks a free one)")
     serve_cmd.add_argument("--store", default=serve_defaults.store_path,
-                           help="SQLite verdict store path "
+                           help="store URL (memory://, "
+                                "sqlite:///path.db, "
+                                "postgresql://host/db) persisting "
+                                "verdicts AND documents in one "
+                                "backend; a plain SQLite path is the "
+                                "deprecated verdicts-only spelling "
                                 "(default: in-memory; with --shards, "
-                                "a file is shared by all shards)")
+                                "the backend is shared by all shards; "
+                                "see docs/STORAGE.md)")
     serve_cmd.add_argument("--doc-store",
                            default=serve_defaults.doc_store_path,
-                           help="SQLite document store path: loaded "
-                                "documents persist as node tables and "
-                                "survive restarts without a re-parse "
+                           help="deprecated: separate SQLite document "
+                                "store path (use one --store URL "
+                                "instead); loaded documents persist as "
+                                "node tables and survive restarts "
+                                "without a re-parse "
                                 "(default: disabled)")
     serve_cmd.add_argument("--window", type=float,
                            default=serve_defaults.batch_window * 1e3,
@@ -628,6 +663,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench_cmd.add_argument("--shards", type=int, default=2,
                                  help="shard count for the sharding "
                                       "comparison (<= 1 skips it)")
+    serve_bench_cmd.add_argument("--store", default=None,
+                                 help="store URL to bench against "
+                                      "(default: throwaway SQLite "
+                                      "files per leg)")
     serve_bench_cmd.add_argument("--json",
                                  help="append a trajectory point to "
                                       "this file (BENCH_serve.json)")

@@ -1,255 +1,27 @@
-"""SQLite persistence of the interval-encoded node table.
+"""Deprecated alias of the SQLite document store.
 
-One database per service registry (``ServeConfig.doc_store_path``)
-holds every persisted document as rows of its node table, keyed by
-``(doc, loc)`` where ``loc`` is the location id *and* the pre rank
-(documents are compacted to canonical pre-order before saving).  A
-restarted service re-materializes a document with one ordered range
-scan -- no XML re-parse, no tree walk: the pre/size/level/parent
-columns are the encoding, and child lists rebuild in document order as
-the rows stream in.  ``journal_mode=WAL`` keeps writers from blocking
-the readers of other documents, and ``mmap_size`` lets SQLite serve
-the scan from page-cache mappings.
+The node-table persistence now lives in :mod:`repro.storage` --
+:class:`repro.storage.sqlite.SqliteDocumentStore` is the
+implementation (one ordered range scan to re-materialize, compaction
+to canonical pre-order on save, WAL/mmap pragmas via the shared
+:func:`repro.storage.sqlite.connect` factory), and
+:func:`repro.storage.open_store` is the URL-based way to open one.
+:class:`DocumentBackend` is kept for one release as a byte-compatible
+adapter; new code should open backends through store URLs.
 """
 
 from __future__ import annotations
 
-import json
-import sqlite3
-import threading
-from dataclasses import dataclass
+from ..storage.base import StoredDocument, compact_store as _compact
+from ..storage.sqlite import SqliteDocumentStore
 
-from .encode import IndexedStore, IndexedTree
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS documents (
-    doc            TEXT PRIMARY KEY,
-    schema_digest  TEXT NOT NULL,
-    nodes          INTEGER NOT NULL,
-    nodes_seen     INTEGER NOT NULL,
-    subtrees_skipped INTEGER NOT NULL,
-    meta           TEXT NOT NULL DEFAULT '{}',
-    created        REAL NOT NULL
-);
-CREATE TABLE IF NOT EXISTS nodes (
-    doc    TEXT NOT NULL,
-    loc    INTEGER NOT NULL,
-    parent INTEGER,
-    level  INTEGER NOT NULL,
-    size   INTEGER NOT NULL,
-    tag    TEXT,
-    text   TEXT,
-    PRIMARY KEY (doc, loc)
-) WITHOUT ROWID;
-"""
+__all__ = ["DocumentBackend", "StoredDocument", "_compact"]
 
 
-@dataclass(frozen=True)
-class StoredDocument:
-    """Catalog row of one persisted document."""
-
-    doc: str
-    schema_digest: str
-    nodes: int
-    nodes_seen: int
-    subtrees_skipped: int
-    meta: dict
-
-
-class DocumentBackend:
+class DocumentBackend(SqliteDocumentStore):
     """The node-table database behind a service's loaded documents.
 
-    Thread-safe the same way :class:`repro.serve.store.VerdictStore`
-    is: one connection guarded by a lock (callers run on the analysis
-    worker thread; the lock covers stray callers).
+    Deprecated alias of
+    :class:`repro.storage.sqlite.SqliteDocumentStore` (see the module
+    docstring for where the implementation moved).
     """
-
-    def __init__(self, path: str):
-        self.path = path
-        self._lock = threading.Lock()
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA mmap_size=268435456")
-        # Shard workers share one file; a concurrent multi-100k-row
-        # save must wait for the writer, not fail (same setting as the
-        # verdict store).
-        self._conn.execute("PRAGMA busy_timeout=10000")
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
-        #: Documents served from the table without a re-parse.
-        self.hits = 0
-        #: Lookups that found no persisted document.
-        self.misses = 0
-        #: Documents written (or overwritten).
-        self.saves = 0
-
-    # -- write ---------------------------------------------------------------
-
-    def save(self, doc: str, tree: IndexedTree, schema_digest: str,
-             nodes_seen: int = 0, subtrees_skipped: int = 0,
-             meta: dict | None = None) -> int:
-        """Persist ``tree`` under ``doc`` (replacing any prior version).
-
-        The tree is first compacted to canonical pre-order (location id
-        == pre rank over the reachable nodes, root at location 0), so
-        the row order *is* the document order and loading is a single
-        range scan.  Returns the number of node rows written.
-        """
-        store = _compact(tree)
-        rows = [
-            (doc, loc, store._parent[loc], store._level[loc],
-             store._size[loc], store._tags[loc], store._texts[loc])
-            for loc in range(len(store._tags))
-        ]
-        with self._lock:
-            with self._conn:  # one transaction: doc row + node rows
-                self._conn.execute("DELETE FROM nodes WHERE doc = ?",
-                                   (doc,))
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO documents VALUES "
-                    "(?, ?, ?, ?, ?, ?, strftime('%s', 'now'))",
-                    (doc, schema_digest, len(rows),
-                     nodes_seen or len(rows), subtrees_skipped,
-                     json.dumps(meta or {})),
-                )
-                self._conn.executemany(
-                    "INSERT INTO nodes VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    rows,
-                )
-        self.saves += 1
-        return len(rows)
-
-    def delete(self, doc: str) -> bool:
-        """Drop a persisted document; returns whether it existed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "DELETE FROM documents WHERE doc = ?", (doc,)
-            )
-            self._conn.execute("DELETE FROM nodes WHERE doc = ?", (doc,))
-            return cursor.rowcount > 0
-
-    # -- read ----------------------------------------------------------------
-
-    def describe(self, doc: str) -> StoredDocument | None:
-        """The catalog row of ``doc``, or None."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT doc, schema_digest, nodes, nodes_seen, "
-                "subtrees_skipped, meta FROM documents WHERE doc = ?",
-                (doc,),
-            ).fetchone()
-        if row is None:
-            return None
-        return StoredDocument(row[0], row[1], row[2], row[3], row[4],
-                              json.loads(row[5]))
-
-    def load(self, doc: str) -> tuple[IndexedTree, StoredDocument] | None:
-        """Re-materialize ``doc`` from its node table, or None.
-
-        One ordered scan rebuilds the columnar arrays directly; child
-        lists fill in document order because the rows *are* pre-order.
-        """
-        described = self.describe(doc)
-        if described is None:
-            self.misses += 1
-            return None
-        store = IndexedStore()
-        tags, texts, kids = store._tags, store._texts, store._kids
-        parents, levels, sizes = store._parent, store._level, store._size
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT loc, parent, level, size, tag, text FROM nodes "
-                "WHERE doc = ? ORDER BY loc", (doc,),
-            ).fetchall()
-        for loc, parent, level, size, tag, text in rows:
-            if loc != len(tags):
-                raise ValueError(
-                    f"corrupt node table for {doc!r}: row {loc} is not "
-                    f"dense pre-order (expected {len(tags)})"
-                )
-            tags.append(tag)
-            texts.append(text)
-            kids.append([] if tag is not None else None)
-            parents.append(parent)
-            levels.append(level)
-            sizes.append(size)
-            store._pre.append(loc)
-            store._order.append(loc)
-            if parent is not None:
-                kids[parent].append(loc)
-        self.hits += 1
-        return IndexedTree(store, 0), described
-
-    def list_documents(self) -> list[StoredDocument]:
-        """Catalog rows of every persisted document."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT doc, schema_digest, nodes, nodes_seen, "
-                "subtrees_skipped, meta FROM documents ORDER BY doc"
-            ).fetchall()
-        return [StoredDocument(r[0], r[1], r[2], r[3], r[4],
-                               json.loads(r[5])) for r in rows]
-
-    def stats(self) -> dict:
-        """Backend counters plus table sizes (one aggregate scan)."""
-        with self._lock:
-            documents, nodes = self._conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(nodes), 0) FROM documents"
-            ).fetchone()
-        return {
-            "path": self.path,
-            "documents": documents,
-            "nodes": nodes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "saves": self.saves,
-        }
-
-    def close(self) -> None:
-        """Close the connection (further calls fail)."""
-        with self._lock:
-            self._conn.close()
-
-    def __enter__(self) -> "DocumentBackend":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-def _compact(tree: IndexedTree) -> IndexedStore:
-    """A copy of ``tree`` in canonical pre-order (loc == pre rank,
-    root at location 0 -- the invariant ``load`` rebuilds from).
-
-    Freshly loaded/built trees are already canonical and are returned
-    as-is; mutated trees (overflow nodes, garbage) are rebuilt so the
-    persisted table stays dense.
-    """
-    store = tree.store
-    store.reencode()
-    n = len(store._tags)
-    if store.encoded_count == n and tree.root == 0 \
-            and store._order == list(range(n)):
-        return store
-    compacted = IndexedStore()
-    mapping: dict[int, int] = {}
-    for new_loc, loc in enumerate(store.descendants_or_self(tree.root)):
-        mapping[loc] = new_loc
-        tag = store._tags[loc]
-        compacted._alloc(tag, store._texts[loc],
-                         [] if tag is not None else None)
-        compacted._pre[new_loc] = new_loc
-        compacted._order.append(new_loc)
-        parent = store._parent[loc]
-        if parent is not None and parent in mapping:
-            mapped = mapping[parent]
-            compacted._parent[new_loc] = mapped
-            compacted._kids[mapped].append(new_loc)
-            compacted._level[new_loc] = compacted._level[mapped] + 1
-    for loc in range(len(compacted._tags) - 1, -1, -1):
-        kids = compacted._kids[loc]
-        compacted._size[loc] = 1 + (
-            sum(compacted._size[k] for k in kids) if kids else 0
-        )
-    return compacted

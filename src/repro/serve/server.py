@@ -6,7 +6,8 @@ Architecture of one (unsharded) service instance, top to bottom::
                  concurrent per-request dispatch, responses tagged by id)
       -> MicroBatcher admission queue        (analyze)
       -> SchemaRegistry (LRU of per-schema AnalysisEngines)
-      -> VerdictStore   (SQLite, write-through, group commit)
+      -> storage backend (verdict KV: write-through, group commit;
+         memory / SQLite / PostgreSQL, picked by the store URL)
 
 plus direct endpoints over the same engines for ``matrix``,
 ``schedule`` (:class:`~repro.viewmaint.scheduler.IsolationScheduler`
@@ -27,7 +28,8 @@ hashes each request's schema digest onto its owning shard::
                ShardLink per shard)
       -> shard 0..N-1 (each: its own MicroBatcher + SchemaRegistry
                        partition + AnalysisEngine instances)
-      -> one shared SQLite VerdictStore (WAL, multi-process writers)
+      -> one shared storage backend (SQLite WAL with multi-process
+         writers, or one PostgreSQL server shared across hosts)
 
 Coalescing still happens per ``(schema, k)`` inside the owning shard --
 affinity routing guarantees all traffic for one schema meets in one
@@ -60,7 +62,6 @@ from ..analysis.engine import schema_digest
 from ..analysis.independence import analyze as oneshot_analyze
 from ..analysis.project import chain_keep_for_queries
 from ..docstore.adapter import to_indexed
-from ..docstore.backend import DocumentBackend
 from ..docstore.streamload import load_path, load_xml
 from ..schema.dtd import DTD
 from ..viewmaint.cache import ViewCache
@@ -83,6 +84,7 @@ from .protocol import (
     ok_response,
     require,
 )
+from ..storage import open_storage_plan, serve_storage_plan
 from .registry import BUILTIN_SCHEMAS, SchemaRegistry, UnknownSchemaError
 from .sharding import (
     DIGEST_RE,
@@ -92,7 +94,6 @@ from .sharding import (
     shard_for,
     spawn_shards,
 )
-from .store import VerdictStore
 
 ANALYSIS_MODES = ("batched", "engine", "oneshot")
 
@@ -109,11 +110,19 @@ class ServeConfig:
     label a worker's ``/stats`` payload and namespace its document ids
     so the router can route document operations statelessly.
 
-    ``doc_store_path`` names the SQLite document store (one node-table
-    database per registry): loaded documents persist there and are
-    served from the table after a restart instead of being re-parsed.
-    Empty (the default) disables persistence.  With ``shards`` the
-    file, like the verdict store, is shared by all shard workers.
+    ``store_path`` accepts a **store URL** (``memory://``,
+    ``sqlite:///path.db``, ``postgresql://host/db`` -- see
+    :mod:`repro.storage` and ``docs/STORAGE.md``); a URL is *unified*:
+    one backend persists verdicts and documents together, so
+    ``doc_store_path`` becomes unnecessary.  The legacy spellings keep
+    their historical semantics: ``":memory:"`` (default) is an
+    ephemeral verdict store, a plain path is a verdicts-only SQLite
+    file, and ``doc_store_path`` names a separate SQLite document
+    store (one node-table database per registry) -- loaded documents
+    persist there and are served from the table after a restart
+    instead of being re-parsed; empty (the default) disables
+    persistence.  With ``shards`` the backend, like the verdict store,
+    is shared by all shard workers.
     """
 
     host: str = "127.0.0.1"
@@ -334,7 +343,11 @@ class IndependenceService(JsonLinesFront):
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         super().__init__(self.config.host, self.config.port)
-        self.store = VerdictStore(self.config.store_path)
+        self.storage_plan = serve_storage_plan(
+            self.config.store_path, self.config.doc_store_path
+        )
+        self._storage = open_storage_plan(self.storage_plan)
+        self.store = self._storage.verdicts
         self.registry = SchemaRegistry(
             store=self.store,
             max_schemas=self.config.max_schemas,
@@ -353,10 +366,7 @@ class IndependenceService(JsonLinesFront):
         #: Per-document load accounting (kept vs skipped-by-projection,
         #: provenance), mirrored into ``/stats``.
         self._doc_meta: dict[str, dict] = {}
-        self.docstore = (
-            DocumentBackend(self.config.doc_store_path)
-            if self.config.doc_store_path else None
-        )
+        self.docstore = self._storage.documents
         self._next_doc = 0
         self.document_evictions = 0
         self._ops = {
@@ -372,9 +382,7 @@ class IndependenceService(JsonLinesFront):
         """Drain the admission queue, stop the worker, close the stores."""
         await self.batcher.drain()
         self.batcher.close()
-        self.store.close()
-        if self.docstore is not None:
-            self.docstore.close()
+        self._storage.close()
 
     # -- dispatch ------------------------------------------------------------
 
@@ -705,8 +713,8 @@ class IndependenceService(JsonLinesFront):
                 raise ProtocolError(
                     BAD_PARAMS,
                     f"doc {name!r} given without a source, but the "
-                    "service has no document store (--doc-store); "
-                    "pass xml/path or explicit bytes/seed",
+                    "service has no document store (--doc-store or a "
+                    "--store URL); pass xml/path or explicit bytes/seed",
                 )
             loaded = None
             # Only a reload request consults the store: explicit
@@ -918,6 +926,12 @@ class ShardedService(JsonLinesFront):
     def __init__(self, config: ServeConfig):
         super().__init__(config.host, config.port)
         self.config = config
+        #: Resolved storage wiring (never opened router-side: the
+        #: router owns no stores, but stats aggregation needs to know
+        #: whether the shards share one backend or hold private ones).
+        self.storage_plan = serve_storage_plan(
+            config.store_path, config.doc_store_path
+        )
         self.max_aliases = max(
             self.MAX_ALIASES, config.max_schemas * config.shards
         )
@@ -1212,13 +1226,14 @@ class ShardedService(JsonLinesFront):
             "batcher": batcher,
             "store": {
                 "path": self.config.store_path,
-                # One shared file: every shard reports the same count
-                # (take max to tolerate snapshot skew).  In-memory
-                # stores are private per worker and disjoint under
-                # affinity routing, so the true total is the sum.
+                # One shared backend (file or server): every shard
+                # reports the same count (take max to tolerate
+                # snapshot skew).  Memory stores are private per
+                # worker and disjoint under affinity routing, so the
+                # true total is the sum.
                 "verdicts": (
                     sum(p["store"]["verdicts"] for p in per_shard)
-                    if self.config.store_path == ":memory:"
+                    if self.storage_plan.verdicts.kind == "memory"
                     else max(
                         (p["store"]["verdicts"] for p in per_shard),
                         default=0,

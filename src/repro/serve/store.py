@@ -1,157 +1,23 @@
-"""Persistent verdict store: SQLite behind the engine's pair memo.
+"""Deprecated alias of the SQLite verdict store.
 
-A verdict row is keyed by ``(schema_digest, k, query_digest,
-update_digest)`` -- exactly the key :meth:`AnalysisEngine.analyze_pair`
-uses when consulting an attached store -- and carries the slim
-:class:`~repro.analysis.engine.PairVerdict` fields.  Because digests are
-content hashes of the canonical schema spec and the normalized
-expression sources, rows survive restarts, schema re-registration, and
-even store sharing between services: a cold engine attached to a warm
-store serves already-seen pairs without ever building its inference
-tables (the warm-start property the serve subsystem's tests pin).
-
-Write durability is transactional per :meth:`put` by default; the
-micro-batcher wraps a whole coalesced flush in :meth:`deferred` so a
-batch of verdicts costs one commit (group commit), which is a large
-part of the batched service's throughput win.
+The persistent verdict map now lives in :mod:`repro.storage` --
+:class:`repro.storage.sqlite.SqliteVerdictKV` is the implementation,
+and :func:`repro.storage.open_store` is the URL-based way to open one.
+:class:`VerdictStore` is kept for one release as a byte-compatible
+adapter (same constructor, same tables, same pragmas via the shared
+:func:`repro.storage.sqlite.connect` factory) so existing imports keep
+working; new code should open backends through store URLs.
 """
 
 from __future__ import annotations
 
-import sqlite3
-import threading
-from contextlib import contextmanager
-
-from ..analysis.engine import PairVerdict
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS verdicts (
-    schema_digest TEXT NOT NULL,
-    k             INTEGER NOT NULL,
-    query_digest  TEXT NOT NULL,
-    update_digest TEXT NOT NULL,
-    independent   INTEGER NOT NULL,
-    k_query       INTEGER NOT NULL,
-    k_update      INTEGER NOT NULL,
-    PRIMARY KEY (schema_digest, k, query_digest, update_digest)
-) WITHOUT ROWID;
-"""
+from ..storage.sqlite import SqliteVerdictKV
 
 
-class VerdictStore:
+class VerdictStore(SqliteVerdictKV):
     """SQLite-backed map from pair keys to slim verdicts.
 
-    Thread-safe: the asyncio service touches it from the event loop
-    (stats) and from the analysis worker thread (engine write-through),
-    so every connection access holds one lock.  ``":memory:"`` gives an
-    ephemeral store with identical semantics (tests, `--store none`).
+    Deprecated alias of :class:`repro.storage.sqlite.SqliteVerdictKV`
+    (see the module docstring); ``":memory:"`` gives an ephemeral
+    store with identical semantics (tests, `--store none`).
     """
-
-    def __init__(self, path: str = ":memory:"):
-        self.path = path
-        self._lock = threading.Lock()
-        self._connection = sqlite3.connect(path, check_same_thread=False)
-        self._deferred_depth = 0
-        self._closed = False
-        with self._lock:
-            if path != ":memory:":
-                # WAL keeps readers unblocked and makes group commit
-                # cheap; it also supports writers in *separate
-                # processes*, which is what lets every shard of a
-                # sharded service share one store file.  A shard
-                # holding a deferred() group-commit transaction briefly
-                # blocks other shards' commits, so give the write lock
-                # a generous wait instead of surfacing SQLITE_BUSY.
-                self._connection.execute("PRAGMA journal_mode=WAL")
-                self._connection.execute("PRAGMA busy_timeout=10000")
-                self._connection.execute("PRAGMA synchronous=NORMAL")
-            self._connection.execute(_SCHEMA)
-            self._connection.commit()
-
-    # -- engine-facing protocol ----------------------------------------------
-
-    def get(self, schema_digest: str, k: int, query_digest: str,
-            update_digest: str) -> PairVerdict | None:
-        """The stored verdict for one pair key, or ``None``."""
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT independent, k_query, k_update FROM verdicts"
-                " WHERE schema_digest=? AND k=? AND query_digest=?"
-                " AND update_digest=?",
-                (schema_digest, k, query_digest, update_digest),
-            ).fetchone()
-        if row is None:
-            return None
-        independent, k_query, k_update = row
-        return PairVerdict(
-            independent=bool(independent),
-            k=k,
-            k_query=k_query,
-            k_update=k_update,
-            analysis_seconds=0.0,
-        )
-
-    def put(self, schema_digest: str, k: int, query_digest: str,
-            update_digest: str, verdict: PairVerdict) -> None:
-        """Write one verdict through (committed unless deferred)."""
-        with self._lock:
-            self._connection.execute(
-                "INSERT OR REPLACE INTO verdicts VALUES (?,?,?,?,?,?,?)",
-                (schema_digest, k, query_digest, update_digest,
-                 int(verdict.independent), verdict.k_query,
-                 verdict.k_update),
-            )
-            if self._deferred_depth == 0:
-                self._connection.commit()
-
-    # -- service-facing helpers ----------------------------------------------
-
-    @contextmanager
-    def deferred(self):
-        """Group-commit scope: writes inside commit once at exit.
-
-        Nests; only the outermost exit commits.  Entered by the
-        micro-batcher around one coalesced ``analyze_matrix`` flush.
-        """
-        with self._lock:
-            self._deferred_depth += 1
-        try:
-            yield self
-        finally:
-            with self._lock:
-                self._deferred_depth -= 1
-                if self._deferred_depth == 0:
-                    self._connection.commit()
-
-    def count(self, schema_digest: str | None = None) -> int:
-        """Stored verdicts, optionally restricted to one schema."""
-        with self._lock:
-            if schema_digest is None:
-                row = self._connection.execute(
-                    "SELECT COUNT(*) FROM verdicts"
-                ).fetchone()
-            else:
-                row = self._connection.execute(
-                    "SELECT COUNT(*) FROM verdicts WHERE schema_digest=?",
-                    (schema_digest,),
-                ).fetchone()
-        return row[0]
-
-    def stats(self) -> dict:
-        """Path and size (the ``/stats`` store section)."""
-        return {"path": self.path, "verdicts": self.count()}
-
-    def close(self) -> None:
-        """Commit and close the connection (idempotent)."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._connection.commit()
-            self._connection.close()
-
-    def __enter__(self) -> VerdictStore:
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

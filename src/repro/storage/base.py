@@ -1,0 +1,299 @@
+"""The storage interface every backend implements.
+
+One :class:`StorageBackend` bundles the two durable surfaces the
+serving layer needs:
+
+* a **verdict KV** (:class:`VerdictKV`) -- the persistent pair-verdict
+  map behind :meth:`repro.analysis.engine.AnalysisEngine.attach_store`:
+  ``get``/``put``/``scan`` keyed by ``(schema_digest, k, query_digest,
+  update_digest)``, with a :meth:`~VerdictKV.deferred` group-commit
+  scope so a coalesced micro-batch flush costs one commit;
+* a **document store** (:class:`DocumentStore`) -- the interval-encoded
+  node table plus its document registry: ``save`` compacts a tree to
+  canonical pre-order and persists it row-per-node, ``load``
+  re-materializes it with one ordered range scan (no XML re-parse),
+  and :meth:`~DocumentStore.ancestors` / :meth:`~DocumentStore.descendants`
+  answer axis traversals *inside* the database so persisted documents
+  can be navigated without full re-materialization.
+
+Implementations: :mod:`repro.storage.memory` (per-process dicts),
+:mod:`repro.storage.sqlite` (one WAL database shared by multi-process
+shard writers), and :mod:`repro.storage.postgres` (one server shared by
+many hosts; psycopg-gated).  The conformance suite in
+``tests/storage/test_conformance.py`` runs the same assertions against
+every backend.
+
+The row codec is shared: every backend persists the same
+``(loc, parent, level, size, tag, text)`` tuples produced by
+:func:`node_rows` and rebuilds trees through :func:`materialize`, so a
+document round-trips byte-identically through any backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.docstore's
+    # package init imports the legacy DocumentBackend adapter, which
+    # imports this module back (a cycle a module-level import would
+    # trip when repro.storage loads first).
+    from ..docstore.encode import IndexedStore, IndexedTree
+
+#: Node-table row shape shared by every backend:
+#: ``(loc, parent, level, size, tag, text)`` in canonical pre-order.
+NODE_COLUMNS = ("loc", "parent", "level", "size", "tag", "text")
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """Catalog row of one persisted document."""
+
+    doc: str
+    schema_digest: str
+    nodes: int
+    nodes_seen: int
+    subtrees_skipped: int
+    meta: dict
+
+
+def compact_store(tree: IndexedTree) -> IndexedStore:
+    """A copy of ``tree`` in canonical pre-order (loc == pre rank,
+    root at location 0 -- the invariant :func:`materialize` rebuilds
+    from).
+
+    Freshly loaded/built trees are already canonical and are returned
+    as-is; mutated trees (overflow nodes, garbage) are rebuilt so the
+    persisted table stays dense.
+    """
+    from ..docstore.encode import IndexedStore
+
+    store = tree.store
+    store.reencode()
+    n = len(store._tags)
+    if store.encoded_count == n and tree.root == 0 \
+            and store._order == list(range(n)):
+        return store
+    compacted = IndexedStore()
+    mapping: dict[int, int] = {}
+    for new_loc, loc in enumerate(store.descendants_or_self(tree.root)):
+        mapping[loc] = new_loc
+        tag = store._tags[loc]
+        compacted._alloc(tag, store._texts[loc],
+                         [] if tag is not None else None)
+        compacted._pre[new_loc] = new_loc
+        compacted._order.append(new_loc)
+        parent = store._parent[loc]
+        if parent is not None and parent in mapping:
+            mapped = mapping[parent]
+            compacted._parent[new_loc] = mapped
+            compacted._kids[mapped].append(new_loc)
+            compacted._level[new_loc] = compacted._level[mapped] + 1
+    for loc in range(len(compacted._tags) - 1, -1, -1):
+        kids = compacted._kids[loc]
+        compacted._size[loc] = 1 + (
+            sum(compacted._size[k] for k in kids) if kids else 0
+        )
+    return compacted
+
+
+def node_rows(tree: IndexedTree) -> list[tuple]:
+    """``tree`` compacted to the canonical row tuples every backend
+    persists (see :data:`NODE_COLUMNS`)."""
+    store = compact_store(tree)
+    return [
+        (loc, store._parent[loc], store._level[loc], store._size[loc],
+         store._tags[loc], store._texts[loc])
+        for loc in range(len(store._tags))
+    ]
+
+
+def materialize(rows, doc: str) -> IndexedTree:
+    """Rebuild a tree from its node rows (one ordered scan).
+
+    Child lists fill in document order because the rows *are*
+    pre-order; raises :class:`ValueError` on a non-dense table (which
+    can only mean corruption, whatever the backend).
+    """
+    from ..docstore.encode import IndexedStore, IndexedTree
+
+    store = IndexedStore()
+    tags, texts, kids = store._tags, store._texts, store._kids
+    parents, levels, sizes = store._parent, store._level, store._size
+    for loc, parent, level, size, tag, text in rows:
+        if loc != len(tags):
+            raise ValueError(
+                f"corrupt node table for {doc!r}: row {loc} is not "
+                f"dense pre-order (expected {len(tags)})"
+            )
+        tags.append(tag)
+        texts.append(text)
+        kids.append([] if tag is not None else None)
+        parents.append(parent)
+        levels.append(level)
+        sizes.append(size)
+        store._pre.append(loc)
+        store._order.append(loc)
+        if parent is not None:
+            kids[parent].append(loc)
+    return IndexedTree(store, 0)
+
+
+class VerdictKV:
+    """Interface of the persistent pair-verdict map.
+
+    Keys are ``(schema_digest, k, query_digest, update_digest)`` --
+    exactly what :meth:`AnalysisEngine.analyze_pair` consults -- and
+    values are slim :class:`~repro.analysis.engine.PairVerdict` rows.
+    Because digests are content hashes, rows survive restarts, schema
+    re-registration, and store sharing between services and hosts.
+    """
+
+    def get(self, schema_digest: str, k: int, query_digest: str,
+            update_digest: str):
+        """The stored verdict for one pair key, or ``None``."""
+        raise NotImplementedError
+
+    def put(self, schema_digest: str, k: int, query_digest: str,
+            update_digest: str, verdict) -> None:
+        """Write one verdict through (committed unless deferred)."""
+        raise NotImplementedError
+
+    def scan(self, schema_digest: str | None = None):
+        """Iterate ``(schema_digest, k, query_digest, update_digest,
+        verdict)`` rows, optionally restricted to one schema."""
+        raise NotImplementedError
+
+    def deferred(self):
+        """Group-commit scope: writes inside commit once at exit.
+
+        Nests; only the outermost exit commits.  Entered by the
+        micro-batcher around one coalesced ``analyze_matrix`` flush.
+        """
+        raise NotImplementedError
+
+    def count(self, schema_digest: str | None = None) -> int:
+        """Stored verdicts, optionally restricted to one schema."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Path/target and size (the ``/stats`` store section)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        """Context-manager entry (closes on exit)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()
+
+
+class DocumentStore:
+    """Interface of the persisted node-table + document registry.
+
+    Subclasses implement ``save``/``load``/``describe``/``delete``/
+    ``list_documents`` plus the in-database traversals; this base owns
+    the per-process counters every implementation reports.
+    """
+
+    def __init__(self):
+        #: Documents served from the table without a re-parse.
+        self.hits = 0
+        #: Lookups that found no persisted document.
+        self.misses = 0
+        #: Documents written (or overwritten).
+        self.saves = 0
+
+    def save(self, doc: str, tree: IndexedTree, schema_digest: str,
+             nodes_seen: int = 0, subtrees_skipped: int = 0,
+             meta: dict | None = None) -> int:
+        """Persist ``tree`` under ``doc`` (replacing any prior version,
+        compacted to canonical pre-order); returns rows written."""
+        raise NotImplementedError
+
+    def load(self, doc: str):
+        """``(IndexedTree, StoredDocument)`` re-materialized from the
+        node table with one ordered range scan, or ``None``."""
+        raise NotImplementedError
+
+    def describe(self, doc: str) -> StoredDocument | None:
+        """The catalog row of ``doc``, or None."""
+        raise NotImplementedError
+
+    def delete(self, doc: str) -> bool:
+        """Drop a persisted document; returns whether it existed."""
+        raise NotImplementedError
+
+    def list_documents(self) -> list[StoredDocument]:
+        """Catalog rows of every persisted document."""
+        raise NotImplementedError
+
+    def ancestors(self, doc: str, loc: int) -> list[int]:
+        """Locations of ``loc``'s ancestors, root first, computed
+        inside the database (recursive CTE over the parent column in
+        the SQL backends) -- no tree materialization."""
+        raise NotImplementedError
+
+    def descendants(self, doc: str, loc: int,
+                    tag: str | None = None) -> list[int]:
+        """Locations of ``loc``'s proper descendants in document
+        order, computed inside the database as one interval range scan
+        (``loc < x < loc + size``), optionally filtered by ``tag``."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Backend counters plus table sizes."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backing resources (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        """Context-manager entry (closes on exit)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()
+
+
+class StorageBackend:
+    """One durable backend bundling verdicts and documents.
+
+    Opened from a store URL by :func:`repro.storage.open_store`; the
+    two facets share the backend's connection and lock, so ``close``
+    releases everything once.
+    """
+
+    #: Scheme name ("memory", "sqlite", "postgresql").
+    kind: str = ""
+    #: Whether two processes opening the same URL see shared state
+    #: (files and servers are shared; memory is per-process).
+    shared: bool = False
+
+    def __init__(self):
+        self.verdicts: VerdictKV
+        self.documents: DocumentStore
+
+    @property
+    def url(self) -> str:
+        """The canonical store URL this backend was opened from."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Close both facets and the shared connection (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        """Context-manager entry (closes on exit)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()

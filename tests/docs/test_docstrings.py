@@ -1,11 +1,11 @@
 """Public-API docstring coverage for the serving layer, the engine,
-and the document store.
+the document store, and the storage backends.
 
 The PR 4 docstring pass is enforced, not aspirational: every public
 module, class, function, and method across ``repro.serve``,
-``repro.analysis.engine``, and ``repro.docstore`` must carry a
-docstring.  Private names (leading underscore) and
-inherited/generated members are exempt.
+``repro.analysis.engine``, ``repro.docstore``, ``repro.storage``, and
+the ``repro.api`` facade must carry a docstring.  Private names
+(leading underscore) and inherited/generated members are exempt.
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ import inspect
 import pytest
 
 import repro.analysis.engine
+import repro.api
 import repro.docstore.adapter
 import repro.docstore.axes
 import repro.docstore.backend
@@ -27,9 +28,15 @@ import repro.serve.registry
 import repro.serve.server
 import repro.serve.sharding
 import repro.serve.store
+import repro.storage
+import repro.storage.base
+import repro.storage.memory
+import repro.storage.postgres
+import repro.storage.sqlite
 
 MODULES = [
     repro.analysis.engine,
+    repro.api,
     repro.docstore.adapter,
     repro.docstore.axes,
     repro.docstore.backend,
@@ -42,6 +49,11 @@ MODULES = [
     repro.serve.server,
     repro.serve.sharding,
     repro.serve.store,
+    repro.storage,
+    repro.storage.base,
+    repro.storage.memory,
+    repro.storage.postgres,
+    repro.storage.sqlite,
 ]
 
 

@@ -1,0 +1,94 @@
+"""Store-URL configs serve byte-identically to the legacy flag pair.
+
+The acceptance bar for the unified ``--store URL`` API: a service on
+``--store sqlite:///x.db`` and a service on the deprecated spellings
+(plain-path ``--store`` + ``--doc-store``) must report identical
+``/stats`` storage counters for the same workload -- same verdict
+counts, same docstore hit/miss/save accounting, same document detail.
+Only the reported ``path`` strings may differ (they echo the flags).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.storage import serve_storage_plan
+
+from .util import ServiceClient, running_service
+
+PAIRS = [
+    ("//title", "delete //price"),
+    ("//price", "delete //price"),
+    ("/bib/book/author", "delete //editor"),
+]
+
+
+async def _drive(**config_kwargs) -> dict:
+    """One fixed workload: analyses, a generated persisted document,
+    a view, a reload; returns the final ``/stats`` payload."""
+    async with running_service(preload=("bib",),
+                               **config_kwargs) as (_, host, port):
+        async with ServiceClient(host, port) as client:
+            for query, update in PAIRS:
+                response = await client.call(
+                    "analyze", schema="bib", query=query, update=update
+                )
+                assert response["ok"], response
+            loaded = await client.call("doc.load", schema="bib",
+                                       doc="d", bytes=2000, seed=3)
+            assert loaded["ok"], loaded
+            view = await client.call("view.register", doc="d",
+                                     name="titles", query="//title")
+            assert view["ok"], view
+            await client.call("doc.unload", doc="d")
+            reloaded = await client.call("doc.load", schema="bib",
+                                         doc="d")
+            assert reloaded["ok"] and reloaded["from_store"], reloaded
+            stats = await client.call("stats")
+            assert stats["ok"], stats
+            return stats
+
+
+def _storage_counters(stats: dict) -> dict:
+    """The storage-relevant ``/stats`` sections, paths redacted (the
+    path echoes the flag spelling; everything else must match)."""
+    store = dict(stats["store"])
+    docstore = dict(stats["docstore"])
+    store.pop("path", None)
+    docstore.pop("path", None)
+    return {
+        "store": store,
+        "docstore": docstore,
+        "documents": stats["documents"],
+        "documents_detail": stats["documents_detail"],
+    }
+
+
+def test_url_and_legacy_flag_counters_match(tmp_path):
+    """`--store sqlite:///x.db` == `--store a.db --doc-store b.db` on
+    every storage counter (paths aside)."""
+    unified = asyncio.run(_drive(
+        store_path=f"sqlite:///{tmp_path / 'unified.db'}",
+    ))
+    legacy = asyncio.run(_drive(
+        store_path=str(tmp_path / "verdicts.db"),
+        doc_store_path=str(tmp_path / "docs.db"),
+    ))
+    assert _storage_counters(unified) == _storage_counters(legacy)
+
+
+def test_url_reported_paths_echo_the_url(tmp_path):
+    """The unified service reports its configured URL targets."""
+    url = f"sqlite:///{tmp_path / 'unified.db'}"
+    stats = asyncio.run(_drive(store_path=url))
+    assert str(tmp_path / "unified.db") in stats["store"]["path"]
+    assert stats["docstore"]["enabled"] is True
+
+
+def test_memory_url_matches_default_ephemeral(tmp_path):
+    """`memory://` is the URL spelling of the historical default: no
+    document store, ephemeral verdicts."""
+    plan_url = serve_storage_plan("memory://")
+    plan_default = serve_storage_plan(":memory:")
+    assert plan_url.verdicts == plan_default.verdicts
+    assert plan_url.documents is None is plan_default.documents

@@ -1,0 +1,115 @@
+"""Sharded serving over one PostgreSQL store (live-server gated).
+
+The acceptance test for the ``postgresql://`` backend's reason to
+exist: verdicts computed by a **2-shard** service through one
+PostgreSQL server must warm-start an **unsharded** replay of the same
+workload -- every pair served from the store (``store_hits ==
+pairs``), zero universes rebuilt.  This mirrors
+``tests/serve/test_sharding.py::test_cross_shard_warm_start`` with the
+shared WAL file swapped for a shared server, proving the two backends
+are interchangeable at the topology level.
+
+Runs only when ``REPRO_PG_DSN`` points at a live server (the CI
+postgres job sets it); the tables are dropped first so every run
+starts cold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from tests.serve.test_sharding import GEN_REF, PAIRS, _gen_register_params
+from tests.serve.util import ServiceClient, running_service
+
+PG_DSN = os.environ.get("REPRO_PG_DSN", "")
+
+pytestmark = pytest.mark.skipif(
+    not PG_DSN, reason="REPRO_PG_DSN not set (no live PostgreSQL)"
+)
+
+
+@pytest.fixture()
+def cold_pg_store() -> str:
+    """The live server's DSN with this suite's tables dropped."""
+    from repro.storage import open_store
+
+    backend = open_store(PG_DSN)
+    try:
+        with backend._lock:
+            with backend._connection.cursor() as cursor:
+                for table in ("verdicts", "nodes", "documents"):
+                    cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            backend._connection.commit()
+    finally:
+        backend.close()
+    return PG_DSN
+
+
+def test_two_shard_pg_warm_starts_unsharded_replay(cold_pg_store):
+    """Shard processes write one PostgreSQL store; a later unsharded
+    service replays the workload entirely from it."""
+    spec_params = _gen_register_params()
+
+    async def drive(**config_kwargs) -> dict:
+        async with running_service(
+            store_path=cold_pg_store, preload=("xmark",),
+            **config_kwargs,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                await client.call("schema.register", **spec_params)
+                for ref in ("xmark", GEN_REF):
+                    for query, update in PAIRS:
+                        response = await client.call(
+                            "analyze", schema=ref,
+                            query=query, update=update,
+                        )
+                        assert response["ok"], response
+                stats = await client.call("stats")
+                assert stats["ok"], stats
+                return stats
+
+    sharded = asyncio.run(drive(shards=2))
+    assert sharded["store"]["verdicts"] >= 2 * len(PAIRS)
+
+    replay = asyncio.run(drive())
+    engines = replay["registry"]["engines"].values()
+    pairs = 2 * len(PAIRS)
+    assert sum(engine["store_hits"] for engine in engines) == pairs
+    # The warm-start property: store hits never build universes.
+    assert all(engine["universes_built"] == 0 for engine in engines)
+
+
+def test_pg_document_persists_across_services(cold_pg_store):
+    """A document persisted through one service is served
+    ``from_store`` by a fresh service over the same server."""
+
+    async def save() -> dict:
+        async with running_service(
+            store_path=cold_pg_store, preload=("xmark",),
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                loaded = await client.call(
+                    "doc.load", schema="xmark", doc="pg-doc",
+                    bytes=2000, seed=3,
+                )
+                assert loaded["ok"], loaded
+                return loaded
+
+    async def reload() -> dict:
+        async with running_service(
+            store_path=cold_pg_store, preload=("xmark",),
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                reloaded = await client.call(
+                    "doc.load", schema="xmark", doc="pg-doc",
+                )
+                assert reloaded["ok"], reloaded
+                return reloaded
+
+    saved = asyncio.run(save())
+    served = asyncio.run(reload())
+    assert served["from_store"] is True
+    assert served["nodes"] == saved["nodes"]

@@ -301,6 +301,40 @@ class TestLoadCommand:
             loaded, _ = backend.load("cli-doc")
             assert loaded.size() == stored.nodes
 
+    def test_load_store_url_persists_identically(self, xmark_file,
+                                                 tmp_path, capsys):
+        """The deprecated --docstore spelling and the store-URL
+        spelling write byte-identical node tables (the URL database
+        additionally carries the unified verdict facet)."""
+        import sqlite3
+        import warnings
+
+        legacy_db = str(tmp_path / "legacy.sqlite")
+        url_db = str(tmp_path / "unified.sqlite")
+        with pytest.warns(DeprecationWarning, match="--docstore"):
+            assert main([
+                "load", xmark_file, "--builtin", "xmark",
+                "--docstore", legacy_db, "--doc", "d",
+            ]) == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main([
+                "load", xmark_file, "--builtin", "xmark",
+                "--store", f"sqlite:///{url_db}", "--doc", "d",
+            ]) == 0
+        out = capsys.readouterr().out
+        assert f"sqlite:///{url_db}" in out
+
+        def rows(path):
+            with sqlite3.connect(path) as conn:
+                return conn.execute(
+                    "SELECT loc, parent, level, size, tag, text "
+                    "FROM nodes WHERE doc = 'd' ORDER BY loc"
+                ).fetchall()
+
+        legacy_rows = rows(legacy_db)
+        assert legacy_rows and legacy_rows == rows(url_db)
+
     def test_docstore_bench_parser_defaults(self):
         from repro.cli import build_parser
 
@@ -308,3 +342,79 @@ class TestLoadCommand:
         assert args.bytes == 4_500_000
         assert args.seed == 7
         assert args.repeats == 3
+
+
+class TestStoreURLs:
+    """Deprecation hygiene for the unified store-URL flags: old
+    spellings warn (once, at the CLI layer only) and resolve to the
+    same backends as their URL replacements."""
+
+    @pytest.fixture()
+    def serve_stub(self, monkeypatch):
+        """Stub the blocking serve loop so `main(["serve", ...])`
+        returns after flag resolution; yields the captured configs."""
+        import asyncio
+
+        configs = []
+
+        async def run_service(config, ready=None):
+            configs.append(config)
+
+        monkeypatch.setattr("repro.serve.server.run_service",
+                            run_service)
+        monkeypatch.setattr(asyncio, "run",
+                            lambda coro: asyncio.new_event_loop()
+                            .run_until_complete(coro))
+        return configs
+
+    def test_serve_plain_store_path_warns(self, serve_stub, capsys):
+        with pytest.warns(DeprecationWarning,
+                          match="plain-path --store"):
+            assert main(["serve", "--store", "verdicts.db"]) == 0
+        assert serve_stub[0].store_path == "verdicts.db"
+
+    def test_serve_doc_store_flag_warns(self, serve_stub, capsys):
+        with pytest.warns(DeprecationWarning, match="--doc-store"):
+            assert main(["serve", "--doc-store", "docs.db"]) == 0
+        assert serve_stub[0].doc_store_path == "docs.db"
+
+    def test_serve_store_url_never_warns(self, serve_stub, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main([
+                "serve", "--store", "sqlite:///verdicts.db",
+            ]) == 0
+        assert serve_stub[0].store_path == "sqlite:///verdicts.db"
+
+    def test_programmatic_config_never_warns(self):
+        """Only the CLI warns; building a ServeConfig with legacy
+        values directly stays silent (libraries must not nag)."""
+        import warnings
+
+        from repro.serve.server import ServeConfig
+        from repro.storage import serve_storage_plan
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = ServeConfig(store_path="verdicts.db",
+                                 doc_store_path="docs.db")
+            serve_storage_plan(config.store_path,
+                               config.doc_store_path)
+
+    def test_old_and_new_spellings_resolve_identically(self):
+        """The deprecated flags and their URL replacements map to the
+        same backend specs (so behavior cannot drift apart)."""
+        from repro.storage import serve_storage_plan
+
+        legacy = serve_storage_plan("verdicts.db")
+        unified = serve_storage_plan("sqlite:///verdicts.db")
+        assert legacy.verdicts == unified.verdicts
+        # ... except that only the URL also persists documents:
+        assert legacy.documents is None
+        assert unified.documents == unified.verdicts
+
+        legacy_docs = serve_storage_plan(":memory:", "docs.db")
+        unified_docs = serve_storage_plan("sqlite:///docs.db")
+        assert legacy_docs.documents == unified_docs.documents

@@ -47,6 +47,32 @@ class TestPublicAPI:
 
         assert sequences_equivalent(tree.store, before, tree.store, after)
 
+    def test_api_facade_exports_resolve(self):
+        """Every ``repro.api`` name resolves and aliases its home."""
+        import repro.analysis.engine
+        import repro.api
+        import repro.storage
+
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+        assert repro.api.AnalysisEngine is repro.analysis.engine.AnalysisEngine
+        assert repro.api.open_store is repro.storage.open_store
+        assert repro.api.analyze is repro.analyze
+        assert repro.api.DTD is repro.DTD
+
+    def test_api_facade_quickstart(self):
+        """The facade docstring's embedding example, condensed."""
+        from repro.api import DTD, analyze, engine_for, open_store
+
+        dtd = DTD.from_dict(
+            "doc", {"doc": "(a | b)*", "a": "c", "b": "c", "c": "EMPTY"}
+        )
+        assert analyze("//a//c", "delete //b//c", dtd).independent
+        with open_store("memory://") as backend:
+            engine = engine_for(dtd)
+            engine.attach_store(backend)
+            assert engine.analyze_pair("//a//c", "delete //b//c").independent
+
     def test_baseline_and_dynamic_exports(self):
         dtd = repro.paper_doc_dtd()
         assert not repro.baseline_is_independent(
