@@ -10,6 +10,8 @@ Subcommands::
     python -m repro infer-dtd doc1.xml doc2.xml ...
     python -m repro load document.xml --builtin xmark \\
         [--project '//title' ...] [--store sqlite:///docs.db --doc ID]
+    python -m repro query '//title' --store sqlite:///docs.db --doc ID \\
+        [--limit N]
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
     python -m repro docstore-bench [--bytes N] [--seed S] \\
         [--json BENCH_docstore.json]
@@ -200,6 +202,65 @@ def _cmd_load(args: argparse.Namespace) -> int:
             )
         print(f"persisted {rows:,} node rows as {doc_id!r} "
               f"in {target}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Answer a query on a *persisted* document, pushdown-first.
+
+    Eligible queries run as SQL inside the store (no materialization:
+    answers serialize straight from node-row range scans); queries
+    outside the fragment fall back to materialize-then-evaluate.
+    Answers print one per line on stdout; the mode/count summary goes
+    to stderr so stdout stays pipeable.
+    """
+    from .docstore.pushdown import compile_query, serialize_answers
+    from .storage import open_store
+    from .xquery.parser import parse_query
+
+    try:
+        query = parse_query(args.query)
+    except Exception as error:
+        raise SystemExit(f"error: query does not parse: {error}") \
+            from error
+    with open_store(args.store) as backend:
+        documents = backend.documents
+        stored = documents.describe(args.doc)
+        if stored is None:
+            raise SystemExit(
+                f"error: document {args.doc!r} is not persisted in "
+                f"{args.store}"
+            )
+        # A persisted projection only answers the queries it was
+        # projected for (same refusal the served doc.query op makes).
+        recorded = stored.meta.get("project_for")
+        if stored.meta.get("projected") and recorded is not None \
+                and args.query not in set(recorded):
+            raise SystemExit(
+                f"error: document {args.doc!r} is projected for "
+                f"{sorted(recorded)}, which does not cover this "
+                "query; reload it from a source"
+            )
+        steps = compile_query(query)
+        if steps is not None:
+            locs = documents.run_steps(args.doc, steps)
+            answers = serialize_answers(documents, args.doc, locs,
+                                        args.limit)
+            mode = "pushdown"
+        else:
+            from .xquery.ast import ROOT_VAR
+            from .xquery.evaluator import evaluate_query
+
+            tree, _ = documents.load(args.doc)
+            locs = evaluate_query(query, tree.store,
+                                  {ROOT_VAR: [tree.root]})
+            take = locs if args.limit is None else locs[:args.limit]
+            answers = [serialize(tree.store, loc) for loc in take]
+            mode = "fallback"
+    for answer in answers:
+        print(answer)
+    print(f"{len(locs)} answers ({mode}) from {args.doc!r}",
+          file=sys.stderr)
     return 0
 
 
@@ -449,6 +510,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="document id in the store (default: "
                                "the file path)")
     load_cmd.set_defaults(func=_cmd_load)
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="answer a query on a persisted document, pushed down as "
+             "SQL when it fits the step fragment (no materialization)",
+    )
+    query_cmd.add_argument("query", help="query text, e.g. '//title'")
+    query_cmd.add_argument("--store", required=True,
+                           help="store URL (or SQLite path) holding "
+                                "the persisted node table")
+    query_cmd.add_argument("--doc", required=True,
+                           help="document id in the store")
+    query_cmd.add_argument("--limit", type=int, default=None,
+                           help="serialize at most N answers (the "
+                                "count still reflects all of them)")
+    query_cmd.set_defaults(func=_cmd_query)
 
     bench_cmd = commands.add_parser(
         "bench", help="regenerate a Figure 3 panel"

@@ -19,7 +19,11 @@ is the *serving* representation of documents:
   scans) behind the evaluator's transparent fast path;
 * :mod:`~repro.docstore.adapter` -- migration glue between dict-store
   trees and indexed trees, plus update application with span-local
-  re-encoding.
+  re-encoding;
+* :mod:`~repro.docstore.pushdown` -- the SQL-pushdown bridge: compiles
+  the downward-axis query fragment to :class:`~repro.storage.StepSpec`
+  chains that :meth:`~repro.storage.DocumentStore.run_steps` answers
+  inside the database, and serializes answers straight from node rows.
 """
 
 from .adapter import apply_update_indexed, to_indexed, to_tree

@@ -63,6 +63,7 @@ OPS = (
     "schema.evict",
     "schema.list",
     "doc.load",
+    "doc.query",
     "doc.unload",
     "view.register",
     "view.result",

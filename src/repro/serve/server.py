@@ -62,12 +62,17 @@ from ..analysis.engine import schema_digest
 from ..analysis.independence import analyze as oneshot_analyze
 from ..analysis.project import chain_keep_for_queries
 from ..docstore.adapter import to_indexed
+from ..docstore.pushdown import compile_query, serialize_answers
 from ..docstore.streamload import load_path, load_xml
 from ..schema.dtd import DTD
 from ..viewmaint.cache import ViewCache
 from ..viewmaint.scheduler import IsolationScheduler
 from ..xmldm.generator import generate_document
 from ..xmldm.projection import keep_set_for_chains, project
+from ..xmldm.serialize import serialize
+from ..xquery.ast import ROOT_VAR
+from ..xquery.evaluator import evaluate_query
+from ..xquery.parser import parse_query
 from .batching import MicroBatcher, wire_verdict
 from .protocol import (
     BAD_PARAMS,
@@ -332,6 +337,7 @@ class IndependenceService(JsonLinesFront):
         "matrix": "_op_matrix",
         "schedule": "_op_schedule",
         "doc.load": "_op_doc_load",
+        "doc.query": "_op_doc_query",
         "doc.unload": "_op_doc_unload",
         "view.register": "_op_view_register",
         "view.result": "_op_view_result",
@@ -369,6 +375,14 @@ class IndependenceService(JsonLinesFront):
         self.docstore = self._storage.documents
         self._next_doc = 0
         self.document_evictions = 0
+        #: ``doc.query`` answer-path counters (mirrored into
+        #: ``/stats``): ``pushed_down`` answered inside the store via
+        #: SQL pushdown, ``fallback`` materialized transiently because
+        #: the query fell outside the pushdown fragment,
+        #: ``materialized`` answered from an already-loaded tree.
+        self.doc_queries = {
+            "pushed_down": 0, "fallback": 0, "materialized": 0,
+        }
         self._ops = {
             op: getattr(self, method)
             for op, method in self.OP_HANDLERS.items()
@@ -428,6 +442,7 @@ class IndependenceService(JsonLinesFront):
             "ops": dict(self.stats.ops),
             "documents": len(self._documents),
             "document_evictions": self.document_evictions,
+            "doc_queries": dict(self.doc_queries),
             "documents_detail": {
                 doc: dict(meta) for doc, meta in self._doc_meta.items()
             },
@@ -822,6 +837,133 @@ class IndependenceService(JsonLinesFront):
             self.document_evictions += 1
         return {"doc": doc_id, **meta}
 
+    async def _op_doc_query(self, params: dict) -> dict:
+        """Answer a query over a loaded *or persisted* document.
+
+        The answer path is picked per request and reported back as
+        ``mode`` (and counted in the ``doc_queries`` stats section):
+
+        * ``"materialized"`` -- the document is already loaded in this
+          service; evaluate on the in-memory tree.
+        * ``"pushdown"`` -- the document is only persisted and the
+          query compiles into the supported step fragment
+          (:func:`repro.docstore.pushdown.compile_query`); the document
+          store answers it *inside the database* and answers serialize
+          straight from node-row range scans -- the document is never
+          materialized.
+        * ``"fallback"`` -- persisted only, but the query falls outside
+          the fragment; the tree is materialized transiently (not
+          admitted to the document LRU) and evaluated in memory.
+
+        A persisted *projection* only answers the queries it was
+        projected for (Theorem 3.2): a query outside the recorded
+        ``project_for`` set is refused with ``bad-params`` instead of
+        being silently answered from the narrower node table.
+        """
+        schema_ref = require(params, "schema")
+        schema = self.registry.schema(schema_ref)
+        name = require(params, "doc")
+        query_text = require(params, "query")
+        limit = params.get("limit")
+        if limit is not None and \
+                (not isinstance(limit, int) or limit < 0):
+            raise ProtocolError(
+                BAD_PARAMS, '"limit" must be a non-negative int'
+            )
+        try:
+            query = parse_query(query_text)
+        except Exception as error:
+            raise ProtocolError(
+                BAD_PARAMS, f"query does not parse: {error}"
+            ) from error
+        doc_id = f"{self.config.doc_id_prefix}{name}"
+        cache = self._documents.get(doc_id)
+        if cache is not None:
+            self._documents.move_to_end(doc_id)
+            tree = cache.tree
+
+            def run_materialized():
+                locs = evaluate_query(query, tree.store,
+                                      {ROOT_VAR: [tree.root]})
+                take = locs if limit is None else locs[:limit]
+                return locs, [serialize(tree.store, loc)
+                              for loc in take]
+
+            locs, answers = await self._in_analysis_thread(
+                run_materialized
+            )
+            self.doc_queries["materialized"] += 1
+            return {"doc": doc_id, "count": len(locs),
+                    "answers": answers, "mode": "materialized",
+                    "from_store": False}
+        if self.docstore is None:
+            raise ProtocolError(
+                UNKNOWN_DOC,
+                f"document not loaded: {doc_id!r} (and the service "
+                "has no document store to answer from)",
+            )
+        stored = await self._in_analysis_thread(
+            self.docstore.describe, name
+        )
+        if stored is None:
+            raise ProtocolError(
+                UNKNOWN_DOC,
+                f"document not loaded or persisted: {name!r}",
+            )
+        if stored.schema_digest != schema_digest(schema):
+            raise ProtocolError(
+                BAD_PARAMS,
+                f"document {name!r} was persisted under a different "
+                f"schema (digest {stored.schema_digest[:12]}...); "
+                "pass the matching schema",
+            )
+        recorded = stored.meta.get("project_for")
+        if stored.meta.get("projected") and recorded is not None \
+                and query_text not in set(recorded):
+            raise ProtocolError(
+                BAD_PARAMS,
+                f"persisted document {name!r} is projected for "
+                f"{sorted(recorded)}, which does not cover this "
+                "query; reload it from a source",
+            )
+        steps = compile_query(query)
+        if steps is not None:
+
+            def run_pushdown():
+                locs = self.docstore.run_steps(name, steps)
+                return locs, serialize_answers(
+                    self.docstore, name, locs, limit
+                )
+
+            locs, answers = await self._in_analysis_thread(
+                run_pushdown
+            )
+            self.doc_queries["pushed_down"] += 1
+            mode = "pushdown"
+        else:
+
+            def run_fallback():
+                loaded = self.docstore.load(name)
+                if loaded is None:
+                    raise ProtocolError(
+                        UNKNOWN_DOC,
+                        f"document not persisted: {name!r}",
+                    )
+                tree, _ = loaded
+                locs = evaluate_query(query, tree.store,
+                                      {ROOT_VAR: [tree.root]})
+                take = locs if limit is None else locs[:limit]
+                return locs, [serialize(tree.store, loc)
+                              for loc in take]
+
+            locs, answers = await self._in_analysis_thread(
+                run_fallback
+            )
+            self.doc_queries["fallback"] += 1
+            mode = "fallback"
+        return {"doc": doc_id, "count": len(locs),
+                "answers": answers, "mode": mode, "from_store": True}
+
     async def _op_doc_unload(self, params: dict) -> dict:
         """Drop a loaded document (idempotent; the persisted node
         table, if any, keeps its copy)."""
@@ -909,6 +1051,10 @@ class ShardedService(JsonLinesFront):
         "schema.evict": "evict",
         "schema.list": "fanout",
         "doc.load": "schema",
+        # doc.query names the *persistence* key (unprefixed), so it
+        # routes like doc.load: by schema affinity, landing on the
+        # shard that owns (and would have loaded) the document.
+        "doc.query": "schema",
         "doc.unload": "doc",
         "view.register": "doc",
         "view.result": "doc",
@@ -1215,6 +1361,10 @@ class ShardedService(JsonLinesFront):
             "document_evictions": sum(
                 p["document_evictions"] for p in per_shard
             ),
+            "doc_queries": {
+                key: sum(p["doc_queries"][key] for p in per_shard)
+                for key in ("pushed_down", "fallback", "materialized")
+            },
             # Doc ids are shard-prefixed, so the union is collision-free.
             "documents_detail": {
                 doc: meta

@@ -24,10 +24,13 @@ from dataclasses import dataclass
 
 from .base import (
     DocumentStore,
+    StepSpec,
     StorageBackend,
     StoredDocument,
     VerdictKV,
+    check_steps,
     compact_store,
+    compile_steps_sql,
     materialize,
     node_rows,
 )
@@ -37,11 +40,14 @@ __all__ = [
     "DocumentStore",
     "SCHEMES",
     "ServeStorage",
+    "StepSpec",
     "StorageBackend",
     "StoragePlan",
     "StoredDocument",
     "VerdictKV",
+    "check_steps",
     "compact_store",
+    "compile_steps_sql",
     "is_store_url",
     "materialize",
     "node_rows",

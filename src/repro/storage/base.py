@@ -44,6 +44,168 @@ if TYPE_CHECKING:  # imported lazily at runtime: repro.docstore's
 #: ``(loc, parent, level, size, tag, text)`` in canonical pre-order.
 NODE_COLUMNS = ("loc", "parent", "level", "size", "tag", "text")
 
+#: Axes :class:`StepSpec` accepts.  ``descendant-child`` is the fused
+#: ``//test`` shape (``descendant-or-self::node()/child::test``) whose
+#: output order groups matches under their parent in parent-document
+#: order -- exactly what the desugared loop (and
+#: :func:`repro.docstore.axes.descendant_child_step`) produces.
+STEP_AXES = ("self", "child", "descendant", "descendant-or-self",
+             "descendant-child")
+
+#: Node tests :class:`StepSpec` accepts: a tag name test, ``text()``,
+#: ``node()`` (anything), or ``*`` (any element).
+STEP_TESTS = ("name", "text", "node", "wildcard")
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One compiled axis step of a :meth:`DocumentStore.run_steps` call.
+
+    A step chain starts at the document root and applies each step to
+    every context node with the evaluator's nested-loop sequence
+    semantics (per-context matches in document order, concatenated in
+    context order -- duplicates preserved), so backend answers are
+    byte-identical to the in-memory evaluators.  ``position`` (1-based)
+    keeps only each context node's ``position``-th match -- a
+    backend-level positional predicate the SQL backends answer with a
+    window function.
+    """
+
+    axis: str
+    test: str
+    name: str | None = None
+    position: int | None = None
+
+
+def check_steps(steps) -> None:
+    """Validate a :class:`StepSpec` chain (raises :class:`ValueError`).
+
+    Backends call this before touching the database so a malformed
+    chain fails identically everywhere.
+    """
+    if not steps:
+        raise ValueError("run_steps needs at least one step")
+    for step in steps:
+        if step.axis not in STEP_AXES:
+            raise ValueError(
+                f"unknown step axis {step.axis!r} "
+                f"(expected one of: {', '.join(STEP_AXES)})"
+            )
+        if step.test not in STEP_TESTS:
+            raise ValueError(
+                f"unknown step test {step.test!r} "
+                f"(expected one of: {', '.join(STEP_TESTS)})"
+            )
+        if step.test == "name" and not step.name:
+            raise ValueError("name test needs a tag name")
+        if step.test != "name" and step.name is not None:
+            raise ValueError(
+                f"{step.test!r} test takes no tag name"
+            )
+        if step.position is not None and step.position < 1:
+            raise ValueError("positional predicates are 1-based")
+
+
+def _test_condition(step: StepSpec, placeholder: str,
+                    params: list) -> str | None:
+    """The SQL predicate of one step's node test (``n`` = match row)."""
+    if step.test == "name":
+        params.append(step.name)
+        return f"n.tag = {placeholder}"
+    if step.test == "text":
+        return "n.tag IS NULL"
+    if step.test == "wildcard":
+        return "n.tag IS NOT NULL"
+    return None  # node(): everything matches
+
+
+#: Join predicates per axis (``c`` = context row, ``n`` = match row).
+_AXIS_CONDITIONS = {
+    "self": ("n.loc = c.loc",),
+    "child": ("n.parent = c.loc",),
+    "descendant": ("n.loc > c.loc", "n.loc < c.loc + c.size"),
+    "descendant-or-self": ("n.loc >= c.loc", "n.loc < c.loc + c.size"),
+    # The fused //test shape: the match's parent is any
+    # descendant-or-self of the context, i.e. in [c.loc, c.loc+c.size).
+    "descendant-child": ("n.parent >= c.loc",
+                         "n.parent < c.loc + c.size"),
+}
+
+
+def compile_steps_sql(doc: str, steps, *, placeholder: str = "?",
+                      dedup: bool = False) -> tuple[str, list]:
+    """Compile a step chain into one parameterized SQL query.
+
+    Returns ``(sql, params)`` selecting the answer locations over the
+    persisted node table.  The interval encoding does the work: a
+    descendant step is the range predicate ``c.loc < n.loc <
+    c.loc + c.size`` (loc *is* the pre rank in a canonical table), a
+    child step is a parent-join, and the fused ``descendant-child``
+    step constrains the match's parent to the context's interval.
+
+    Each step becomes one self-join layer that threads the sort keys
+    of every enclosing loop through, so the final ``ORDER BY`` over
+    the accumulated keys reproduces the evaluator's nested-loop order
+    exactly (keys identify the full derivation path, making the order
+    total).  A ``position`` filter wraps its layer in ``ROW_NUMBER()
+    OVER (PARTITION BY <derivation keys> ORDER BY <step keys>)`` so
+    the predicate applies per context *occurrence*, like the
+    evaluator.  With ``dedup`` the answer collapses to distinct
+    locations in document order instead.
+
+    Shared by the SQLite and PostgreSQL backends (they differ only in
+    ``placeholder``); both were generated from the same chain, so the
+    conformance suite can diff their answers row for row.
+    """
+    check_steps(steps)
+    params: list = [doc]
+    sql = f"SELECT loc, size FROM nodes WHERE doc = {placeholder} " \
+          "AND loc = 0"
+    keys: list[str] = []
+    for index, step in enumerate(steps, 1):
+        conditions = [f"n.doc = {placeholder}"]
+        params.append(doc)
+        conditions.extend(_AXIS_CONDITIONS[step.axis])
+        test = _test_condition(step, placeholder, params)
+        if test is not None:
+            conditions.append(test)
+        step_keys = [f"k{index}p", f"k{index}"] \
+            if step.axis == "descendant-child" else [f"k{index}"]
+        selected = [f"c.{key} AS {key}" for key in keys]
+        if step.axis == "descendant-child":
+            selected.append(f"n.parent AS k{index}p")
+        selected.extend([f"n.loc AS k{index}", "n.loc AS loc",
+                         "n.size AS size"])
+        sql = (
+            f"SELECT {', '.join(selected)} FROM ({sql}) c "
+            f"JOIN nodes n ON {' AND '.join(conditions)}"
+        )
+        if step.position is not None:
+            # Partition by the enclosing loops' keys so the predicate
+            # applies per context occurrence; the first step has one
+            # context (the root), i.e. a single partition.
+            over = "ORDER BY " + ", ".join(step_keys)
+            if keys:
+                over = "PARTITION BY " + ", ".join(keys) + " " + over
+            sql = (
+                "SELECT " + ", ".join(keys + step_keys
+                                      + ["loc", "size"])
+                + " FROM (SELECT p.*, ROW_NUMBER() OVER "
+                + f"({over}) AS rn FROM ({sql}) p) q "
+                + f"WHERE q.rn = {placeholder}"
+            )
+            params.append(step.position)
+        keys.extend(step_keys)
+    if dedup:
+        return (
+            f"SELECT DISTINCT loc FROM ({sql}) a ORDER BY loc",
+            params,
+        )
+    return (
+        f"SELECT loc FROM ({sql}) a ORDER BY {', '.join(keys)}",
+        params,
+    )
+
 
 @dataclass(frozen=True)
 class StoredDocument:
@@ -244,6 +406,32 @@ class DocumentStore:
         """Locations of ``loc``'s proper descendants in document
         order, computed inside the database as one interval range scan
         (``loc < x < loc + size``), optionally filtered by ``tag``."""
+        raise NotImplementedError
+
+    def run_steps(self, doc: str, steps, *,
+                  dedup: bool = False) -> list[int]:
+        """Answer a compiled :class:`StepSpec` chain for ``doc``
+        without materializing the tree.
+
+        Starts at the document root and returns answer locations with
+        the in-memory evaluator's nested-loop sequence semantics (see
+        :class:`StepSpec`); with ``dedup`` the answer collapses to
+        distinct locations in document order.  The SQL backends answer
+        with one :func:`compile_steps_sql` query -- range predicates on
+        ``(pre, pre + size)``, a parent-join for child steps, window
+        functions for positional predicates; the memory backend
+        answers through the in-memory axis accelerators, keeping the
+        conformance suite three-way.  Raises :class:`KeyError` when
+        ``doc`` is not persisted.
+        """
+        raise NotImplementedError
+
+    def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
+        """The contiguous pre-order row slice of the subtree at
+        ``loc`` (see :data:`NODE_COLUMNS`) -- one interval range scan,
+        so :meth:`run_steps` answers serialize without materializing
+        the document.  Raises :class:`KeyError` when ``doc`` is not
+        persisted."""
         raise NotImplementedError
 
     def stats(self) -> dict:

@@ -20,6 +20,7 @@ from .base import (
     StorageBackend,
     StoredDocument,
     VerdictKV,
+    check_steps,
     materialize,
     node_rows,
 )
@@ -96,6 +97,11 @@ class MemoryDocumentStore(DocumentStore):
         self._lock = threading.Lock()
         self._catalog: dict[str, StoredDocument] = {}
         self._nodes: dict[str, list[tuple]] = {}
+        # Materialized trees backing run_steps (the rows already live
+        # in RAM here, so answering through the in-memory accelerators
+        # is the honest equivalent of the SQL backends' pushdown);
+        # invalidated whenever the document is rewritten.
+        self._steps_trees: dict[str, object] = {}
 
     def save(self, doc, tree, schema_digest, nodes_seen=0,
              subtrees_skipped=0, meta=None) -> int:
@@ -103,6 +109,7 @@ class MemoryDocumentStore(DocumentStore):
         rows = node_rows(tree)
         with self._lock:
             self._nodes[doc] = rows
+            self._steps_trees.pop(doc, None)
             self._catalog[doc] = StoredDocument(
                 doc, schema_digest, len(rows),
                 nodes_seen or len(rows), subtrees_skipped,
@@ -117,6 +124,7 @@ class MemoryDocumentStore(DocumentStore):
             existed = doc in self._catalog
             self._catalog.pop(doc, None)
             self._nodes.pop(doc, None)
+            self._steps_trees.pop(doc, None)
         return existed
 
     def describe(self, doc: str) -> StoredDocument | None:
@@ -168,6 +176,35 @@ class MemoryDocumentStore(DocumentStore):
             x for x in range(loc + 1, loc + size)
             if tag is None or rows[x][4] == tag
         ]
+
+    def run_steps(self, doc: str, steps, *,
+                  dedup: bool = False) -> list[int]:
+        """Answer a compiled step chain via the in-memory axis
+        accelerators (the rows already live in this process, so the
+        conformance suite stays three-way against the SQL pushdown)."""
+        from ..docstore.pushdown import run_steps_on_tree
+
+        check_steps(steps)
+        with self._lock:
+            rows = self._nodes.get(doc)
+            tree = self._steps_trees.get(doc)
+        if rows is None:
+            raise KeyError(doc)
+        if tree is None:
+            tree = materialize(rows, doc)
+            with self._lock:
+                self._steps_trees[doc] = tree
+        return run_steps_on_tree(tree, steps, dedup=dedup)
+
+    def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
+        """The pre-order row slice of the subtree at ``loc`` (one
+        list slice: rows are stored in canonical pre-order)."""
+        with self._lock:
+            rows = self._nodes.get(doc)
+        if rows is None:
+            raise KeyError(doc)
+        size = rows[loc][3]
+        return rows[loc:loc + size]
 
     def stats(self) -> dict:
         """Backend counters plus table sizes."""

@@ -40,6 +40,7 @@ from .base import (
     StorageBackend,
     StoredDocument,
     VerdictKV,
+    compile_steps_sql,
     materialize,
     node_rows,
 )
@@ -371,6 +372,46 @@ class PgDocumentStore(DocumentStore):
             ).fetchall()
             self._conn.commit()
         return [r[0] for r in rows]
+
+    def run_steps(self, doc: str, steps, *,
+                  dedup: bool = False) -> list[int]:
+        """Answer a compiled step chain with ONE server-side SQL query
+        over the node table -- the same shapes as SQLite (range
+        predicates, parent-joins, window functions), ``%s``
+        placeholders (see
+        :func:`repro.storage.base.compile_steps_sql`)."""
+        self._require_document(doc)
+        sql, params = compile_steps_sql(doc, steps, placeholder="%s",
+                                        dedup=dedup)
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+            self._conn.commit()
+        return [r[0] for r in rows]
+
+    def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
+        """The pre-order row slice of the subtree at ``loc``: one
+        server-side interval range scan ``loc <= x < loc + size``."""
+        self._require_document(doc)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT n.loc, n.parent, n.level, n.size, n.tag, n.text"
+                " FROM nodes n JOIN nodes s ON n.doc = s.doc"
+                " AND n.loc >= s.loc AND n.loc < s.loc + s.size"
+                " WHERE s.doc = %s AND s.loc = %s ORDER BY n.loc",
+                (doc, loc),
+            ).fetchall()
+            self._conn.commit()
+        return [tuple(row) for row in rows]
+
+    def _require_document(self, doc: str) -> None:
+        """Raise :class:`KeyError` when ``doc`` is not persisted."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM documents WHERE doc = %s", (doc,)
+            ).fetchone()
+            self._conn.commit()
+        if row is None:
+            raise KeyError(doc)
 
     def stats(self) -> dict:
         """Backend counters plus table sizes (one aggregate scan)."""

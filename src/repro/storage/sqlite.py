@@ -29,6 +29,7 @@ from .base import (
     StorageBackend,
     StoredDocument,
     VerdictKV,
+    compile_steps_sql,
     materialize,
     node_rows,
 )
@@ -360,6 +361,43 @@ class SqliteDocumentStore(DocumentStore):
                 _DESCENDANTS_SQL.format(tag_filter=tag_filter), params
             ).fetchall()
         return [r[0] for r in rows]
+
+    def run_steps(self, doc: str, steps, *,
+                  dedup: bool = False) -> list[int]:
+        """Answer a compiled step chain with ONE SQL query over the
+        node table -- range predicates on ``(pre, pre + size)`` for
+        descendant steps, a parent-join for child steps, window
+        functions for positional predicates -- without materializing
+        the tree (see :func:`repro.storage.base.compile_steps_sql`)."""
+        self._require_document(doc)
+        sql, params = compile_steps_sql(doc, steps, placeholder="?",
+                                        dedup=dedup)
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [r[0] for r in rows]
+
+    def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
+        """The pre-order row slice of the subtree at ``loc``: one
+        interval range scan ``loc <= x < loc + size``."""
+        self._require_document(doc)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT n.loc, n.parent, n.level, n.size, n.tag, n.text"
+                " FROM nodes n JOIN nodes s ON n.doc = s.doc"
+                " AND n.loc >= s.loc AND n.loc < s.loc + s.size"
+                " WHERE s.doc = ? AND s.loc = ? ORDER BY n.loc",
+                (doc, loc),
+            ).fetchall()
+        return [tuple(row) for row in rows]
+
+    def _require_document(self, doc: str) -> None:
+        """Raise :class:`KeyError` when ``doc`` is not persisted."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM documents WHERE doc = ?", (doc,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(doc)
 
     def stats(self) -> dict:
         """Backend counters plus table sizes (one aggregate scan)."""

@@ -35,9 +35,13 @@ CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 
 def _is_differential(path: Path) -> bool:
     """Differential-fuzzer entries only: served-replay corpus files are
-    replayed over the wire by ``tests/serve/test_served_corpus.py``."""
+    replayed over the wire by ``tests/serve/test_served_corpus.py``,
+    and pushdown-divergence files by
+    ``tests/docstore/test_pushdown_property.py``."""
     payload = json.loads(path.read_text(encoding="utf-8"))
-    return payload.get("kind") != "served-replay"
+    return payload.get("kind") in (KIND_STATIC_UNSOUND,
+                                   KIND_BASELINE_UNSOUND,
+                                   KIND_DOMINANCE)
 
 
 CORPUS_FILES = sorted(

@@ -20,6 +20,7 @@ import repro.docstore.adapter
 import repro.docstore.axes
 import repro.docstore.backend
 import repro.docstore.encode
+import repro.docstore.pushdown
 import repro.docstore.streamload
 import repro.serve.batching
 import repro.serve.loadgen
@@ -41,6 +42,7 @@ MODULES = [
     repro.docstore.axes,
     repro.docstore.backend,
     repro.docstore.encode,
+    repro.docstore.pushdown,
     repro.docstore.streamload,
     repro.serve.batching,
     repro.serve.loadgen,

@@ -478,6 +478,164 @@ def test_explicit_generation_not_shadowed_by_store(tmp_path):
     asyncio.run(run())
 
 
+def test_doc_query_modes_and_stats(tmp_path, xmark_file):
+    """doc.query picks its answer path per request: materialized while
+    the doc is loaded, SQL pushdown on a restarted service (zero
+    materializations -- the docstore hit counter stays at 0), and
+    transient materialize-then-evaluate for queries outside the
+    fragment."""
+    db = str(tmp_path / "docs.sqlite")
+
+    async def run():
+        async with running_service(
+            preload=("xmark",), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                await client.call("doc.load", schema="xmark",
+                                  path=xmark_file, doc="corpus")
+                warm = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="//emailaddress",
+                )
+                assert warm["ok"] and warm["mode"] == "materialized"
+                assert not warm["from_store"]
+                assert warm["count"] == len(warm["answers"]) > 0
+        async with running_service(
+            preload=("xmark",), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                pushed = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="//emailaddress",
+                )
+                assert pushed["ok"] and pushed["mode"] == "pushdown"
+                assert pushed["from_store"]
+                # Byte-identical to the materialized-path answers.
+                assert pushed["answers"] == warm["answers"]
+                stats = await client.call("stats")
+                # The pushdown answered without materializing: no
+                # docstore load happened, and no document is resident.
+                assert stats["docstore"]["hits"] == 0
+                assert stats["documents"] == 0
+                assert stats["doc_queries"] == {
+                    "pushed_down": 1, "fallback": 0, "materialized": 0,
+                }
+                # Outside the fragment (predicate): honest fallback.
+                fell = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="//person[name]", limit=2,
+                )
+                assert fell["ok"] and fell["mode"] == "fallback"
+                assert fell["count"] >= len(fell["answers"])
+                assert len(fell["answers"]) <= 2
+                stats = await client.call("stats")
+                assert stats["doc_queries"]["fallback"] == 1
+                assert stats["docstore"]["hits"] == 1
+                # The fallback tree was transient, not admitted to
+                # the document LRU.
+                assert stats["documents"] == 0
+
+    asyncio.run(run())
+
+
+def test_doc_query_rejects_uncovered_projection(tmp_path, xmark_file):
+    """Satellite 3: a persisted *projection* must refuse queries
+    outside its recorded project_for set instead of silently answering
+    from the narrower node table (mirrors the doc.load store-hit
+    guard)."""
+    db = str(tmp_path / "docs.sqlite")
+
+    async def run():
+        async with running_service(
+            preload=("xmark",), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                await client.call(
+                    "doc.load", schema="xmark", path=xmark_file,
+                    doc="proj", project_for=["//emailaddress"],
+                )
+        async with running_service(
+            preload=("xmark",), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                covered = await client.call(
+                    "doc.query", schema="xmark", doc="proj",
+                    query="//emailaddress",
+                )
+                assert covered["ok"] and covered["mode"] == "pushdown"
+                uncovered = await client.call(
+                    "doc.query", schema="xmark", doc="proj",
+                    query="//person/name",
+                )
+                assert not uncovered["ok"]
+                assert uncovered["error"]["code"] == "bad-params"
+                assert "does not cover" in \
+                    uncovered["error"]["message"]
+                stats = await client.call("stats")
+                # The refusal happened before any answer path ran.
+                assert stats["doc_queries"] == {
+                    "pushed_down": 1, "fallback": 0, "materialized": 0,
+                }
+
+    asyncio.run(run())
+
+
+def test_doc_query_error_paths(tmp_path, xmark_file):
+    db = str(tmp_path / "docs.sqlite")
+
+    async def run():
+        async with running_service(
+            preload=("xmark", "bib"), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                await client.call("doc.load", schema="xmark",
+                                  path=xmark_file, doc="corpus")
+                missing = await client.call(
+                    "doc.query", schema="xmark", doc="ghost",
+                    query="//emailaddress",
+                )
+                assert not missing["ok"]
+                assert missing["error"]["code"] == "unknown-doc"
+                unparsable = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="((",
+                )
+                assert not unparsable["ok"]
+                assert unparsable["error"]["code"] == "bad-params"
+                bad_limit = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="//emailaddress", limit=-1,
+                )
+                assert not bad_limit["ok"]
+                assert bad_limit["error"]["code"] == "bad-params"
+        async with running_service(
+            preload=("xmark", "bib"), doc_store_path=db,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                # Persisted under xmark; querying as bib must refuse
+                # (digest mismatch), not answer against the wrong
+                # schema's expectations.
+                wrong = await client.call(
+                    "doc.query", schema="bib", doc="corpus",
+                    query="//title",
+                )
+                assert not wrong["ok"]
+                assert wrong["error"]["code"] == "bad-params"
+                assert "different schema" in wrong["error"]["message"]
+        # No document store at all: nothing to answer from.
+        async with running_service(preload=("xmark",)) as (_, host,
+                                                           port):
+            async with ServiceClient(host, port) as client:
+                nowhere = await client.call(
+                    "doc.query", schema="xmark", doc="corpus",
+                    query="//emailaddress",
+                )
+                assert not nowhere["ok"]
+                assert nowhere["error"]["code"] == "unknown-doc"
+
+    asyncio.run(run())
+
+
 def test_sharded_anonymous_names_are_shard_scoped(xmark_file):
     """Anonymous persistence keys must differ across shards sharing
     one document store (d<shard>x<n>)."""
@@ -509,5 +667,18 @@ def test_sharded_stats_aggregate_docstore(tmp_path, xmark_file):
                 assert stats["docstore"]["saves"] == 1
                 assert stats["docstore"]["documents"] == 1
                 assert loaded["doc"] in stats["documents_detail"]
+                # doc.query routes by schema affinity to the shard
+                # that loaded the doc; the router sums the counters.
+                queried = await client.call(
+                    "doc.query", schema="xmark", doc="sharded",
+                    query="//emailaddress", limit=3,
+                )
+                assert queried["ok"]
+                assert queried["mode"] == "materialized"
+                assert queried["doc"] == loaded["doc"]
+                stats = await client.call("stats")
+                assert stats["doc_queries"] == {
+                    "pushed_down": 0, "fallback": 0, "materialized": 1,
+                }
 
     asyncio.run(run())

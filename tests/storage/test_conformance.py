@@ -19,8 +19,13 @@ import pytest
 from repro.analysis.engine import AnalysisEngine, PairVerdict
 from repro.docstore.adapter import apply_update_indexed
 from repro.docstore.streamload import load_xml
+from repro.docstore.pushdown import (
+    compile_query,
+    run_steps_on_tree,
+    serialize_answers,
+)
 from repro.schema import bib_dtd, xmark_dtd
-from repro.storage import open_store
+from repro.storage import StepSpec, open_store
 from repro.xmldm import generate_document, serialize
 
 PG_DSN = os.environ.get("REPRO_PG_DSN", "")
@@ -329,6 +334,114 @@ class TestTraversalConformance:
             parent = store._parent[parent]
         assert documents.ancestors("doc", leaf) == sorted(chain)
         assert documents.ancestors("doc", tree.root) == []
+
+
+class TestRunStepsConformance:
+    """The ``run_steps`` backend op (SQL pushdown in the SQL backends,
+    axis accelerators in the memory backend) must agree across
+    backends and with the in-memory reference on nested-loop order,
+    duplicate multiplicity, positional predicates, dedup, and empty
+    results."""
+
+    #: Pushdown-eligible surface queries exercised against xmark.
+    QUERIES = (
+        "//emailaddress",
+        "/site/people/person/name",
+        "//person/name",
+        "//text()",
+        "//open_auction//increase",
+        "/site/regions//item",
+        "//*",
+    )
+
+    #: Nested same-tag document: ``//a//c`` has real duplicates.
+    NESTED = ("<r><a>one<a><c>x</c><a><c>deep</c></a></a><c>top</c></a>"
+              "<b><c>bc</c></b><a><c>last</c></a></r>")
+
+    @pytest.fixture()
+    def persisted(self, make_backend):
+        tree = _indexed(xmark_dtd(), 12_000, 4)
+        documents = make_backend().documents
+        documents.save("doc", tree, "d")
+        return documents, tree
+
+    def test_queries_match_reference_and_serialize(self, persisted):
+        documents, tree = persisted
+        for source in self.QUERIES:
+            steps = compile_query(source)
+            assert steps is not None, source
+            expected = run_steps_on_tree(tree, steps)
+            got = documents.run_steps("doc", steps)
+            assert got == expected, source
+            head = got[:5]
+            assert serialize_answers(documents, "doc", head) == \
+                [serialize(tree.store, loc) for loc in head], source
+
+    def test_duplicates_preserved_and_dedup_collapses(self,
+                                                      make_backend):
+        tree = load_xml(self.NESTED).tree
+        documents = make_backend().documents
+        documents.save("nested", tree, "d")
+        steps = compile_query("//a//c")
+        expected = run_steps_on_tree(tree, steps)
+        # The nested-loop semantics really produce duplicates here.
+        assert len(expected) > len(set(expected))
+        assert documents.run_steps("nested", steps) == expected
+        deduped = documents.run_steps("nested", steps, dedup=True)
+        assert deduped == sorted(set(expected))  # document order
+        assert deduped == run_steps_on_tree(tree, steps, dedup=True)
+
+    def test_positional_predicates(self, persisted):
+        documents, tree = persisted
+        chains = (
+            [StepSpec("descendant", "name", "person"),
+             StepSpec("child", "node", position=1)],
+            [StepSpec("descendant", "name", "person", position=2)],
+            [StepSpec("descendant-child", "name", "person"),
+             StepSpec("child", "name", "name", position=1)],
+        )
+        for steps in chains:
+            expected = run_steps_on_tree(tree, steps)
+            assert expected, steps  # non-trivial on xmark
+            assert documents.run_steps("doc", steps) == expected, steps
+
+    def test_empty_results(self, persisted):
+        documents, _ = persisted
+        ghost = [StepSpec("descendant", "name", "no-such-tag")]
+        assert documents.run_steps("doc", ghost) == []
+        assert documents.run_steps("doc", ghost, dedup=True) == []
+        # A position past the last match is empty, not an error.
+        past = [StepSpec("child", "node", position=99)]
+        assert documents.run_steps("doc", past) == []
+
+    def test_missing_document_raises_keyerror(self, make_backend):
+        documents = make_backend().documents
+        with pytest.raises(KeyError):
+            documents.run_steps("ghost", [StepSpec("child", "name", "a")])
+        with pytest.raises(KeyError):
+            documents.subtree_rows("ghost", 0)
+
+    def test_malformed_chains_rejected(self, make_backend):
+        documents = make_backend().documents
+        documents.save("doc", _indexed(bib_dtd(), 2_000, 5), "d")
+        for bad in ([],
+                    [StepSpec("parent", "name", "a")],
+                    [StepSpec("child", "bogus")],
+                    [StepSpec("child", "name")],
+                    [StepSpec("child", "text", "a")],
+                    [StepSpec("child", "name", "a", position=0)]):
+            with pytest.raises(ValueError):
+                documents.run_steps("doc", bad)
+
+    def test_subtree_rows_round_trip(self, persisted):
+        documents, tree = persisted
+        rows = documents.subtree_rows("doc", 0)
+        assert [r[0] for r in rows] == list(range(len(tree.store)))
+        some = documents.run_steps(
+            "doc", compile_query("//emailaddress"))[0]
+        slice_rows = documents.subtree_rows("doc", some)
+        assert slice_rows[0][0] == some
+        assert len(slice_rows) == slice_rows[0][3]  # size includes self
 
 
 class TestSqlitePragmas:
