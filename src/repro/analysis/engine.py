@@ -32,6 +32,11 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..obs.metrics import (
+    ENGINE_INFERENCE_SECONDS,
+    ENGINE_STORE_SECONDS,
+    ENGINE_UNIVERSE_SECONDS,
+)
 from ..schema.dtd import DTD
 from ..schema.edtd import EDTD
 from ..xquery.ast import ROOT_VAR, Query
@@ -458,7 +463,11 @@ class AnalysisEngine:
             cap = depth_cap_from(self._recursion, k)
             state = self._states_by_cap.get(cap)
             if state is None:
+                build_started = time.perf_counter()
                 state = _KState(Universe(self.schema, cap))
+                ENGINE_UNIVERSE_SECONDS.observe(
+                    time.perf_counter() - build_started
+                )
                 self._states_by_cap[cap] = state
                 self.stats.universes_built += 1
             self._states[k] = state
@@ -538,7 +547,11 @@ class AnalysisEngine:
         chains = self._query_chains.get(cache_key)
         if chains is None:
             self.stats.query_misses += 1
+            infer_started = time.perf_counter()
             chains = state.queries.infer_root(ast, ROOT_VAR)
+            ENGINE_INFERENCE_SECONDS.labels(kind="query").observe(
+                time.perf_counter() - infer_started
+            )
             self._query_chains[cache_key] = chains
         else:
             self.stats.query_hits += 1
@@ -553,7 +566,11 @@ class AnalysisEngine:
         chains = self._update_chains.get(cache_key)
         if chains is None:
             self.stats.update_misses += 1
+            infer_started = time.perf_counter()
             chains = state.updates.infer_root(ast, ROOT_VAR)
+            ENGINE_INFERENCE_SECONDS.labels(kind="update").observe(
+                time.perf_counter() - infer_started
+            )
             self._update_chains[cache_key] = chains
         else:
             self.stats.update_hits += 1
@@ -599,7 +616,11 @@ class AnalysisEngine:
             store_key = (self.digest, pair_k,
                          self._expression_digest(query_key),
                          self._expression_digest(update_key))
+            lookup_started = time.perf_counter()
             stored = self._store.get(*store_key)
+            ENGINE_STORE_SECONDS.labels(
+                outcome="hit" if stored is not None else "miss"
+            ).observe(time.perf_counter() - lookup_started)
             if stored is not None:
                 self.stats.store_hits += 1
                 # Parity with a computed witness-free report, which

@@ -50,6 +50,22 @@ DEFAULT_WORKLOAD = dict(n_queries=20, n_updates=20, clients=32,
 SHARD_WORKLOAD = dict(schema=("xmark", "gen:11"), n_queries=12,
                       n_updates=12, clients=32, requests=1000, seed=7)
 
+#: Version of the ``BENCH_serve.json`` point layout.  2 added
+#: ``schema_version``/``cores`` at the top level and per-mode
+#: ``server_latency_ms`` (server-side per-op p50/p99 from the scraped
+#: request histograms, so a point records both sides of the wire).
+SCHEMA_VERSION = 2
+
+
+def _server_latency(report: dict) -> dict:
+    """Per-op server-side latency summary of one loadgen report."""
+    per_op = report.get("server_metrics", {}).get("per_op", {})
+    return {
+        op: {"p50_ms": row["p50_ms"], "p99_ms": row["p99_ms"],
+             "count": row["count"]}
+        for op, row in per_op.items()
+    }
+
 
 def available_cores() -> int:
     """Cores this process may schedule on (the shard gate's skip knob)."""
@@ -99,7 +115,7 @@ async def _run_mode(mode: str, store_path: str,
     )
     assert isinstance(make_service(config), IndependenceService)
     return await _run_config(config, LoadgenConfig(
-        schema="xmark", source="bench", **workload,
+        schema="xmark", source="bench", scrape_metrics=True, **workload,
     ))
 
 
@@ -142,12 +158,15 @@ async def run_serve_bench_async(workload: dict | None = None,
     engine = reports["engine"]["throughput_rps"]
     oneshot = reports["oneshot"]["throughput_rps"]
     return {
+        "schema_version": SCHEMA_VERSION,
         "workload": reports["batched"]["workload"],
         "batch_window_seconds": batch_window,
+        "cores": available_cores(),
         "modes": {
             mode: {
                 "throughput_rps": report["throughput_rps"],
                 "latency_ms": report["latency_ms"],
+                "server_latency_ms": _server_latency(report),
                 "errors": report["errors"],
                 "coalesced_requests": report["service"]
                 ["coalesced_requests"],
@@ -190,7 +209,8 @@ async def run_shard_bench_async(shards: int = 2,
             shards=count,
         )
         return await _run_config(
-            config, LoadgenConfig(source="bench", **workload)
+            config, LoadgenConfig(source="bench", scrape_metrics=True,
+                                  **workload)
         )
 
     for count in sorted({1, shards}):
@@ -216,6 +236,7 @@ async def run_shard_bench_async(shards: int = 2,
             str(count): {
                 "throughput_rps": report["throughput_rps"],
                 "latency_ms": report["latency_ms"],
+                "server_latency_ms": _server_latency(report),
                 "errors": report["errors"],
                 "coalesced_requests": report["service"]
                 ["coalesced_requests"],

@@ -350,12 +350,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pair_cache_size=args.pair_cache,
         preload=tuple(args.preload),
         shards=args.shards,
+        slow_ms=args.slow_ms,
+        slow_log_path=args.slow_log or "",
+        metrics_port=args.metrics_port,
     )
 
     def ready(service, host, port):
+        metrics = (f", metrics=:{service.metrics_port}"
+                   if service.metrics_port else "")
         print(f"repro serve: listening on {host}:{port} "
               f"(mode={config.analysis_mode}, shards={config.shards}, "
-              f"store={config.store_path}, window={args.window}ms)",
+              f"store={config.store_path}, window={args.window}ms"
+              f"{metrics})",
               flush=True)
 
     try:
@@ -384,6 +390,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         clients=args.clients,
         requests=args.requests,
         seed=args.seed,
+        scrape_metrics=args.scrape_metrics,
+        timing_sample=args.timing_sample,
+        doc_queries=args.doc_queries,
         **kwargs,
     ))
     service = report["service"]
@@ -395,12 +404,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"{service['batches']} batches "
           f"({service['coalesced_requests']} coalesced, "
           f"{service['shards']} shard(s))")
+    server = report.get("server_metrics")
+    if server is not None:
+        analyze = server["per_op"].get("analyze", {})
+        print(f"server ({server['role']}): analyze count "
+              f"{analyze.get('count', 0)}, "
+              f"p50 {analyze.get('p50_ms', 0.0):.2f} ms, "
+              f"p99 {analyze.get('p99_ms', 0.0):.2f} ms, "
+              f"counts_match={server['counts_match']}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
     if report["errors"]:
+        return 1
+    if server is not None and not server["counts_match"]:
+        print("error: --scrape-metrics, but the server's analyze "
+              "histogram count does not match the requests sent "
+              f"({analyze.get('count', 0)} vs "
+              f"{report['workload']['requests']})")
         return 1
     if args.expect_coalescing and (
             not service["batches"] or not service["coalesced_requests"]):
@@ -672,6 +695,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(1 = classic in-process service)")
     serve_cmd.add_argument("--preload", nargs="*", default=["xmark"],
                            help="builtin schemas to register at startup")
+    serve_cmd.add_argument("--slow-ms", type=float,
+                           default=serve_defaults.slow_ms,
+                           help="record requests slower than this many "
+                                "ms in the slow-request ring (0 = off); "
+                                "see docs/OBSERVABILITY.md")
+    serve_cmd.add_argument("--slow-log", default=None,
+                           help="append slow requests as JSON lines to "
+                                "this file (requires --slow-ms)")
+    serve_cmd.add_argument("--metrics-port", type=int,
+                           default=serve_defaults.metrics_port,
+                           help="also serve Prometheus GET /metrics on "
+                                "this HTTP port (0 = wire op only)")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     loadgen_defaults = LoadgenConfig()
@@ -725,6 +760,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fail unless the service reports this "
                                   "many shards and (for > 1) analyze "
                                   "traffic reached at least two of them")
+    loadgen_cmd.add_argument("--scrape-metrics", action="store_true",
+                             help="scrape the metrics op before/after "
+                                  "the run, cross-check server-side "
+                                  "histogram counts against the client "
+                                  "request count, and report server "
+                                  "percentiles")
+    loadgen_cmd.add_argument("--timing-sample", type=int,
+                             default=loadgen_defaults.timing_sample,
+                             help="request a per-layer timing breakdown "
+                                  "on every Nth request (0 = never)")
+    loadgen_cmd.add_argument("--doc-queries", type=int,
+                             default=loadgen_defaults.doc_queries,
+                             help="extra doc.query requests per client "
+                                  "against a shared generated document")
     loadgen_cmd.set_defaults(func=_cmd_loadgen)
 
     serve_bench_cmd = commands.add_parser(

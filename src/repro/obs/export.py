@@ -1,0 +1,128 @@
+"""Prometheus text-format exposition and the ``/metrics`` HTTP listener.
+
+:func:`render` turns a registry snapshot (or a merged multi-shard
+snapshot, see :func:`repro.obs.metrics.merge_snapshots`) into the
+Prometheus text exposition format, version 0.0.4:
+
+- ``# HELP`` / ``# TYPE`` header lines per family, families sorted by
+  name;
+- histograms as cumulative ``<name>_bucket{le="..."}`` series with a
+  terminal ``le="+Inf"`` bucket equal to ``<name>_count``, plus
+  ``<name>_sum`` and ``<name>_count``;
+- label values escaped per the exposition grammar (backslash, quote,
+  newline).
+
+:func:`serve_metrics_http` is a deliberately tiny asyncio HTTP/1.1
+server answering ``GET /metrics`` so a real Prometheus can scrape the
+router without any extra dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import Awaitable, Callable
+
+__all__ = ["CONTENT_TYPE", "render", "serve_metrics_http"]
+
+#: The exposition content type served over HTTP.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return format(bound, ".10g")
+
+
+def _labelstr(names: list[str], values: list[str], extra: tuple[str, str] | None = None) -> str:
+    pairs = [f'{n}="{_escape(str(v))}"' for n, v in zip(names, values)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render(snapshot: dict) -> str:
+    """Render a (possibly merged) registry snapshot to exposition text."""
+    out: list[str] = []
+    for name, family in sorted(snapshot.get("families", {}).items()):
+        kind = family["kind"]
+        out.append(f"# HELP {name} {family['help']}")
+        out.append(f"# TYPE {name} {kind}")
+        labelnames = list(family["labels"])
+        for key, child in sorted(family["children"].items()):
+            values = json.loads(key)
+            if kind == "histogram":
+                cumulative = 0
+                for i, bucket_count in enumerate(child["counts"]):
+                    cumulative += bucket_count
+                    le = (
+                        _format_bound(child["bounds"][i])
+                        if i < len(child["bounds"])
+                        else "+Inf"
+                    )
+                    labels = _labelstr(labelnames, values, extra=("le", le))
+                    out.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _labelstr(labelnames, values)
+                out.append(f"{name}_sum{labels} {_format_value(child['sum'])}")
+                out.append(f"{name}_count{labels} {child['count']}")
+            else:
+                labels = _labelstr(labelnames, values)
+                out.append(f"{name}{labels} {_format_value(child['value'])}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+async def serve_metrics_http(
+    host: str,
+    port: int,
+    supplier: Callable[[], Awaitable[str]],
+) -> asyncio.Server:
+    """Start an HTTP listener answering ``GET /metrics`` from ``supplier``.
+
+    ``supplier`` is awaited per scrape and must return exposition text
+    (the caller decides whether that is the local registry or a merged
+    fan-out view).  Anything but ``GET /metrics`` gets a 404; responses
+    close the connection.  Returns the ``asyncio.Server`` (caller owns
+    shutdown).
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("ascii", "replace").split("?", 1)[0] if len(parts) > 1 else ""
+            if len(parts) > 1 and parts[0] == b"GET" and path == "/metrics":
+                body = (await supplier()).encode("utf-8")
+                status, ctype = b"200 OK", CONTENT_TYPE.encode("ascii")
+            else:
+                body = b"not found\n"
+                status, ctype = b"404 Not Found", b"text/plain; charset=utf-8"
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: " + ctype + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.start_server(handle, host, port)

@@ -21,10 +21,13 @@ per-request analysis so only the offending request sees the error.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..analysis.engine import AnalysisEngine
+from ..obs.metrics import BATCH_FLUSH_SECONDS, BATCH_QUEUE_WAIT, BATCH_SIZE
+from ..obs.tracing import TraceContext, current_trace
 
 
 @dataclass(frozen=True)
@@ -52,13 +55,18 @@ class WireVerdict:
 
 @dataclass
 class _Group:
-    """One open admission window for a ``(digest, k)`` key."""
+    """One open admission window for a ``(digest, k)`` key.
+
+    Each entry is ``(query, update, future, trace, enqueued)``: the
+    request's trace context (or None) and its perf_counter enqueue time
+    so the flush can attribute queue-wait and engine spans per request.
+    """
 
     engine: AnalysisEngine
     k: int | None
-    entries: list[tuple[str, str, asyncio.Future]] = field(
-        default_factory=list
-    )
+    entries: list[
+        tuple[str, str, asyncio.Future, TraceContext | None, float]
+    ] = field(default_factory=list)
     full: asyncio.Event = field(default_factory=asyncio.Event)
 
 
@@ -95,10 +103,15 @@ class MicroBatcher:
         self.requests += 1
         engine = self.registry.engine(schema_ref)
         loop = asyncio.get_running_loop()
+        trace = current_trace()
         if not self.enabled:
-            return await loop.run_in_executor(
+            t0 = time.perf_counter()
+            verdict = await loop.run_in_executor(
                 self._executor, self._analyze_one, engine, query, update, k
             )
+            if trace is not None:
+                trace.add_span("engine", time.perf_counter() - t0)
+            return verdict
         key = (engine.digest, k)
         group = self._groups.get(key)
         if group is None:
@@ -110,7 +123,9 @@ class MicroBatcher:
         else:
             self.coalesced_requests += 1
         future: asyncio.Future = loop.create_future()
-        group.entries.append((query, update, future))
+        group.entries.append(
+            (query, update, future, trace, time.perf_counter())
+        )
         if len(group.entries) >= self.max_batch:
             # Close the window immediately: removing the group here (not
             # just waking the flush task) is what actually enforces
@@ -163,22 +178,42 @@ class MicroBatcher:
         entries = group.entries
         self.batches += 1
         self.max_batch_size = max(self.max_batch_size, len(entries))
+        flush_started = time.perf_counter()
+        BATCH_SIZE.observe(len(entries))
+        for _, _, _, trace, enqueued in entries:
+            wait = flush_started - enqueued
+            BATCH_QUEUE_WAIT.observe(wait)
+            if trace is not None:
+                trace.add_span("queue_wait", wait)
         try:
-            verdicts = await loop.run_in_executor(
-                self._executor, self._analyze_batch,
-                group.engine, entries, group.k,
+            verdicts, engine_seconds, store_seconds = \
+                await loop.run_in_executor(
+                    self._executor, self._analyze_batch,
+                    group.engine, entries, group.k,
+                )
+            BATCH_FLUSH_SECONDS.observe(
+                time.perf_counter() - flush_started
             )
-            for (_, _, future), verdict in zip(entries, verdicts):
+            for (_, _, future, trace, _), verdict in zip(entries,
+                                                         verdicts):
+                if trace is not None:
+                    # The flush is shared: every coalesced request
+                    # reports the batch's engine/commit time as its own
+                    # span (documented in docs/OBSERVABILITY.md).
+                    trace.add_span("engine", engine_seconds)
+                    if store_seconds > 0.0:
+                        trace.add_span("store", store_seconds)
                 if not future.done():
                     future.set_result(verdict)
         except Exception:
             # Batch-level failure: isolate it per request so only the
             # offending expression's caller sees the error.
-            for query, update, future in entries:
+            for query, update, future, trace, _ in entries:
                 if future.done():
                     continue
                 self.fallback_singles += 1
                 try:
+                    t0 = time.perf_counter()
                     verdict = await loop.run_in_executor(
                         self._executor, self._analyze_one,
                         group.engine, query, update, group.k,
@@ -186,6 +221,9 @@ class MicroBatcher:
                 except Exception as error:
                     future.set_exception(error)
                 else:
+                    if trace is not None:
+                        trace.add_span("engine",
+                                       time.perf_counter() - t0)
                     future.set_result(verdict)
 
     #: A flush uses the full queries x updates matrix only while the
@@ -199,14 +237,20 @@ class MicroBatcher:
     #: group commit).
     MATRIX_DENSITY_LIMIT = 4
 
-    def _analyze_batch(self, engine: AnalysisEngine, entries,
-                       k: int | None) -> list[WireVerdict]:
+    def _analyze_batch(
+        self, engine: AnalysisEngine, entries, k: int | None
+    ) -> tuple[list[WireVerdict], float, float]:
         """Worker-thread body of one flush: one deduplicated batch call
-        under a single store commit, then per-entry verdict lookup."""
-        queries = list(dict.fromkeys(query for query, _, _ in entries))
-        updates = list(dict.fromkeys(update for _, update, _ in entries))
+        under a single store commit, then per-entry verdict lookup.
+
+        Returns ``(verdicts, engine_seconds, store_seconds)`` so the
+        flush can attribute analysis versus group-commit time to every
+        coalesced request's trace.
+        """
+        queries = list(dict.fromkeys(entry[0] for entry in entries))
+        updates = list(dict.fromkeys(entry[1] for entry in entries))
         pairs = list(dict.fromkeys(
-            (query, update) for query, update, _ in entries
+            (entry[0], entry[1]) for entry in entries
         ))
         dense = (len(queries) * len(updates)
                  <= self.MATRIX_DENSITY_LIMIT * len(pairs))
@@ -231,13 +275,23 @@ class MicroBatcher:
                 for pair, report in zip(pairs, reports)
             }
 
+        t0 = time.perf_counter()
         if store is not None:
             with store.deferred():
                 verdicts = run()
+                engine_seconds = time.perf_counter() - t0
+            # deferred() commits on exit: everything past the run is
+            # the group-commit cost.
+            store_seconds = time.perf_counter() - t0 - engine_seconds
         else:
             verdicts = run()
-        return [verdicts[(query, update)]
-                for query, update, _ in entries]
+            engine_seconds = time.perf_counter() - t0
+            store_seconds = 0.0
+        return (
+            [verdicts[(entry[0], entry[1])] for entry in entries],
+            engine_seconds,
+            store_seconds,
+        )
 
     def _analyze_one(self, engine: AnalysisEngine, query: str, update: str,
                      k: int | None) -> WireVerdict:

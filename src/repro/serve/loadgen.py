@@ -37,6 +37,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..obs.metrics import histogram_quantile
 from ..schema.dtd import DTD
 from ..testkit.dtdgen import SchemaGenerator, SchemaSpec
 from ..testkit.exprgen import random_query, random_update
@@ -63,6 +64,18 @@ class LoadgenConfig:
     requests: int = 2000           # total, split across clients
     seed: int = 0
     expr_depth: int = 2
+    #: Scrape the ``metrics`` op before and after the run, cross-check
+    #: the server-side per-op histogram counts against the client-side
+    #: request counts, and report server percentiles next to the
+    #: client-side ones (``--scrape-metrics``).
+    scrape_metrics: bool = False
+    #: Send ``timing: true`` on every Nth request per client (0 = never)
+    #: and aggregate the per-layer span breakdown into the report.
+    timing_sample: int = 0
+    #: Extra ``doc.query`` requests per client (against one generated
+    #: document loaded before the run) so traced runs cover the
+    #: document path as well as ``analyze``.
+    doc_queries: int = 0
 
     @property
     def schemas(self) -> tuple[str, ...]:
@@ -196,13 +209,25 @@ async def _register_generated(config: LoadgenConfig) -> None:
             pass
 
 
+def _record_spans(spans: dict, op: str, timing: dict | None) -> None:
+    """Fold one response's ``timing`` breakdown into the span aggregate."""
+    if not timing:
+        return
+    per_op = spans.setdefault(op, {})
+    for entry in timing.get("spans", ()):
+        per_op.setdefault(entry["name"], []).append(entry["ms"])
+    per_op.setdefault("total", []).append(timing.get("total_ms", 0.0))
+
+
 async def _client(config: LoadgenConfig, index: int, count: int,
                   pools: dict[str, tuple[list[str], list[str]]],
                   latencies: list[float], verdicts: dict,
-                  errors: list[str]) -> None:
+                  errors: list[str], spans: dict,
+                  doc_latencies: list[float], doc_name: str | None) -> None:
     """One closed-loop connection: draw, send, await, record."""
     rng = random.Random(f"{config.seed}/{index}")
     schemas = config.schemas
+    sample = config.timing_sample
     reader, writer = await asyncio.open_connection(
         config.host, config.port, limit=MAX_LINE_BYTES
     )
@@ -212,14 +237,17 @@ async def _client(config: LoadgenConfig, index: int, count: int,
             queries, updates = pools[ref]
             qi = rng.randrange(len(queries))
             ui = rng.randrange(len(updates))
-            started = time.perf_counter()
-            response = await _request(reader, writer, {
+            payload = {
                 "id": f"c{index}-{sequence}",
                 "op": "analyze",
                 "schema": ref,
                 "query": queries[qi],
                 "update": updates[ui],
-            })
+            }
+            if sample and sequence % sample == 0:
+                payload["timing"] = True
+            started = time.perf_counter()
+            response = await _request(reader, writer, payload)
             if not response.get("ok"):
                 # Failed requests count as errors only: their latency
                 # must not pollute the percentiles or the completed
@@ -227,6 +255,7 @@ async def _client(config: LoadgenConfig, index: int, count: int,
                 errors.append(str(response.get("error")))
                 continue
             latencies.append(time.perf_counter() - started)
+            _record_spans(spans, "analyze", response.get("timing"))
             verdict = {key: response[key] for key in
                        ("independent", "k", "k_query", "k_update")}
             previous = verdicts.setdefault((ref, qi, ui), verdict)
@@ -235,6 +264,28 @@ async def _client(config: LoadgenConfig, index: int, count: int,
                     f"verdict divergence on {ref} pair ({qi}, {ui}): "
                     f"{previous} vs {verdict}"
                 )
+        for sequence in range(config.doc_queries if doc_name else 0):
+            ref = config.schemas[0]
+            queries, _ = pools[ref]
+            payload = {
+                "id": f"c{index}-doc{sequence}",
+                "op": "doc.query",
+                "schema": ref,
+                # The persistence key (unprefixed): doc.query routes by
+                # schema affinity and resolves shard-locally.
+                "doc": doc_name,
+                "query": queries[sequence % len(queries)],
+                "limit": 1,
+            }
+            if sample and sequence % sample == 0:
+                payload["timing"] = True
+            started = time.perf_counter()
+            response = await _request(reader, writer, payload)
+            if not response.get("ok"):
+                errors.append(str(response.get("error")))
+                continue
+            doc_latencies.append(time.perf_counter() - started)
+            _record_spans(spans, "doc.query", response.get("timing"))
     finally:
         writer.close()
         try:
@@ -262,12 +313,141 @@ async def _stats(config: LoadgenConfig) -> dict:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    """Percentile of an ascending list, interpolating linearly between
+    the two nearest order statistics (0.0 when empty).
+
+    This is the "linear" (R-7 / numpy default) definition: the rank
+    ``fraction * (n - 1)`` is split into its integer part and remainder,
+    and the value is the convex combination of the neighbors -- so
+    ``p50`` of ``[1, 2, 3, 4]`` is 2.5, not a rounded pick of 2 or 3.
+
+    >>> _percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.5
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1,
-                int(fraction * (len(sorted_values) - 1) + 0.5))
-    return sorted_values[index]
+    rank = fraction * (len(sorted_values) - 1)
+    lower = int(rank)
+    weight = rank - lower
+    if weight == 0.0 or lower + 1 >= len(sorted_values):
+        return sorted_values[lower]
+    return (sorted_values[lower] * (1.0 - weight)
+            + sorted_values[lower + 1] * weight)
+
+
+async def _metrics(config: LoadgenConfig) -> dict:
+    """One ``metrics`` snapshot (empty dict when the call fails)."""
+    reader, writer = await asyncio.open_connection(
+        config.host, config.port, limit=MAX_LINE_BYTES
+    )
+    try:
+        response = await _request(
+            reader, writer, {"op": "metrics", "id": "loadgen-metrics"}
+        )
+        return response if response.get("ok") else {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _load_document(config: LoadgenConfig) -> str:
+    """Load the run's shared workload document; returns its doc name.
+
+    The name is the *persistence key* (unprefixed): ``doc.query``
+    requests pass it verbatim and the service's own ``doc_id_prefix``
+    namespaces it per shard, so the same loadgen invocation works
+    against sharded and unsharded services alike.
+    """
+    name = f"lg{config.seed}"
+    reader, writer = await asyncio.open_connection(
+        config.host, config.port, limit=MAX_LINE_BYTES
+    )
+    try:
+        response = await _request(reader, writer, {
+            "id": "loadgen-doc",
+            "op": "doc.load",
+            "schema": config.schemas[0],
+            "doc": name,
+            "bytes": 20_000,
+            "seed": config.seed,
+        })
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"loading workload document failed: "
+                f"{response.get('error')}"
+            )
+        return name
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def _request_seconds_delta(before: dict, after: dict) -> tuple[str, dict]:
+    """Per-op delta of the server's ``repro_request_seconds`` family.
+
+    Returns ``(role, {op: histogram_child})`` where the deltas are the
+    run's own observations (after minus before) and ``role`` is the
+    client-facing series: ``"router"`` when router-role series moved
+    during this run (a sharded service -- its service-role series count
+    the same requests again, once per shard hop), else ``"service"``.
+    The choice is made on the *delta*, not the raw snapshot, so stale
+    router series from an earlier run against the same process cannot
+    misattribute an unsharded run.
+    """
+    family_after = after.get("families", {}).get(
+        "repro_request_seconds", {}
+    )
+    family_before = before.get("families", {}).get(
+        "repro_request_seconds", {}
+    )
+    children_after = family_after.get("children", {})
+    children_before = family_before.get("children", {})
+
+    def deltas_for(role: str) -> dict[str, dict]:
+        deltas: dict[str, dict] = {}
+        for key, child in children_after.items():
+            op, child_role = json.loads(key)
+            if child_role != role:
+                continue
+            previous = children_before.get(key)
+            counts = list(child["counts"])
+            total = child["sum"]
+            count = child["count"]
+            if previous is not None:
+                counts = [now - then for now, then
+                          in zip(counts, previous["counts"])]
+                total -= previous["sum"]
+                count -= previous["count"]
+            if count:
+                deltas[op] = {"bounds": list(child["bounds"]),
+                              "counts": counts, "sum": total,
+                              "count": count}
+        return deltas
+
+    router_deltas = deltas_for("router")
+    if router_deltas:
+        return "router", router_deltas
+    return "service", deltas_for("service")
+
+
+def _span_breakdown(spans: dict) -> dict:
+    """Aggregate sampled span timings into per-op count/mean rows."""
+    return {
+        op: {
+            name: {
+                "count": len(values),
+                "mean_ms": sum(values) / len(values),
+            }
+            for name, values in sorted(per_op.items())
+        }
+        for op, per_op in sorted(spans.items())
+    }
 
 
 def _shard_routing(before: dict, after: dict) -> dict[str, int] | None:
@@ -290,22 +470,67 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
     """Drive the service; returns the JSON-ready report."""
     pools = workload_pools(config)
     await _register_generated(config)
+    doc_name = (await _load_document(config)
+                if config.doc_queries else None)
     before = await _stats(config)
+    metrics_before = (await _metrics(config)
+                      if config.scrape_metrics else {})
     latencies: list[float] = []
+    doc_latencies: list[float] = []
     verdicts: dict = {}
     errors: list[str] = []
+    spans: dict = {}
     per_client = [config.requests // config.clients] * config.clients
     for index in range(config.requests % config.clients):
         per_client[index] += 1
     started = time.perf_counter()
     await asyncio.gather(*(
-        _client(config, index, count, pools, latencies, verdicts, errors)
+        _client(config, index, count, pools, latencies, verdicts, errors,
+                spans, doc_latencies, doc_name)
         for index, count in enumerate(per_client) if count
     ))
     wall_seconds = time.perf_counter() - started
     after = await _stats(config)
+    metrics_after = (await _metrics(config)
+                     if config.scrape_metrics else {})
 
     ordered = sorted(latencies)
+    extras: dict = {}
+    if config.scrape_metrics and metrics_after:
+        role, deltas = _request_seconds_delta(
+            metrics_before.get("snapshot", {}),
+            metrics_after.get("snapshot", {}),
+        )
+        analyze_count = deltas.get("analyze", {}).get("count", 0)
+        extras["server_metrics"] = {
+            "role": role,
+            "per_op": {
+                op: {
+                    "count": child["count"],
+                    "p50_ms": histogram_quantile(child, 0.50) * 1e3,
+                    "p99_ms": histogram_quantile(child, 0.99) * 1e3,
+                }
+                for op, child in sorted(deltas.items())
+            },
+            # The server saw exactly the requests the clients sent:
+            # every attempted analyze lands in the histogram whether it
+            # succeeded or errored.
+            "counts_match": analyze_count == config.requests,
+        }
+    if spans:
+        extras["span_breakdown"] = _span_breakdown(spans)
+    if doc_name is not None:
+        doc_ordered = sorted(doc_latencies)
+        extras["doc_query"] = {
+            "doc": doc_name,
+            "completed": len(doc_ordered),
+            "latency_ms": {
+                "mean": (sum(doc_ordered) / len(doc_ordered) * 1e3
+                         if doc_ordered else 0.0),
+                "p50": _percentile(doc_ordered, 0.50) * 1e3,
+                "p99": _percentile(doc_ordered, 0.99) * 1e3,
+            },
+        }
     batcher_before = before.get("batcher", {})
     batcher_after = after.get("batcher", {})
     coalesced = (batcher_after.get("coalesced_requests", 0)
@@ -355,6 +580,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "engine_stats_after": after.get("registry", {})
             .get("engines", {}),
         },
+        **extras,
     }
 
 

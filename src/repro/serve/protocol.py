@@ -69,6 +69,7 @@ OPS = (
     "view.result",
     "update.apply",
     "stats",
+    "metrics",
     "shutdown",
 )
 
@@ -84,11 +85,20 @@ class ProtocolError(Exception):
 
 @dataclass(frozen=True)
 class Request:
-    """A decoded request line."""
+    """A decoded request line.
+
+    ``trace`` and ``timing`` are the observability envelope fields
+    (stripped from ``params`` like ``op``/``id``): ``trace`` is a
+    client-supplied trace id propagated through the request's spans, and
+    ``timing=true`` asks for the per-layer span breakdown in the
+    response.
+    """
 
     op: str
     params: dict
     id: object = None
+    trace: str | None = None
+    timing: bool = False
 
 
 def encode(payload: dict) -> bytes:
@@ -117,9 +127,16 @@ def decode_request(line: bytes) -> Request:
     op = payload.get("op")
     if not isinstance(op, str) or not op:
         raise ProtocolError(BAD_REQUEST, 'request needs a string "op"')
+    trace = payload.get("trace")
+    if trace is not None and not isinstance(trace, str):
+        raise ProtocolError(BAD_REQUEST, '"trace" must be a string')
+    timing = payload.get("timing", False)
+    if not isinstance(timing, bool):
+        raise ProtocolError(BAD_REQUEST, '"timing" must be a boolean')
     params = {key: value for key, value in payload.items()
-              if key not in ("op", "id")}
-    return Request(op=op, params=params, id=payload.get("id"))
+              if key not in ("op", "id", "trace", "timing")}
+    return Request(op=op, params=params, id=payload.get("id"),
+                   trace=trace, timing=timing)
 
 
 def ok_response(request_id: object, result: dict) -> bytes:

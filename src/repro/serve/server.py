@@ -70,14 +70,26 @@ from ..viewmaint.scheduler import IsolationScheduler
 from ..xmldm.generator import generate_document
 from ..xmldm.projection import keep_set_for_chains, project
 from ..xmldm.serialize import serialize
+from ..obs import metrics as obs_metrics
+from ..obs.export import render, serve_metrics_http
+from ..obs.metrics import REGISTRY, merge_snapshots
+from ..obs.tracing import (
+    SlowRequestLog,
+    current_trace,
+    finish_trace,
+    span,
+    start_trace,
+)
 from ..xquery.ast import ROOT_VAR
 from ..xquery.evaluator import evaluate_query
 from ..xquery.parser import parse_query
 from .batching import MicroBatcher, wire_verdict
 from .protocol import (
     BAD_PARAMS,
+    ERROR_CODES,
     INTERNAL,
     MAX_LINE_BYTES,
+    OPS,
     UNKNOWN_DOC,
     UNKNOWN_OP,
     UNKNOWN_SCHEMA,
@@ -144,6 +156,16 @@ class ServeConfig:
     shards: int = 1
     shard_index: int | None = None
     doc_id_prefix: str = ""
+    #: Requests at least this many milliseconds of wall time are
+    #: recorded in the in-memory slow-request ring (surfaced by the
+    #: ``metrics`` op) and, with ``slow_log_path``, appended as JSON
+    #: lines to the slow log.  0 disables slow-request capture.
+    slow_ms: float = 0.0
+    slow_log_path: str = ""
+    #: Extra HTTP listener answering ``GET /metrics`` with Prometheus
+    #: text exposition (0 disables).  In the sharded topology only the
+    #: router binds it; workers expose metrics over the wire op.
+    metrics_port: int = 0
 
     def __post_init__(self) -> None:
         if self.analysis_mode not in ANALYSIS_MODES:
@@ -177,10 +199,18 @@ class JsonLinesFront:
     shutdown -- while subclasses implement ``_dispatch`` only.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int, *, role: str = "service",
+                 slow_ms: float = 0.0, slow_log_path: str = "",
+                 metrics_port: int = 0):
         self._host = host
         self._port = port
         self.stats = _ServiceStats()
+        #: Metric ``role`` label: ``"router"`` on the sharded router,
+        #: ``"service"`` on the unsharded service and shard workers.
+        self.role = role
+        self.slow = SlowRequestLog(slow_ms, slow_log_path)
+        self._metrics_port = metrics_port
+        self._metrics_server: asyncio.Server | None = None
         self._server: asyncio.Server | None = None
         self._stopping = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
@@ -195,8 +225,19 @@ class JsonLinesFront:
             self._port,
             limit=MAX_LINE_BYTES,
         )
+        if self._metrics_port:
+            self._metrics_server = await serve_metrics_http(
+                self._host, self._metrics_port, self._metrics_text
+            )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
+
+    @property
+    def metrics_port(self) -> int:
+        """The bound ``/metrics`` HTTP port (0 when not enabled)."""
+        if self._metrics_server is None:
+            return 0
+        return self._metrics_server.sockets[0].getsockname()[1]
 
     @property
     def port(self) -> int:
@@ -218,6 +259,10 @@ class JsonLinesFront:
     async def aclose(self) -> None:
         """Close the front door, live connections, then backend state."""
         self._stopping.set()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -228,6 +273,7 @@ class JsonLinesFront:
         if self._connections:
             await asyncio.gather(*self._connections,
                                  return_exceptions=True)
+        self.slow.close()
         await self._close_backend()
 
     async def _close_backend(self) -> None:
@@ -239,6 +285,7 @@ class JsonLinesFront:
                                  writer: asyncio.StreamWriter) -> None:
         """One task per client connection: frame lines, spawn dispatch."""
         self.stats.connections += 1
+        obs_metrics.CONNECTIONS.labels(role=self.role).inc()
         self._connections.add(asyncio.current_task())
         write_lock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
@@ -280,31 +327,75 @@ class JsonLinesFront:
 
     async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
                           write_lock: asyncio.Lock) -> None:
-        """Decode, dispatch, and answer one request line."""
+        """Decode, dispatch, and answer one request line.
+
+        Every request is timed into the per-op latency histogram
+        (``op`` label clamped to the known op vocabulary so a hostile
+        client cannot grow label cardinality) and runs under a
+        :class:`~repro.obs.tracing.TraceContext` so downstream layers
+        can attach spans.  ``timing: true`` requests get the span
+        breakdown attached to the success response; requests over the
+        ``--slow-ms`` threshold land in the slow ring/log.
+        """
         self.stats.requests += 1
         request_id = None
+        op_label = "unknown"
+        trace = None
+        error_code = None
+        started = time.perf_counter()
         try:
             request = decode_request(line)
             request_id = request.id
+            if request.op in _KNOWN_OPS:
+                op_label = request.op
+            trace = start_trace(request.trace)
             result = await self._dispatch(request)
             if result.get("ok") is False:
                 # A forwarded shard error: count it like a local one.
                 self.stats.errors += 1
+                forwarded = (result.get("error") or {}).get("code")
+                error_code = forwarded if forwarded in ERROR_CODES \
+                    else INTERNAL
+            elif request.timing:
+                result = dict(result)
+                result["timing"] = trace.report(
+                    inner=result.pop("timing", None)
+                )
             response = ok_response(request_id, result)
         except ProtocolError as error:
             self.stats.errors += 1
+            error_code = error.code
             response = error_response(request_id, error.code, error.message)
         except UnknownSchemaError as error:
             self.stats.errors += 1
+            error_code = UNKNOWN_SCHEMA
             response = error_response(
                 request_id, UNKNOWN_SCHEMA,
                 f"schema not registered: {error.args[0]!r}",
             )
         except Exception as error:  # noqa: BLE001 -- wire boundary
             self.stats.errors += 1
+            error_code = INTERNAL
             response = error_response(
                 request_id, INTERNAL, f"{type(error).__name__}: {error}"
             )
+        finally:
+            if trace is not None:
+                finish_trace(trace)
+        elapsed = time.perf_counter() - started
+        obs_metrics.REQUEST_SECONDS.labels(
+            op=op_label, role=self.role
+        ).observe(elapsed)
+        if error_code is not None:
+            obs_metrics.REQUEST_ERRORS.labels(
+                op=op_label, code=error_code, role=self.role
+            ).inc()
+        if trace is not None and self.slow.enabled:
+            if self.slow.record(op_label, trace, elapsed * 1000.0,
+                                ok=error_code is None):
+                obs_metrics.SLOW_REQUESTS.labels(
+                    op=op_label, role=self.role
+                ).inc()
         try:
             async with write_lock:
                 writer.write(response)
@@ -315,6 +406,25 @@ class JsonLinesFront:
     async def _dispatch(self, request: Request) -> dict:
         """Serve one decoded request (implemented by subclasses)."""
         raise NotImplementedError
+
+    # -- metrics surface -----------------------------------------------------
+
+    async def _metrics_snapshot(self) -> dict:
+        """The mergeable registry snapshot this front exposes.
+
+        The unsharded service (and every shard worker) exposes its own
+        process registry; the sharded router overrides this with the
+        fan-out merge across its workers.
+        """
+        return REGISTRY.snapshot()
+
+    async def _metrics_text(self) -> str:
+        """Prometheus text exposition for the HTTP ``/metrics`` listener."""
+        return render(await self._metrics_snapshot())
+
+
+#: Known op names, for clamping the request histogram's ``op`` label.
+_KNOWN_OPS = frozenset(OPS)
 
 
 class IndependenceService(JsonLinesFront):
@@ -343,12 +453,19 @@ class IndependenceService(JsonLinesFront):
         "view.result": "_op_view_result",
         "update.apply": "_op_update_apply",
         "stats": "_op_stats",
+        "metrics": "_op_metrics",
         "shutdown": "_op_shutdown",
     }
 
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
-        super().__init__(self.config.host, self.config.port)
+        super().__init__(
+            self.config.host, self.config.port,
+            role="service",
+            slow_ms=self.config.slow_ms,
+            slow_log_path=self.config.slow_log_path,
+            metrics_port=self.config.metrics_port,
+        )
         self.storage_plan = serve_storage_plan(
             self.config.store_path, self.config.doc_store_path
         )
@@ -454,6 +571,20 @@ class IndependenceService(JsonLinesFront):
         if self.config.shard_index is not None:
             payload["shard_index"] = self.config.shard_index
         return payload
+
+    async def _op_metrics(self, params: dict) -> dict:
+        """The observability surface of this process.
+
+        Returns the Prometheus ``text`` exposition, the mergeable
+        ``snapshot`` it was rendered from (what the sharded router
+        aggregates), and the ``slow`` request ring.
+        """
+        snapshot = await self._metrics_snapshot()
+        return {
+            "text": render(snapshot),
+            "snapshot": snapshot,
+            "slow": self.slow.entries(),
+        }
 
     async def _op_shutdown(self, params: dict) -> dict:
         """Stop serving (the response is written before teardown)."""
@@ -814,18 +945,19 @@ class IndependenceService(JsonLinesFront):
                 persist = True
         meta["nodes"] = tree.size()
         if persist and self.docstore is not None:
-            await self._in_analysis_thread(
-                lambda: self.docstore.save(
-                    name, tree, schema_digest(schema),
-                    nodes_seen=meta["nodes_seen"],
-                    subtrees_skipped=meta["subtrees_skipped"],
-                    meta={
-                        "projected": meta["projected"],
-                        "project_for": requested
-                        if meta["projected"] else None,
-                    },
+            with span("store"):
+                await self._in_analysis_thread(
+                    lambda: self.docstore.save(
+                        name, tree, schema_digest(schema),
+                        nodes_seen=meta["nodes_seen"],
+                        subtrees_skipped=meta["subtrees_skipped"],
+                        meta={
+                            "projected": meta["projected"],
+                            "project_for": requested
+                            if meta["projected"] else None,
+                        },
+                    )
                 )
-            )
         self._documents[doc_id] = ViewCache(schema, tree, engine=engine)
         # Reloads must count as a fresh touch, or a just-reloaded doc
         # keeps its old LRU position and can be evicted immediately.
@@ -835,6 +967,7 @@ class IndependenceService(JsonLinesFront):
             evicted, _ = self._documents.popitem(last=False)
             self._doc_meta.pop(evicted, None)
             self.document_evictions += 1
+        obs_metrics.DOCUMENTS_LOADED.set(len(self._documents))
         return {"doc": doc_id, **meta}
 
     async def _op_doc_query(self, params: dict) -> dict:
@@ -889,9 +1022,14 @@ class IndependenceService(JsonLinesFront):
                 return locs, [serialize(tree.store, loc)
                               for loc in take]
 
-            locs, answers = await self._in_analysis_thread(
-                run_materialized
-            )
+            t0 = time.perf_counter()
+            with span("engine"):
+                locs, answers = await self._in_analysis_thread(
+                    run_materialized
+                )
+            obs_metrics.DOC_QUERY_SECONDS.labels(
+                mode="materialized"
+            ).observe(time.perf_counter() - t0)
             self.doc_queries["materialized"] += 1
             return {"doc": doc_id, "count": len(locs),
                     "answers": answers, "mode": "materialized",
@@ -935,9 +1073,14 @@ class IndependenceService(JsonLinesFront):
                     self.docstore, name, locs, limit
                 )
 
-            locs, answers = await self._in_analysis_thread(
-                run_pushdown
-            )
+            t0 = time.perf_counter()
+            with span("store"):
+                locs, answers = await self._in_analysis_thread(
+                    run_pushdown
+                )
+            obs_metrics.DOC_QUERY_SECONDS.labels(
+                mode="pushdown"
+            ).observe(time.perf_counter() - t0)
             self.doc_queries["pushed_down"] += 1
             mode = "pushdown"
         else:
@@ -956,9 +1099,14 @@ class IndependenceService(JsonLinesFront):
                 return locs, [serialize(tree.store, loc)
                               for loc in take]
 
-            locs, answers = await self._in_analysis_thread(
-                run_fallback
-            )
+            t0 = time.perf_counter()
+            with span("engine"):
+                locs, answers = await self._in_analysis_thread(
+                    run_fallback
+                )
+            obs_metrics.DOC_QUERY_SECONDS.labels(
+                mode="fallback"
+            ).observe(time.perf_counter() - t0)
             self.doc_queries["fallback"] += 1
             mode = "fallback"
         return {"doc": doc_id, "count": len(locs),
@@ -969,7 +1117,9 @@ class IndependenceService(JsonLinesFront):
         table, if any, keeps its copy)."""
         doc_id = require(params, "doc")
         self._doc_meta.pop(doc_id, None)
-        return {"unloaded": self._documents.pop(doc_id, None) is not None}
+        unloaded = self._documents.pop(doc_id, None) is not None
+        obs_metrics.DOCUMENTS_LOADED.set(len(self._documents))
+        return {"unloaded": unloaded}
 
     async def _op_view_register(self, params: dict) -> dict:
         """Materialize a named view over a loaded document."""
@@ -1060,6 +1210,7 @@ class ShardedService(JsonLinesFront):
         "view.result": "doc",
         "update.apply": "doc",
         "stats": "fanout",
+        "metrics": "fanout",
         "shutdown": "local",
     }
 
@@ -1070,7 +1221,13 @@ class ShardedService(JsonLinesFront):
     MAX_ALIASES = 4096
 
     def __init__(self, config: ServeConfig):
-        super().__init__(config.host, config.port)
+        super().__init__(
+            config.host, config.port,
+            role="router",
+            slow_ms=config.slow_ms,
+            slow_log_path=config.slow_log_path,
+            metrics_port=config.metrics_port,
+        )
         self.config = config
         #: Resolved storage wiring (never opened router-side: the
         #: router owns no stores, but stats aggregation needs to know
@@ -1190,17 +1347,41 @@ class ShardedService(JsonLinesFront):
         if routing == "schema":
             digest = self._route_digest(require(params, "schema"))
             link = self._link_for_digest(digest)
-            return self._payload(await link.call(request.op, params))
+            return await self._forward(link, request)
         if routing == "doc":
             link = self._link_for_doc(require(params, "doc"))
-            return self._payload(await link.call(request.op, params))
+            return await self._forward(link, request)
         if routing == "register":
             return await self._op_schema_register(params)
         if routing == "evict":
             return await self._op_schema_evict(params)
         if request.op == "stats":
             return await self._op_stats(params)
+        if request.op == "metrics":
+            return await self._op_metrics(params)
         return await self._op_schema_list(params)
+
+    async def _forward(self, link: ShardLink, request: Request) -> dict:
+        """Forward a routed request to its owning shard.
+
+        When the client asked for tracing (a ``trace`` id or
+        ``timing: true``), the envelope fields are propagated so the
+        shard joins the same trace and returns its span breakdown (the
+        router's ``_serve_line`` then merges it under a ``router``
+        span).  Untraced requests forward byte-identically to before.
+        """
+        obs_metrics.SHARD_ROUTED.labels(shard=str(link.index)).inc()
+        params = request.params
+        if request.timing or request.trace is not None:
+            trace = current_trace()
+            params = dict(params)
+            if trace is not None:
+                params["trace"] = trace.trace_id
+            if request.timing:
+                params["timing"] = True
+        with span("router"):
+            response = await link.call(request.op, params)
+        return self._payload(response)
 
     # -- ops -----------------------------------------------------------------
 
@@ -1391,6 +1572,42 @@ class ShardedService(JsonLinesFront):
                 ),
             },
             "per_shard": per_shard,
+        }
+
+    async def _metrics_snapshot(self) -> dict:
+        """Router view: every shard's snapshot merged with the router's.
+
+        Merging sums children with identical label tuples (see
+        :func:`repro.obs.metrics.merge_snapshots`); router-side series
+        (``role="router"``, ``repro_shard_routed_total``) coexist with
+        the summed shard series (``role="service"``).
+        """
+        payloads = await self._fanout("metrics")
+        return merge_snapshots(
+            [REGISTRY.snapshot()]
+            + [p["snapshot"] for p in payloads]
+        )
+
+    async def _op_metrics(self, params: dict) -> dict:
+        """Aggregated observability surface of the whole topology.
+
+        ``snapshot`` is the merged router view, ``per_shard`` the raw
+        per-worker snapshots it was merged from (index-aligned with the
+        shard pool), and ``slow`` the union of every process's slow
+        ring, ordered by timestamp.
+        """
+        payloads = await self._fanout("metrics")
+        shard_snapshots = [p["snapshot"] for p in payloads]
+        merged = merge_snapshots([REGISTRY.snapshot()] + shard_snapshots)
+        slow = self.slow.entries()
+        for payload in payloads:
+            slow.extend(payload.get("slow", ()))
+        slow.sort(key=lambda entry: entry.get("ts", ""))
+        return {
+            "text": render(merged),
+            "snapshot": merged,
+            "per_shard": shard_snapshots,
+            "slow": slow[-128:],
         }
 
 

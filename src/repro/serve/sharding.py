@@ -163,6 +163,13 @@ def spawn_shards(config: "ServeConfig", shards: int) -> list[ShardHandle]:
                 shard_index=index,
                 doc_id_prefix=f"s{index}-",
                 preload=preloads[index],
+                # Observability is router-fronted: workers expose their
+                # registries over the `metrics` wire op (the router
+                # merges), so they bind no /metrics listener, and the
+                # slow-log file stays single-writer (worker slow
+                # requests still reach the router via the ring).
+                metrics_port=0,
+                slow_log_path="",
             )
             receiver, sender = context.Pipe(duplex=False)
             process = context.Process(

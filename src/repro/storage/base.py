@@ -31,8 +31,12 @@ document round-trips byte-identically through any backend.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from ..obs.metrics import STORE_OP_SECONDS
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.docstore's
     # package init imports the legacy DocumentBackend adapter, which
@@ -55,6 +59,29 @@ STEP_AXES = ("self", "child", "descendant", "descendant-or-self",
 #: Node tests :class:`StepSpec` accepts: a tag name test, ``text()``,
 #: ``node()`` (anything), or ``*`` (any element).
 STEP_TESTS = ("name", "text", "node", "wildcard")
+
+
+def timed_store_op(op: str):
+    """Decorator timing a document-store method into the metrics registry.
+
+    Backends wrap their ``save``/``load``/``run_steps`` implementations
+    with this so every storage engine reports latency into the same
+    ``repro_store_op_seconds{op=...}`` histogram
+    (:mod:`repro.obs.metrics`) without per-backend plumbing.
+    """
+    child = STORE_OP_SECONDS.labels(op=op)
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                child.observe(time.perf_counter() - started)
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from .base import (
     check_steps,
     materialize,
     node_rows,
+    timed_store_op,
 )
 
 
@@ -103,6 +104,7 @@ class MemoryDocumentStore(DocumentStore):
         # invalidated whenever the document is rewritten.
         self._steps_trees: dict[str, object] = {}
 
+    @timed_store_op("save")
     def save(self, doc, tree, schema_digest, nodes_seen=0,
              subtrees_skipped=0, meta=None) -> int:
         """Persist ``tree`` under ``doc`` as canonical row tuples."""
@@ -132,6 +134,7 @@ class MemoryDocumentStore(DocumentStore):
         with self._lock:
             return self._catalog.get(doc)
 
+    @timed_store_op("load")
     def load(self, doc: str):
         """Re-materialize ``doc`` from its stored rows, or None."""
         with self._lock:
@@ -177,6 +180,7 @@ class MemoryDocumentStore(DocumentStore):
             if tag is None or rows[x][4] == tag
         ]
 
+    @timed_store_op("run_steps")
     def run_steps(self, doc: str, steps, *,
                   dedup: bool = False) -> list[int]:
         """Answer a compiled step chain via the in-memory axis

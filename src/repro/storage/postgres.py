@@ -43,6 +43,7 @@ from .base import (
     compile_steps_sql,
     materialize,
     node_rows,
+    timed_store_op,
 )
 
 _VERDICT_SCHEMA = """
@@ -247,6 +248,7 @@ class PgDocumentStore(DocumentStore):
                     self._conn.execute(statement)
             self._conn.commit()
 
+    @timed_store_op("save")
     def save(self, doc, tree, schema_digest, nodes_seen=0,
              subtrees_skipped=0, meta=None) -> int:
         """Persist ``tree`` under ``doc`` in one transaction.
@@ -322,6 +324,7 @@ class PgDocumentStore(DocumentStore):
         return StoredDocument(row[0], row[1], row[2], row[3], row[4],
                               json.loads(row[5]))
 
+    @timed_store_op("load")
     def load(self, doc: str):
         """Re-materialize ``doc`` with one ordered range scan, or
         None."""
@@ -373,6 +376,7 @@ class PgDocumentStore(DocumentStore):
             self._conn.commit()
         return [r[0] for r in rows]
 
+    @timed_store_op("run_steps")
     def run_steps(self, doc: str, steps, *,
                   dedup: bool = False) -> list[int]:
         """Answer a compiled step chain with ONE server-side SQL query

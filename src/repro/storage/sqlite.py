@@ -32,6 +32,7 @@ from .base import (
     compile_steps_sql,
     materialize,
     node_rows,
+    timed_store_op,
 )
 
 #: Pragmas applied to every file-backed connection (``":memory:"``
@@ -261,6 +262,7 @@ class SqliteDocumentStore(DocumentStore):
             self._conn.executescript(_DOCUMENT_SCHEMA)
             self._conn.commit()
 
+    @timed_store_op("save")
     def save(self, doc, tree, schema_digest, nodes_seen=0,
              subtrees_skipped=0, meta=None) -> int:
         """Persist ``tree`` under ``doc`` (replacing any prior version).
@@ -311,6 +313,7 @@ class SqliteDocumentStore(DocumentStore):
         return StoredDocument(row[0], row[1], row[2], row[3], row[4],
                               json.loads(row[5]))
 
+    @timed_store_op("load")
     def load(self, doc: str):
         """Re-materialize ``doc`` from its node table, or None.
 
@@ -362,6 +365,7 @@ class SqliteDocumentStore(DocumentStore):
             ).fetchall()
         return [r[0] for r in rows]
 
+    @timed_store_op("run_steps")
     def run_steps(self, doc: str, steps, *,
                   dedup: bool = False) -> list[int]:
         """Answer a compiled step chain with ONE SQL query over the

@@ -22,6 +22,10 @@ import repro.docstore.backend
 import repro.docstore.encode
 import repro.docstore.pushdown
 import repro.docstore.streamload
+import repro.obs
+import repro.obs.export
+import repro.obs.metrics
+import repro.obs.tracing
 import repro.serve.batching
 import repro.serve.loadgen
 import repro.serve.protocol
@@ -44,6 +48,10 @@ MODULES = [
     repro.docstore.encode,
     repro.docstore.pushdown,
     repro.docstore.streamload,
+    repro.obs,
+    repro.obs.export,
+    repro.obs.metrics,
+    repro.obs.tracing,
     repro.serve.batching,
     repro.serve.loadgen,
     repro.serve.protocol,

@@ -1,0 +1,69 @@
+"""``docs/OBSERVABILITY.md`` is generated-checked against the code.
+
+The metric inventory table must list exactly the families registered on
+the process-default registry -- name, kind, and label set -- and the
+span table must cover exactly ``repro.obs.tracing.SPAN_NAMES``.  Adding
+an instrument without documenting it (or documenting a phantom) fails
+here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import SPAN_NAMES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+#: A metric row: ``| `name` | kind | labels | meaning |``.
+METRIC_ROW = re.compile(
+    r"^\| `(repro_[a-z_]+)` \| (counter|gauge|histogram) "
+    r"\| ([^|]*) \|",
+    re.MULTILINE,
+)
+
+#: A span row: ``| `name` | layer | meaning |`` inside the span table.
+SPAN_ROW = re.compile(r"^\| `([a-z_]+)` \| [^|`]+ \|", re.MULTILINE)
+
+
+def test_document_exists():
+    assert DOC.is_file(), "docs/OBSERVABILITY.md is missing"
+
+
+def test_metric_table_matches_registry_exactly():
+    documented = {
+        name: (kind, tuple(re.findall(r"`([a-z_]+)`", labels)))
+        for name, kind, labels in METRIC_ROW.findall(DOC.read_text())
+    }
+    live = {
+        name: (family.kind, family.labelnames)
+        for name, family in REGISTRY.families().items()
+    }
+    assert documented == live, (
+        "docs/OBSERVABILITY.md metric table has drifted from "
+        "repro.obs.metrics.REGISTRY:\n"
+        f"  documented only: {sorted(set(documented) - set(live))}\n"
+        f"  registry only:   {sorted(set(live) - set(documented))}\n"
+        f"  mismatched:      "
+        f"{sorted(k for k in set(live) & set(documented) if live[k] != documented[k])}"
+    )
+
+
+def test_span_table_matches_span_names_exactly():
+    text = DOC.read_text()
+    section = text.split("## Life of a traced request")[1] \
+        .split("## ")[0]
+    documented = tuple(SPAN_ROW.findall(section))
+    assert tuple(sorted(documented)) == tuple(sorted(SPAN_NAMES)), (
+        f"span table {documented} != SPAN_NAMES {SPAN_NAMES}"
+    )
+
+
+def test_slow_log_entry_keys_documented():
+    text = DOC.read_text()
+    for key in ("ts", "trace", "op", "total_ms", "spans", "ok"):
+        assert f'"{key}"' in text, (
+            f"slow-log key {key!r} undocumented in OBSERVABILITY.md"
+        )

@@ -1,0 +1,154 @@
+"""The exposition output obeys the Prometheus text-format grammar.
+
+Rather than spot-checking a few lines, ``_validate_exposition`` parses
+the whole rendering: every sample line must belong to a ``# TYPE``-
+declared family, histogram bucket series must be cumulative
+(monotonically non-decreasing in ``le`` order) and end in a ``+Inf``
+bucket equal to ``<name>_count``, and families must appear in sorted
+order.  The same validator is reused by the wire-level tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.export import render
+from repro.obs.metrics import MetricsRegistry
+
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})? (?P<value>\S+)$"
+)
+
+
+def validate_exposition(text: str) -> dict[str, list]:
+    """Assert exposition grammar; returns samples grouped by family."""
+    families: dict[str, dict] = {}
+    samples: dict[str, list] = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"help": True, "type": None}
+            if current is not None:
+                assert name > current, (
+                    f"families out of sorted order: {current} then {name}"
+                )
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name == current, "TYPE must follow its HELP"
+            assert kind in ("counter", "gauge", "histogram")
+            families[name]["type"] = kind
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"unparsable exposition line: {line!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = base if base in families else name
+        assert family in families, f"sample for undeclared family {name}"
+        kind = families[family]["type"]
+        if kind == "histogram":
+            assert name != family, (
+                f"histogram {family} must expose only _bucket/_sum/_count"
+            )
+        float(match.group("value"))  # must parse as a number
+        samples.setdefault(family, []).append(
+            (name, match.group("labels") or "", match.group("value"))
+        )
+    for name, family in families.items():
+        assert family["type"] is not None, f"{name} has HELP but no TYPE"
+        _check_histogram(name, family["type"], samples.get(name, []))
+    return samples
+
+
+def _check_histogram(name: str, kind: str, rows: list) -> None:
+    if kind != "histogram" or not rows:
+        return  # a family with no children renders only HELP/TYPE
+    series: dict[str, list] = {}
+    counts: dict[str, int] = {}
+    for sample_name, labels, value in rows:
+        if sample_name == f"{name}_bucket":
+            # `le` is always the last (appended) label on a bucket line.
+            le = re.search(r'(?:\{|,)le="([^"]+)"\}', labels).group(1)
+            base = re.sub(r'\{le="[^"]+"\}', "{}", labels)
+            base = re.sub(r',le="[^"]+"', "", base)
+            series.setdefault(base, []).append((le, int(value)))
+        elif sample_name == f"{name}_count":
+            counts[labels] = int(value)
+    assert series, f"histogram {name} exposes no _bucket series"
+    for base, buckets in series.items():
+        assert buckets[-1][0] == "+Inf", (
+            f"{name}{base} bucket series must end at le=+Inf"
+        )
+        bounds = [float(le) for le, _ in buckets[:-1]]
+        assert bounds == sorted(bounds), (
+            f"{name}{base} le bounds out of order"
+        )
+        cumulative = [count for _, count in buckets]
+        assert cumulative == sorted(cumulative), (
+            f"{name}{base} buckets are not cumulative"
+        )
+        # The +Inf bucket IS the count.
+        key = "" if base == "{}" else base
+        assert buckets[-1][1] == counts[key], (
+            f"{name}{base} +Inf bucket != _count"
+        )
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_x_seconds", "latency", ("op",),
+                              bounds=(0.001, 0.01, 0.1))
+    for op, value in (("analyze", 0.0005), ("analyze", 0.05),
+                      ("analyze", 5.0), ("stats", 0.002)):
+        hist.labels(op=op).observe(value)
+    registry.counter("repro_errs_total", "errors", ("code",)) \
+        .labels(code='we"ird\n').inc(2)
+    registry.gauge("repro_docs", "resident docs").set(3)
+    return registry
+
+
+def test_rendering_passes_grammar_validation():
+    samples = validate_exposition(render(_sample_registry().snapshot()))
+    assert set(samples) == {"repro_x_seconds", "repro_errs_total",
+                            "repro_docs"}
+
+
+def test_label_values_are_escaped():
+    text = render(_sample_registry().snapshot())
+    assert r'code="we\"ird\n"' in text
+    assert "\nrepro_docs 3\n" in "\n" + text
+
+
+def test_histogram_buckets_are_cumulative_with_inf_terminal():
+    text = render(_sample_registry().snapshot())
+    analyze = [line for line in text.splitlines()
+               if line.startswith("repro_x_seconds_bucket")
+               and 'op="analyze"' in line]
+    values = [int(line.rsplit(" ", 1)[1]) for line in analyze]
+    assert values == [1, 1, 2, 3]
+    assert 'le="+Inf"' in analyze[-1]
+    assert 'repro_x_seconds_count{op="analyze"} 3' in text
+
+
+def test_empty_snapshot_renders_empty():
+    assert render({"families": {}}) == ""
+
+
+@given(values=st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    max_size=40,
+))
+def test_any_observation_stream_renders_valid_exposition(values):
+    registry = MetricsRegistry()
+    family = registry.histogram("repro_p_seconds", "property", ("op",))
+    for i, value in enumerate(values):
+        family.labels(op=("analyze", "stats")[i % 2]).observe(value)
+    validate_exposition(render(registry.snapshot()))

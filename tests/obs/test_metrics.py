@@ -1,0 +1,128 @@
+"""Unit and property tests for the mergeable metrics registry.
+
+The load-bearing property (the whole point of snapshot merging) is
+checked with Hypothesis: splitting a sample stream across any number of
+per-shard histograms and merging their snapshots must be
+indistinguishable -- bucket counts, sum, and count -- from observing
+the concatenated stream in one histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    merge_snapshots,
+)
+
+
+def test_counter_and_gauge_merge_by_summing():
+    registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+    for registry, n in ((registry_a, 3), (registry_b, 4)):
+        family = registry.counter("c_total", "help", ("op",))
+        family.labels(op="analyze").inc(n)
+        gauge = registry.gauge("g", "help")
+        gauge.set(n)
+    merged = merge_snapshots([registry_a.snapshot(),
+                              registry_b.snapshot()])
+    counter = merged["families"]["c_total"]["children"]['["analyze"]']
+    assert counter["value"] == 7
+    gauge = merged["families"]["g"]["children"]["[]"]
+    assert gauge["value"] == 7
+
+
+def test_histogram_bucketing_is_le_inclusive():
+    histogram = Histogram((1.0, 2.0))
+    for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+        histogram.observe(value)
+    # le semantics: a sample equal to a bound lands in that bound's
+    # bucket, and values above the last bound land in the overflow slot.
+    assert histogram.counts == [2, 2, 1]
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(104.0)
+
+
+def test_family_label_schema_is_enforced():
+    registry = MetricsRegistry()
+    family = registry.counter("x_total", "help", ("op",))
+    with pytest.raises(ValueError):
+        family.labels()
+    with pytest.raises(ValueError):
+        family.labels(op="a", extra="b")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total", "help")  # kind mismatch
+    # Idempotent re-registration returns the same family.
+    assert registry.counter("x_total", "help", ("op",)) is family
+
+
+def test_merge_rejects_conflicting_schemas():
+    registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+    registry_a.counter("m", "help", ("op",)).labels(op="a").inc()
+    registry_b.counter("m", "help", ("code",)).labels(code="b").inc()
+    with pytest.raises(ValueError):
+        merge_snapshots([registry_a.snapshot(), registry_b.snapshot()])
+
+
+def test_quantile_interpolates_and_clamps():
+    histogram = Histogram((1.0, 2.0, 4.0))
+    for value in (0.5, 0.5, 1.5, 1.5, 3.0, 100.0):
+        histogram.observe(value)
+    child = histogram.data()
+    # Median rank 3 (of 6) falls halfway through the (1, 2] bucket.
+    assert histogram_quantile(child, 0.5) == pytest.approx(1.5)
+    # The overflow bucket clamps to the last finite bound.
+    assert histogram_quantile(child, 1.0) == pytest.approx(4.0)
+    assert histogram_quantile({"bounds": [1.0], "counts": [0, 0],
+                               "sum": 0.0, "count": 0}, 0.5) == 0.0
+
+
+#: Latency-like samples: non-negative, spanning below the first bound
+#: to far beyond the last.
+_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    max_size=60,
+)
+
+
+@given(shards=st.lists(_samples, min_size=1, max_size=5))
+def test_merged_shard_histograms_equal_one_histogram(shards):
+    """merge(per-shard snapshots) == one histogram over all samples."""
+    per_shard = []
+    for samples in shards:
+        registry = MetricsRegistry()
+        family = registry.histogram("repro_h_seconds", "help", ("op",))
+        for value in samples:
+            family.labels(op="analyze").observe(value)
+        per_shard.append(registry.snapshot())
+
+    whole = MetricsRegistry()
+    family = whole.histogram("repro_h_seconds", "help", ("op",))
+    for samples in shards:
+        for value in samples:
+            family.labels(op="analyze").observe(value)
+
+    merged = merge_snapshots(per_shard)
+    merged_child = merged["families"]["repro_h_seconds"]["children"]
+    whole_child = whole.snapshot()["families"]["repro_h_seconds"]["children"]
+    assert merged_child.keys() == whole_child.keys()
+    for key in whole_child:
+        assert merged_child[key]["counts"] == whole_child[key]["counts"]
+        assert merged_child[key]["count"] == whole_child[key]["count"]
+        assert merged_child[key]["sum"] == pytest.approx(
+            whole_child[key]["sum"]
+        )
+
+
+@given(samples=_samples)
+def test_bucket_counts_always_total_to_count(samples):
+    histogram = Histogram(DEFAULT_LATENCY_BOUNDS)
+    for value in samples:
+        histogram.observe(value)
+    assert sum(histogram.counts) == histogram.count == len(samples)
