@@ -37,6 +37,8 @@ from ..obs.metrics import (
     ENGINE_STORE_SECONDS,
     ENGINE_UNIVERSE_SECONDS,
 )
+from ..obs.plan import clip, current_plan
+from ..obs.plan import decision as plan_decision
 from ..schema.dtd import DTD
 from ..schema.edtd import EDTD
 from ..xquery.ast import ROOT_VAR, Query
@@ -600,6 +602,7 @@ class AnalysisEngine:
         if cached is not None:
             self.stats.pair_hits += 1
             self._pair_cache.move_to_end(cache_key)
+            self._plan_pair("pair_memo", query_key, update_key)
             return cached
         self.stats.pair_misses += 1
 
@@ -640,13 +643,20 @@ class AnalysisEngine:
                     analysis_seconds=time.perf_counter() - started,
                 )
                 self._memoize(cache_key, report)
+                self._plan_pair("store", query_key, update_key)
                 return report
             self.stats.store_misses += 1
 
+        universes_before = self.stats.universes_built
         query_chains = self.query_chains(query, pair_k)
         update_chains = self.update_chains(update, pair_k)
         conflicts = check_conflicts(query_chains, update_chains,
                                     collect_witnesses)
+        self._plan_pair(
+            "computed", query_key, update_key,
+            universe="built"
+            if self.stats.universes_built > universes_before else "hit",
+        )
         report = IndependenceReport(
             independent=not conflicts,
             k=pair_k,
@@ -668,6 +678,29 @@ class AnalysisEngine:
         if len(self._pair_cache) > self.pair_cache_size:
             self._pair_cache.popitem(last=False)
             self.stats.pair_evictions += 1
+
+    def _plan_pair(self, source: str, query_key, update_key,
+                   **extra) -> None:
+        """Record one per-pair verdict-source plan decision.
+
+        The bounded ``repro_plan_decisions_total`` counter always
+        ticks; the record itself (with clipped expression labels the
+        batcher matches against its entries) is built only when a
+        :class:`~repro.obs.plan.PlanContext` is installed, so the hot
+        unexplained path pays one counter increment and nothing else.
+        """
+        plan = current_plan()
+        if plan is None:
+            plan_decision("engine", source)
+            return
+        plan_decision(
+            "engine", source, plan,
+            query=clip(query_key if isinstance(query_key, str)
+                       else repr(query_key)),
+            update=clip(update_key if isinstance(update_key, str)
+                        else repr(update_key)),
+            **extra,
+        )
 
     def analyze_many(
         self,

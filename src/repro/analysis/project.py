@@ -41,9 +41,47 @@ def _component_chain_index(
     return chains, False
 
 
+def schema_reach(
+    schema: DTD, cap: int
+) -> tuple[tuple[str, int], ...]:
+    """Per-symbol downward reach, saturated at ``cap``.
+
+    ``reach[s]`` is the length of the longest valid path strictly below
+    ``s`` (0 for leaves); a symbol that reaches a type-graph cycle gets
+    ``cap``, since its true reach is unbounded.  This is the viability
+    side of the truncation guard on :class:`ChainKeep`: whether a label
+    chain can still extend to the universe's depth cap depends only on
+    its length and last symbol, so a one-pass DFS over the type graph
+    answers it for every chain at once.
+    """
+    memo: dict[str, int] = {}
+    on_path: set[str] = set()
+
+    def extend(symbol: str) -> int:
+        if symbol in memo:
+            return memo[symbol]
+        if symbol in on_path:
+            return cap  # back edge: symbol lies on a cycle
+        on_path.add(symbol)
+        best = 0
+        for child in sorted(schema.children_of(symbol)):
+            best = max(best, 1 + extend(child))
+            if best >= cap:
+                best = cap
+                break
+        on_path.discard(symbol)
+        memo[symbol] = best
+        return best
+
+    return tuple(sorted(
+        (symbol, extend(symbol)) for symbol in schema.symbols
+    ))
+
+
 def chain_keep_for_chains(
     chains: QueryChains, limit: int = 200_000,
     depth_cap: int | None = None,
+    schema: DTD | None = None,
 ) -> ChainKeep | None:
     """The :class:`ChainKeep` spec of an inferred ``(r; v; e)`` triple.
 
@@ -62,6 +100,16 @@ def chain_keep_for_chains(
     (found by the docstore bench: a ~100k-node XMark document nests
     ``parlist``/``listitem`` recursion past the cap, and the projected
     ``//text()`` answer lost exactly the depth-13 text nodes).
+
+    Viability toward the cap comes from ``schema`` (the
+    :func:`schema_reach` table), not from the inferred chains: a
+    recursion-deepened path whose completions *all* lie past the cap
+    matches no inferred chain at any depth, yet a valid document can
+    park answer nodes down there -- pruning it would be unsound.  The
+    inferred-prefix index alone cannot see this (found by the
+    Theorem 3.2 property test: a two-level ``t3`` recursion pushed the
+    only ``//text()`` witness to depth 6 under a cap of 5, and the
+    projection dropped it at depth 3).
     """
     return_chains, blown = _component_chain_index(chains.returns, limit)
     if blown:
@@ -69,8 +117,10 @@ def chain_keep_for_chains(
     used_chains, blown = _component_chain_index(chains.used, limit)
     if blown:
         return None
+    reach = schema_reach(schema, depth_cap) \
+        if schema is not None and depth_cap is not None else ()
     return ChainKeep.from_chains(return_chains, used_chains,
-                                 truncation=depth_cap)
+                                 truncation=depth_cap, reach=reach)
 
 
 def chain_keep_for_query(
@@ -96,6 +146,7 @@ def chain_keep_for_query(
             k = max(1, engine.query_multiplicity(query))
         chains = engine.query_chains(query, k)
         depth_cap = engine.state(k).depth_cap
+        schema = engine.schema
     else:
         if schema is None:
             raise ValueError("chain_keep_for_query needs schema or engine")
@@ -106,7 +157,8 @@ def chain_keep_for_query(
         universe = build_universe(schema, k)
         chains = QueryInference(universe).infer_root(query, ROOT_VAR)
         depth_cap = universe.depth_cap
-    return chain_keep_for_chains(chains, limit, depth_cap=depth_cap)
+    return chain_keep_for_chains(chains, limit, depth_cap=depth_cap,
+                                 schema=schema)
 
 
 def chain_keep_for_queries(
@@ -136,6 +188,7 @@ def chain_keep_for_queries(
 def projection_locations(
     tree: Tree, chains: QueryChains, limit: int = 200_000,
     depth_cap: int | None = None,
+    schema: DTD | None = None,
 ) -> set[Location] | None:
     """Locations of ``tree`` covered by the query's chains.
 
@@ -145,7 +198,8 @@ def projection_locations(
     streaming paths cannot diverge.  Returns None when the chain sets
     are too large to enumerate -- the caller should skip projecting.
     """
-    keep = chain_keep_for_chains(chains, limit, depth_cap=depth_cap)
+    keep = chain_keep_for_chains(chains, limit, depth_cap=depth_cap,
+                                 schema=schema)
     if keep is None:
         return None
     return keep_set_for_chains(tree, keep)
@@ -184,7 +238,8 @@ def project_for_query(
         inference = QueryInference(build_universe(schema, k))
     chains = inference.infer_root(query, ROOT_VAR)
     keep = projection_locations(
-        tree, chains, depth_cap=inference.universe.depth_cap
+        tree, chains, depth_cap=inference.universe.depth_cap,
+        schema=schema,
     )
     if keep is None:
         return tree

@@ -12,6 +12,8 @@ Subcommands::
         [--project '//title' ...] [--store sqlite:///docs.db --doc ID]
     python -m repro query '//title' --store sqlite:///docs.db --doc ID \\
         [--limit N]
+    python -m repro explain '//title' --store sqlite:///docs.db --doc ID
+    python -m repro metrics HOST:PORT | http://HOST:PORT/metrics [--raw]
     python -m repro bench fig3a|fig3b|fig3c|fig3d|all
     python -m repro docstore-bench [--bytes N] [--seed S] \\
         [--json BENCH_docstore.json]
@@ -261,6 +263,165 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(answer)
     print(f"{len(locs)} answers ({mode}) from {args.doc!r}",
           file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Explain how a query over a persisted document would run.
+
+    Builds the same :class:`~repro.obs.plan.PlanContext` the serving
+    pipeline builds for ``doc.query`` -- pushdown compilation (the
+    step chain and the exact parameterized SQL, or the ineligibility
+    reason) plus the answer path -- without a serve loop, and renders
+    it as an indented tree.  The query *is* answered (so the plan
+    carries the real answer count), but answers are not printed; use
+    ``repro query`` for those.
+    """
+    from .docstore.pushdown import compile_query_explain, step_label
+    from .obs.plan import PlanContext, decision, render_plan
+    from .storage import open_store
+    from .xquery.parser import parse_query
+
+    try:
+        query = parse_query(args.query)
+    except Exception as error:
+        raise SystemExit(f"error: query does not parse: {error}") \
+            from error
+    plan = PlanContext()
+    with open_store(args.store) as backend:
+        documents = backend.documents
+        stored = documents.describe(args.doc)
+        if stored is None:
+            raise SystemExit(
+                f"error: document {args.doc!r} is not persisted in "
+                f"{args.store}"
+            )
+        recorded = stored.meta.get("project_for")
+        if stored.meta.get("projected") and recorded is not None \
+                and args.query not in set(recorded):
+            raise SystemExit(
+                f"error: document {args.doc!r} is projected for "
+                f"{sorted(recorded)}, which does not cover this "
+                "query; reload it from a source"
+            )
+        steps, why = compile_query_explain(query)
+        if steps is not None:
+            explained = documents.explain_steps(args.doc, steps)
+            decision("pushdown", "compiled", plan,
+                     steps=[step_label(spec) for spec in steps],
+                     **explained)
+            locs = documents.run_steps(args.doc, steps)
+            mode = "pushdown"
+        else:
+            from .xquery.ast import ROOT_VAR
+            from .xquery.evaluator import evaluate_query
+
+            decision("pushdown", "ineligible", plan, **(why or {}))
+            tree, _ = documents.load(args.doc)
+            locs = evaluate_query(query, tree.store,
+                                  {ROOT_VAR: [tree.root]})
+            mode = "fallback"
+        decision("answer", mode, plan, doc=args.doc, count=len(locs))
+    print(render_plan(plan.report()))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """One-shot scrape of a running service's metrics.
+
+    ``HOST:PORT`` scrapes the wire ``metrics`` op over one JSON-lines
+    connection; an ``http(s)://`` address fetches the Prometheus
+    ``/metrics`` exposition instead (``/metrics`` is appended when the
+    URL has no path).  Both shapes summarize identically: counters and
+    gauges print their value, histograms their count and estimated
+    p50/p99, sorted by series name.  ``--raw`` prints the exposition
+    text verbatim instead.
+    """
+    import json as json_module
+
+    from .obs.export import parse_exposition, render
+    from .obs.metrics import histogram_quantile
+
+    address = args.address
+    if address.startswith(("http://", "https://")):
+        from urllib.error import URLError
+        from urllib.parse import urlsplit
+        from urllib.request import urlopen
+
+        if not urlsplit(address).path:
+            address += "/metrics"
+        try:
+            with urlopen(address, timeout=args.timeout) as response:
+                text = response.read().decode("utf-8")
+        except (URLError, OSError) as error:
+            raise SystemExit(f"error: scrape failed: {error}") from error
+        snapshot = parse_exposition(text)
+    else:
+        import asyncio
+
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                "error: address must be HOST:PORT or http(s)://..."
+            )
+
+        async def scrape():
+            reader, writer = await asyncio.open_connection(
+                host, int(port)
+            )
+            try:
+                writer.write(json_module.dumps(
+                    {"op": "metrics", "id": 1}
+                ).encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:
+                    pass
+            return json_module.loads(line)
+
+        try:
+            response = asyncio.run(
+                asyncio.wait_for(scrape(), timeout=args.timeout)
+            )
+        except (ConnectionError, OSError, TimeoutError) as error:
+            raise SystemExit(f"error: scrape failed: {error}") from error
+        if not response.get("ok"):
+            raise SystemExit(f"error: metrics op failed: {response}")
+        snapshot = response["snapshot"]
+        text = response.get("text") or render(snapshot)
+    if args.raw:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+        return 0
+    rows = []
+    for name, family in sorted(snapshot.get("families", {}).items()):
+        labelnames = list(family.get("labels", []))
+        for key, child in sorted(family.get("children", {}).items()):
+            values = json_module.loads(key)
+            labels = ",".join(
+                f"{n}={v}" for n, v in zip(labelnames, values)
+            )
+            series = f"{name}{{{labels}}}" if labels else name
+            if family.get("kind") == "histogram":
+                rows.append((
+                    series,
+                    f"count={child['count']}",
+                    f"p50={histogram_quantile(child, 0.5):.6g}",
+                    f"p99={histogram_quantile(child, 0.99):.6g}",
+                ))
+            else:
+                value = child.get("value", 0)
+                rows.append((series, f"value={value:g}", "", ""))
+    if not rows:
+        print("(no metrics)")
+        return 0
+    width = max(len(row[0]) for row in rows)
+    for row in rows:
+        tail = "  ".join(part for part in row[1:] if part)
+        print(f"{row[0]:<{width}}  {tail}")
     return 0
 
 
@@ -549,6 +710,37 @@ def build_parser() -> argparse.ArgumentParser:
                            help="serialize at most N answers (the "
                                 "count still reflects all of them)")
     query_cmd.set_defaults(func=_cmd_query)
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="explain how a query over a persisted document would "
+             "run: the compiled pushdown chain and its SQL, or the "
+             "ineligibility reason, plus the answer path",
+    )
+    explain_cmd.add_argument("query", help="query text, e.g. '//title'")
+    explain_cmd.add_argument("--store", required=True,
+                             help="store URL (or SQLite path) holding "
+                                  "the persisted node table")
+    explain_cmd.add_argument("--doc", required=True,
+                             help="document id in the store")
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="one-shot scrape of a running service's metrics "
+             "(HOST:PORT wire op, or an http(s):// /metrics URL)",
+    )
+    metrics_cmd.add_argument("address",
+                             help="HOST:PORT for the wire metrics op, "
+                                  "or http(s)://... for the HTTP "
+                                  "exposition listener")
+    metrics_cmd.add_argument("--raw", action="store_true",
+                             help="print the Prometheus exposition "
+                                  "text verbatim instead of the "
+                                  "summary table")
+    metrics_cmd.add_argument("--timeout", type=float, default=5.0,
+                             help="scrape timeout, seconds")
+    metrics_cmd.set_defaults(func=_cmd_metrics)
 
     bench_cmd = commands.add_parser(
         "bench", help="regenerate a Figure 3 panel"

@@ -58,22 +58,28 @@ _AXIS_NAMES = {
 _AXIS_ENUMS = {name: axis for axis, name in _AXIS_NAMES.items()}
 
 
-def _spec_for(step: Step) -> StepSpec | None:
-    """The :class:`StepSpec` of one core-AST step, or None when the
-    axis or test falls outside the pushdown fragment."""
+def _spec_for(step: Step) -> tuple[StepSpec | None, dict | None]:
+    """The :class:`StepSpec` of one core-AST step, or ``(None, why)``
+    when the axis or test falls outside the pushdown fragment.
+
+    ``why`` is an ineligibility record -- a stable ``reason`` from
+    :data:`repro.obs.plan.INELIGIBILITY_REASONS` plus the offending
+    axis/test -- carried into the ``pushdown: ineligible`` plan
+    decision."""
     axis = _AXIS_NAMES.get(step.axis)
     if axis is None:
-        return None
+        return None, {"reason": "unsupported-axis",
+                      "axis": step.axis.name.lower().replace("_", "-")}
     test = step.test
     if isinstance(test, NameTest):
-        return StepSpec(axis, "name", test.name)
+        return StepSpec(axis, "name", test.name), None
     if isinstance(test, TextTest):
-        return StepSpec(axis, "text")
+        return StepSpec(axis, "text"), None
     if isinstance(test, NodeKindTest):
-        return StepSpec(axis, "node")
+        return StepSpec(axis, "node"), None
     if isinstance(test, WildcardTest):
-        return StepSpec(axis, "wildcard")
-    return None
+        return StepSpec(axis, "wildcard"), None
+    return None, {"reason": "unsupported-test", "test": type(test).__name__}
 
 
 def _fuse(specs: list[StepSpec]) -> list[StepSpec]:
@@ -103,16 +109,16 @@ def _fuse(specs: list[StepSpec]) -> list[StepSpec]:
     return fused
 
 
-def compile_query(query: Query | str) -> list[StepSpec] | None:
-    """Compile a query into a pushdown step chain, or None.
+def compile_query_explain(
+    query: Query | str,
+) -> tuple[list[StepSpec] | None, dict | None]:
+    """Compile a query and say *why* when compilation refuses.
 
-    Accepts surface text or a parsed core query and recognizes the
-    desugared linear path shape: nested ``For`` loops whose sources are
-    single steps off the previous variable, ending in a final step --
-    exactly what the parser emits for absolute paths and ``//`` steps.
-    Anything else (predicates, element construction, ``let``,
-    conditionals, upward or sibling axes, variable reuse) returns
-    ``None`` and the caller falls back to materialize-then-evaluate.
+    Returns ``(steps, None)`` for an eligible query and ``(None, why)``
+    otherwise, where ``why`` carries a stable ``reason`` string from
+    :data:`repro.obs.plan.INELIGIBILITY_REASONS` plus the offending AST
+    node / axis / test -- exactly what the ``pushdown: ineligible``
+    plan decision reports.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -123,25 +129,61 @@ def compile_query(query: Query | str) -> list[StepSpec] | None:
         if isinstance(node, For):
             source, body = node.source, node.body
             if not isinstance(source, Step) or source.var != var:
-                return None
+                return None, {"reason": "non-step-source",
+                              "node": type(source).__name__}
             if var in free_variables(body):
-                return None  # not a linear chain: context var reused
-            spec = _spec_for(source)
+                # Not a linear chain: context var reused in the body.
+                return None, {"reason": "context-reuse", "var": var}
+            spec, why = _spec_for(source)
             if spec is None:
-                return None
+                return None, why
             specs.append(spec)
             var = node.var
             node = body
             continue
         if isinstance(node, Step):
             if node.var != var:
-                return None
-            spec = _spec_for(node)
+                return None, {"reason": "non-step-source",
+                              "node": "Step"}
+            spec, why = _spec_for(node)
             if spec is None:
-                return None
+                return None, why
             specs.append(spec)
-            return _fuse(specs)
-        return None
+            return _fuse(specs), None
+        return None, {"reason": "non-step-tail",
+                      "node": type(node).__name__}
+
+
+def compile_query(query: Query | str) -> list[StepSpec] | None:
+    """Compile a query into a pushdown step chain, or None.
+
+    Accepts surface text or a parsed core query and recognizes the
+    desugared linear path shape: nested ``For`` loops whose sources are
+    single steps off the previous variable, ending in a final step --
+    exactly what the parser emits for absolute paths and ``//`` steps.
+    Anything else (predicates, element construction, ``let``,
+    conditionals, upward or sibling axes, variable reuse) returns
+    ``None`` and the caller falls back to materialize-then-evaluate;
+    :func:`compile_query_explain` additionally says why.
+    """
+    steps, _why = compile_query_explain(query)
+    return steps
+
+
+def step_label(spec: StepSpec) -> str:
+    """One compiled step as a compact plan label.
+
+    ``axis::test`` with the name test's tag in parentheses and the
+    positional filter in brackets, e.g. ``descendant-child::name(title)``
+    -- the rendering plans and the ``repro explain`` CLI use for the
+    compiled chain.
+    """
+    label = f"{spec.axis}::{spec.test}"
+    if spec.name is not None:
+        label += f"({spec.name})"
+    if spec.position is not None:
+        label += f"[{spec.position}]"
+    return label
 
 
 def _test_object(step: StepSpec):

@@ -8,6 +8,8 @@ every layer of the serving stack:
   JSON-serializable and mergeable across shard processes.
 - :mod:`repro.obs.tracing` — request-scoped trace contexts with timed
   spans, plus the bounded slow-request ring and JSON-lines slow log.
+- :mod:`repro.obs.plan` — request-scoped query plans (EXPLAIN): every
+  layer attaches structured decision records to a ``PlanContext``.
 - :mod:`repro.obs.export` — Prometheus text-format exposition of a
   registry snapshot and the tiny ``/metrics`` HTTP listener.
 
@@ -17,12 +19,19 @@ against it by the doc tests.
 """
 
 from .metrics import REGISTRY, MetricsRegistry, merge_snapshots
+from .plan import PlanContext, current_plan, decision, finish_plan, render_plan, start_plan
 from .tracing import TraceContext, current_trace, span, start_trace
 
 __all__ = [
     "REGISTRY",
     "MetricsRegistry",
     "merge_snapshots",
+    "PlanContext",
+    "current_plan",
+    "decision",
+    "finish_plan",
+    "render_plan",
+    "start_plan",
     "TraceContext",
     "current_trace",
     "span",

@@ -14,16 +14,20 @@ Prometheus text exposition format, version 0.0.4:
 
 :func:`serve_metrics_http` is a deliberately tiny asyncio HTTP/1.1
 server answering ``GET /metrics`` so a real Prometheus can scrape the
-router without any extra dependency.
+router without any extra dependency.  :func:`parse_exposition` is its
+inverse: it reads exposition text back into a snapshot-shaped dict, so
+the ``repro metrics`` CLI can summarize an HTTP scrape exactly like a
+wire-op snapshot.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import re
 from collections.abc import Awaitable, Callable
 
-__all__ = ["CONTENT_TYPE", "render", "serve_metrics_http"]
+__all__ = ["CONTENT_TYPE", "parse_exposition", "render", "serve_metrics_http"]
 
 #: The exposition content type served over HTTP.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -78,6 +82,122 @@ def render(snapshot: dict) -> str:
                 labels = _labelstr(labelnames, values)
                 out.append(f"{name}{labels} {_format_value(child['value'])}")
     return "\n".join(out) + "\n" if out else ""
+
+
+#: One ``label="value"`` pair inside a series' label braces.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_series(line: str) -> tuple[str, dict[str, str], float] | None:
+    """Split one sample line into ``(name, labels, value)``."""
+    if line.startswith("{"):
+        return None
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            return None
+        name = line[:brace]
+        labels = {
+            key: _unescape(raw)
+            for key, raw in _LABEL_RE.findall(line[brace + 1:close])
+        }
+        rest = line[close + 1:].strip()
+    else:
+        name, _, rest = line.partition(" ")
+        labels = {}
+        rest = rest.strip()
+    try:
+        value = float(rest.split()[0])
+    except (IndexError, ValueError):
+        return None
+    return name, labels, value
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text back into a snapshot-shaped dict.
+
+    The inverse of :func:`render`, shaped like
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` --
+    ``{"families": {name: {kind, help, labels, children}}}`` with
+    histogram children carrying per-bucket (non-cumulative) ``counts``
+    alongside ``bounds``/``sum``/``count`` -- so snapshot consumers
+    (:func:`repro.obs.metrics.histogram_quantile`, the ``repro
+    metrics`` CLI table) work identically on an HTTP scrape.  Series
+    without a ``# TYPE`` header are treated as untyped gauges.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str, kind: str | None = None) -> dict:
+        entry = families.setdefault(
+            name, {"kind": "gauge", "help": "", "labels": [], "children": {}}
+        )
+        if kind is not None:
+            entry["kind"] = kind
+        return entry
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2])["help"] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                family(parts[2], kind=parts[3])
+            continue
+        parsed = _parse_series(line)
+        if parsed is None:
+            continue
+        name, labels, value = parsed
+        base = name
+        suffix = None
+        for candidate in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(candidate)] if name.endswith(candidate) else None
+            if stem and families.get(stem, {}).get("kind") == "histogram":
+                base, suffix = stem, candidate
+                break
+        entry = family(base)
+        if suffix == "_bucket":
+            bound = labels.pop("le", "+Inf")
+        labelnames = sorted(labels)
+        if len(labelnames) > len(entry["labels"]):
+            entry["labels"] = labelnames
+        key = json.dumps([labels[n] for n in labelnames])
+        if entry["kind"] == "histogram":
+            child = entry["children"].setdefault(
+                key, {"bounds": [], "cumulative": [], "sum": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                if bound != "+Inf":
+                    child["bounds"].append(float(bound))
+                child["cumulative"].append(value)
+            elif suffix == "_sum":
+                child["sum"] = value
+            elif suffix == "_count":
+                child["count"] = int(value)
+        else:
+            entry["children"][key] = {"value": value}
+    for entry in families.values():
+        if entry["kind"] != "histogram":
+            continue
+        for child in entry["children"].values():
+            cumulative = child.pop("cumulative", [])
+            counts, previous = [], 0.0
+            for total in cumulative:
+                counts.append(int(total - previous))
+                previous = total
+            # render() always emits a terminal +Inf bucket, so counts
+            # already covers len(bounds) + 1 slots.
+            child["counts"] = counts
+    return {"families": families}
 
 
 async def serve_metrics_http(

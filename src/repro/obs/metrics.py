@@ -309,27 +309,30 @@ def histogram_quantile(child: dict, q: float) -> float:
 
     Linear interpolation inside the bucket that contains the target
     rank, Prometheus ``histogram_quantile`` style.  Samples in the
-    overflow (``+Inf``) bucket clamp to the last finite bound.  Returns
-    0.0 for an empty histogram.
+    overflow (``+Inf``) bucket clamp to the last finite bound (0.0 when
+    the histogram has no finite bounds at all).  ``q`` outside [0, 1]
+    clamps to the range; an empty histogram returns 0.0; ``q=0.0``
+    returns the lower edge of the first occupied bucket.
     """
     total = child["count"]
     if total <= 0:
         return 0.0
+    q = min(max(q, 0.0), 1.0)
     rank = q * total
-    seen = 0.0
     bounds = child["bounds"]
+    seen = 0.0
     for i, n in enumerate(child["counts"]):
         if n == 0:
             continue
+        lower = bounds[i - 1] if 0 < i <= len(bounds) else 0.0
+        if i >= len(bounds):  # overflow bucket: clamp, no upper bound
+            return float(bounds[-1]) if bounds else 0.0
         if seen + n >= rank:
-            upper = bounds[i] if i < len(bounds) else bounds[-1]
-            if i >= len(bounds):
-                return float(upper)
-            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
             fraction = (rank - seen) / n
             return lower + fraction * (upper - lower)
         seen += n
-    return float(bounds[-1])
+    return float(bounds[-1]) if bounds else 0.0
 
 
 #: Process-default registry.  Each shard worker is its own process, so
@@ -405,4 +408,9 @@ SHARD_ROUTED = REGISTRY.counter(
     "repro_shard_routed_total",
     "Requests the router forwarded, by shard index.",
     ("shard",),
+)
+PLAN_DECISIONS_TOTAL = REGISTRY.counter(
+    "repro_plan_decisions_total",
+    "Plan decisions by layer; the closed vocabulary lives in repro.obs.plan.",
+    ("layer", "decision"),
 )

@@ -147,8 +147,15 @@ class SlowRequestLog:
         """True when a positive threshold was configured."""
         return self.threshold_ms > 0.0
 
-    def record(self, op: str, trace: TraceContext, total_ms: float, ok: bool) -> dict | None:
-        """Record one request if it crossed the threshold; returns the entry."""
+    def record(
+        self, op: str, trace: TraceContext, total_ms: float, ok: bool, plan: dict | None = None
+    ) -> dict | None:
+        """Record one request if it crossed the threshold; returns the entry.
+
+        ``plan`` is the request's rendered plan report (see
+        :mod:`repro.obs.plan`), attached when the server captured one so
+        slow requests arrive with their EXPLAIN output in hand.
+        """
         if not self.enabled or total_ms < self.threshold_ms:
             return None
         entry = {
@@ -159,6 +166,8 @@ class SlowRequestLog:
             "spans": {name: round(seconds * 1000.0, 3) for name, seconds in trace.spans},
             "ok": ok,
         }
+        if plan is not None:
+            entry["plan"] = plan
         self._ring.append(entry)
         if self.path:
             if self._file is None:

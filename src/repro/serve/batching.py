@@ -21,12 +21,21 @@ per-request analysis so only the offending request sees the error.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..analysis.engine import AnalysisEngine
+from ..analysis.engine import AnalysisEngine, normalize_source
 from ..obs.metrics import BATCH_FLUSH_SECONDS, BATCH_QUEUE_WAIT, BATCH_SIZE
+from ..obs.plan import (
+    PlanContext,
+    clip,
+    count_decision,
+    current_plan,
+    using_plan,
+)
+from ..obs.plan import decision as plan_decision
 from ..obs.tracing import TraceContext, current_trace
 
 
@@ -57,15 +66,17 @@ class WireVerdict:
 class _Group:
     """One open admission window for a ``(digest, k)`` key.
 
-    Each entry is ``(query, update, future, trace, enqueued)``: the
-    request's trace context (or None) and its perf_counter enqueue time
-    so the flush can attribute queue-wait and engine spans per request.
+    Each entry is ``(query, update, future, trace, plan, enqueued)``:
+    the request's trace context (or None), its plan context (or None),
+    and its perf_counter enqueue time so the flush can attribute
+    queue-wait and engine spans -- and plan decisions -- per request.
     """
 
     engine: AnalysisEngine
     k: int | None
     entries: list[
-        tuple[str, str, asyncio.Future, TraceContext | None, float]
+        tuple[str, str, asyncio.Future, TraceContext | None,
+              PlanContext | None, float]
     ] = field(default_factory=list)
     full: asyncio.Event = field(default_factory=asyncio.Event)
 
@@ -104,10 +115,17 @@ class MicroBatcher:
         engine = self.registry.engine(schema_ref)
         loop = asyncio.get_running_loop()
         trace = current_trace()
+        plan = current_plan()
         if not self.enabled:
+            # Attaches to the request's own plan: submit runs in the
+            # request context, and the context copy carries it onto the
+            # analysis thread so engine decisions land there too.
+            plan_decision("batcher", "direct")
+            ctx = contextvars.copy_context()
             t0 = time.perf_counter()
             verdict = await loop.run_in_executor(
-                self._executor, self._analyze_one, engine, query, update, k
+                self._executor, ctx.run, self._analyze_one,
+                engine, query, update, k
             )
             if trace is not None:
                 trace.add_span("engine", time.perf_counter() - t0)
@@ -124,7 +142,7 @@ class MicroBatcher:
             self.coalesced_requests += 1
         future: asyncio.Future = loop.create_future()
         group.entries.append(
-            (query, update, future, trace, time.perf_counter())
+            (query, update, future, trace, plan, time.perf_counter())
         )
         if len(group.entries) >= self.max_batch:
             # Close the window immediately: removing the group here (not
@@ -177,16 +195,17 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         entries = group.entries
         self.batches += 1
+        flush_id = self.batches
         self.max_batch_size = max(self.max_batch_size, len(entries))
         flush_started = time.perf_counter()
         BATCH_SIZE.observe(len(entries))
-        for _, _, _, trace, enqueued in entries:
+        for _, _, _, trace, _, enqueued in entries:
             wait = flush_started - enqueued
             BATCH_QUEUE_WAIT.observe(wait)
             if trace is not None:
                 trace.add_span("queue_wait", wait)
         try:
-            verdicts, engine_seconds, store_seconds = \
+            verdicts, engine_seconds, store_seconds, batch_plan, shape = \
                 await loop.run_in_executor(
                     self._executor, self._analyze_batch,
                     group.engine, entries, group.k,
@@ -194,8 +213,18 @@ class MicroBatcher:
             BATCH_FLUSH_SECONDS.observe(
                 time.perf_counter() - flush_started
             )
-            for (_, _, future, trace, _), verdict in zip(entries,
-                                                         verdicts):
+            # Per-pair engine decisions were recorded on the shared
+            # batch plan (the flush runs once); index them by clipped
+            # normalized source so each explained entry gets its own
+            # pair's verdict-source record copied in.
+            engine_records: dict[tuple, dict] = {}
+            if batch_plan is not None:
+                for record in batch_plan.decisions:
+                    detail = record.get("detail") or {}
+                    engine_records[(detail.get("query"),
+                                    detail.get("update"))] = record
+            for (query, update, future, trace, plan, _), verdict \
+                    in zip(entries, verdicts):
                 if trace is not None:
                     # The flush is shared: every coalesced request
                     # reports the batch's engine/commit time as its own
@@ -203,20 +232,41 @@ class MicroBatcher:
                     trace.add_span("engine", engine_seconds)
                     if store_seconds > 0.0:
                         trace.add_span("store", store_seconds)
+                if plan is None:
+                    count_decision("batcher", shape["mode"])
+                else:
+                    plan_decision(
+                        "batcher", shape["mode"], plan,
+                        flush=flush_id, requests=len(entries),
+                        queries=shape["queries"],
+                        updates=shape["updates"], pairs=shape["pairs"],
+                    )
+                    record = engine_records.get(
+                        (clip(normalize_source(query)),
+                         clip(normalize_source(update)))
+                    )
+                    if record is not None:
+                        plan.add(record["layer"], record["decision"],
+                                 **(record.get("detail") or {}))
                 if not future.done():
                     future.set_result(verdict)
         except Exception:
             # Batch-level failure: isolate it per request so only the
             # offending expression's caller sees the error.
-            for query, update, future, trace, _ in entries:
+            for query, update, future, trace, plan, _ in entries:
                 if future.done():
                     continue
                 self.fallback_singles += 1
+                if plan is None:
+                    count_decision("batcher", "fallback")
+                else:
+                    plan_decision("batcher", "fallback", plan,
+                                  flush=flush_id)
                 try:
                     t0 = time.perf_counter()
                     verdict = await loop.run_in_executor(
-                        self._executor, self._analyze_one,
-                        group.engine, query, update, group.k,
+                        self._executor, self._analyze_single,
+                        group.engine, query, update, group.k, plan,
                     )
                 except Exception as error:
                     future.set_exception(error)
@@ -239,13 +289,18 @@ class MicroBatcher:
 
     def _analyze_batch(
         self, engine: AnalysisEngine, entries, k: int | None
-    ) -> tuple[list[WireVerdict], float, float]:
+    ) -> tuple[list[WireVerdict], float, float, PlanContext | None, dict]:
         """Worker-thread body of one flush: one deduplicated batch call
         under a single store commit, then per-entry verdict lookup.
 
-        Returns ``(verdicts, engine_seconds, store_seconds)`` so the
-        flush can attribute analysis versus group-commit time to every
-        coalesced request's trace.
+        Returns ``(verdicts, engine_seconds, store_seconds, batch_plan,
+        shape)``: the timing split lets the flush attribute analysis
+        versus group-commit time to every coalesced request's trace;
+        ``batch_plan`` (created only when at least one entry asked for
+        an explanation) collects the engine's per-pair verdict-source
+        decisions for per-entry attribution; ``shape`` describes the
+        flush (``mode``/``queries``/``updates``/``pairs``) for the
+        per-entry batcher decision.
         """
         queries = list(dict.fromkeys(entry[0] for entry in entries))
         updates = list(dict.fromkeys(entry[1] for entry in entries))
@@ -254,6 +309,15 @@ class MicroBatcher:
         ))
         dense = (len(queries) * len(updates)
                  <= self.MATRIX_DENSITY_LIMIT * len(pairs))
+        shape = {
+            "mode": "matrix" if dense else "sparse",
+            "queries": len(queries),
+            "updates": len(updates),
+            "pairs": len(pairs),
+        }
+        batch_plan = PlanContext() if any(
+            entry[4] is not None for entry in entries
+        ) else None
         store = engine.store
 
         def run() -> dict[tuple[str, str], WireVerdict]:
@@ -275,28 +339,47 @@ class MicroBatcher:
                 for pair, report in zip(pairs, reports)
             }
 
+        def run_planned() -> dict[tuple[str, str], WireVerdict]:
+            if batch_plan is None:
+                return run()
+            with using_plan(batch_plan):
+                return run()
+
         t0 = time.perf_counter()
         if store is not None:
             with store.deferred():
-                verdicts = run()
+                verdicts = run_planned()
                 engine_seconds = time.perf_counter() - t0
             # deferred() commits on exit: everything past the run is
             # the group-commit cost.
             store_seconds = time.perf_counter() - t0 - engine_seconds
         else:
-            verdicts = run()
+            verdicts = run_planned()
             engine_seconds = time.perf_counter() - t0
             store_seconds = 0.0
         return (
             [verdicts[(entry[0], entry[1])] for entry in entries],
             engine_seconds,
             store_seconds,
+            batch_plan,
+            shape,
         )
 
     def _analyze_one(self, engine: AnalysisEngine, query: str, update: str,
                      k: int | None) -> WireVerdict:
         return wire_verdict(engine.analyze_pair(query, update, k=k,
                                          collect_witnesses=False))
+
+    def _analyze_single(self, engine: AnalysisEngine, query: str,
+                        update: str, k: int | None,
+                        plan: PlanContext | None) -> WireVerdict:
+        """Worker-thread body of one fallback single: install the
+        request's own plan (when it has one) so engine decisions attach
+        to the right context despite running from the flush task."""
+        if plan is None:
+            return self._analyze_one(engine, query, update, k)
+        with using_plan(plan):
+            return self._analyze_one(engine, query, update, k)
 
 
 def wire_verdict(report) -> WireVerdict:

@@ -87,11 +87,13 @@ class ProtocolError(Exception):
 class Request:
     """A decoded request line.
 
-    ``trace`` and ``timing`` are the observability envelope fields
-    (stripped from ``params`` like ``op``/``id``): ``trace`` is a
-    client-supplied trace id propagated through the request's spans, and
-    ``timing=true`` asks for the per-layer span breakdown in the
-    response.
+    ``trace``, ``timing``, and ``explain`` are the observability
+    envelope fields (stripped from ``params`` like ``op``/``id``):
+    ``trace`` is a client-supplied trace id propagated through the
+    request's spans, ``timing=true`` asks for the per-layer span
+    breakdown in the response, and ``explain=true`` asks for the
+    request's query plan (the structured decision records of
+    :mod:`repro.obs.plan`) in a ``plan`` response field.
     """
 
     op: str
@@ -99,6 +101,7 @@ class Request:
     id: object = None
     trace: str | None = None
     timing: bool = False
+    explain: bool = False
 
 
 def encode(payload: dict) -> bytes:
@@ -133,10 +136,13 @@ def decode_request(line: bytes) -> Request:
     timing = payload.get("timing", False)
     if not isinstance(timing, bool):
         raise ProtocolError(BAD_REQUEST, '"timing" must be a boolean')
+    explain = payload.get("explain", False)
+    if not isinstance(explain, bool):
+        raise ProtocolError(BAD_REQUEST, '"explain" must be a boolean')
     params = {key: value for key, value in payload.items()
-              if key not in ("op", "id", "trace", "timing")}
+              if key not in ("op", "id", "trace", "timing", "explain")}
     return Request(op=op, params=params, id=payload.get("id"),
-                   trace=trace, timing=timing)
+                   trace=trace, timing=timing, explain=explain)
 
 
 def ok_response(request_id: object, result: dict) -> bytes:

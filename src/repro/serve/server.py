@@ -54,6 +54,7 @@ the unsharded service.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -62,7 +63,11 @@ from ..analysis.engine import schema_digest
 from ..analysis.independence import analyze as oneshot_analyze
 from ..analysis.project import chain_keep_for_queries
 from ..docstore.adapter import to_indexed
-from ..docstore.pushdown import compile_query, serialize_answers
+from ..docstore.pushdown import (
+    compile_query_explain,
+    serialize_answers,
+    step_label,
+)
 from ..docstore.streamload import load_path, load_xml
 from ..schema.dtd import DTD
 from ..viewmaint.cache import ViewCache
@@ -73,6 +78,12 @@ from ..xmldm.serialize import serialize
 from ..obs import metrics as obs_metrics
 from ..obs.export import render, serve_metrics_http
 from ..obs.metrics import REGISTRY, merge_snapshots
+from ..obs.plan import (
+    current_plan,
+    finish_plan,
+    start_plan,
+)
+from ..obs.plan import decision as plan_decision
 from ..obs.tracing import (
     SlowRequestLog,
     current_trace,
@@ -334,13 +345,19 @@ class JsonLinesFront:
         client cannot grow label cardinality) and runs under a
         :class:`~repro.obs.tracing.TraceContext` so downstream layers
         can attach spans.  ``timing: true`` requests get the span
-        breakdown attached to the success response; requests over the
-        ``--slow-ms`` threshold land in the slow ring/log.
+        breakdown attached to the success response; ``explain: true``
+        requests additionally run under a
+        :class:`~repro.obs.plan.PlanContext` and get the decision plan
+        attached (a forwarded shard's plan folds under the router's);
+        requests over the ``--slow-ms`` threshold land in the slow
+        ring/log, with their plan when one was captured.
         """
         self.stats.requests += 1
         request_id = None
         op_label = "unknown"
         trace = None
+        plan = None
+        plan_report = None
         error_code = None
         started = time.perf_counter()
         try:
@@ -349,6 +366,10 @@ class JsonLinesFront:
             if request.op in _KNOWN_OPS:
                 op_label = request.op
             trace = start_trace(request.trace)
+            # Slow-request capture wants a plan even when the client did
+            # not ask for one, so plans piggyback on the slow threshold.
+            if request.explain or self.slow.enabled:
+                plan = start_plan()
             result = await self._dispatch(request)
             if result.get("ok") is False:
                 # A forwarded shard error: count it like a local one.
@@ -356,11 +377,17 @@ class JsonLinesFront:
                 forwarded = (result.get("error") or {}).get("code")
                 error_code = forwarded if forwarded in ERROR_CODES \
                     else INTERNAL
-            elif request.timing:
+            elif request.timing or request.explain:
                 result = dict(result)
-                result["timing"] = trace.report(
-                    inner=result.pop("timing", None)
-                )
+                if request.timing:
+                    result["timing"] = trace.report(
+                        inner=result.pop("timing", None)
+                    )
+                if request.explain and plan is not None:
+                    plan_report = plan.report(
+                        inner=result.pop("plan", None)
+                    )
+                    result["plan"] = plan_report
             response = ok_response(request_id, result)
         except ProtocolError as error:
             self.stats.errors += 1
@@ -382,6 +409,8 @@ class JsonLinesFront:
         finally:
             if trace is not None:
                 finish_trace(trace)
+            if plan is not None:
+                finish_plan(plan)
         elapsed = time.perf_counter() - started
         obs_metrics.REQUEST_SECONDS.labels(
             op=op_label, role=self.role
@@ -391,8 +420,10 @@ class JsonLinesFront:
                 op=op_label, code=error_code, role=self.role
             ).inc()
         if trace is not None and self.slow.enabled:
+            if plan is not None and plan_report is None:
+                plan_report = plan.report()
             if self.slow.record(op_label, trace, elapsed * 1000.0,
-                                ok=error_code is None):
+                                ok=error_code is None, plan=plan_report):
                 obs_metrics.SLOW_REQUESTS.labels(
                     op=op_label, role=self.role
                 ).inc()
@@ -525,10 +556,16 @@ class IndependenceService(JsonLinesFront):
         return await handler(request.params)
 
     async def _in_analysis_thread(self, fn, *args):
-        """Run engine-touching work on the single analysis worker."""
+        """Run engine-touching work on the single analysis worker.
+
+        The caller's context is copied into the worker (executors do
+        not propagate contextvars on their own), so engine decisions
+        recorded on the thread land on this request's plan.
+        """
         loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
         return await loop.run_in_executor(
-            self.batcher._executor, fn, *args
+            self.batcher._executor, ctx.run, fn, *args
         )
 
     # -- ops: basics ---------------------------------------------------------
@@ -652,6 +689,7 @@ class IndependenceService(JsonLinesFront):
         k = self._optional_k(params)
         if self.config.analysis_mode == "oneshot":
             schema = self.registry.schema(schema_ref)
+            plan_decision("batcher", "oneshot", schema=schema_ref)
             report = await self._in_analysis_thread(
                 lambda: oneshot_analyze(query, update, schema, k=k,
                                         collect_witnesses=False)
@@ -817,12 +855,16 @@ class IndependenceService(JsonLinesFront):
             "from_store": False,
             "subtrees_skipped": 0,
         }
+        provenance = "unprojected"
+        depth_cap = None
         requested = self._validated_project_for(params)
         if "xml" in params or "path" in params:
             keep = await self._in_analysis_thread(
                 self._projection_keep, engine, requested
             )
             meta["projected"] = keep is not None
+            provenance = "projected" if keep is not None else "unprojected"
+            depth_cap = keep.truncation if keep is not None else None
             if "xml" in params:
                 xml = require(params, "xml")
                 loader = lambda: load_xml(xml, keep=keep)  # noqa: E731
@@ -914,6 +956,7 @@ class IndependenceService(JsonLinesFront):
                     nodes_seen=stored.nodes_seen,
                     subtrees_skipped=stored.subtrees_skipped,
                 )
+                provenance = "from_store"
                 persist = False
             else:
                 target = params.get("bytes", 10_000)
@@ -927,6 +970,8 @@ class IndependenceService(JsonLinesFront):
                     self._projection_keep, engine, requested
                 )
                 meta["projected"] = keep is not None
+                provenance = "generated"
+                depth_cap = keep.truncation if keep is not None else None
 
                 def generate():
                     document = generate_document(schema, target,
@@ -968,6 +1013,16 @@ class IndependenceService(JsonLinesFront):
             self._doc_meta.pop(evicted, None)
             self.document_evictions += 1
         obs_metrics.DOCUMENTS_LOADED.set(len(self._documents))
+        detail = {
+            "doc": doc_id,
+            "nodes": meta["nodes"],
+            "nodes_seen": meta["nodes_seen"],
+            "subtrees_skipped": meta["subtrees_skipped"],
+            "projected": meta["projected"],
+        }
+        if depth_cap is not None:
+            detail["depth_cap"] = depth_cap
+        plan_decision("docstore", provenance, **detail)
         return {"doc": doc_id, **meta}
 
     async def _op_doc_query(self, params: dict) -> dict:
@@ -1031,6 +1086,8 @@ class IndependenceService(JsonLinesFront):
                 mode="materialized"
             ).observe(time.perf_counter() - t0)
             self.doc_queries["materialized"] += 1
+            plan_decision("answer", "materialized",
+                          doc=doc_id, count=len(locs))
             return {"doc": doc_id, "count": len(locs),
                     "answers": answers, "mode": "materialized",
                     "from_store": False}
@@ -1064,8 +1121,19 @@ class IndependenceService(JsonLinesFront):
                 f"{sorted(recorded)}, which does not cover this "
                 "query; reload it from a source",
             )
-        steps = compile_query(query)
+        steps, why = compile_query_explain(query)
         if steps is not None:
+            if current_plan() is not None:
+                # explain_steps only *compiles* (no table access), so
+                # it is safe off the analysis thread.
+                explained = self.docstore.explain_steps(name, steps)
+                plan_decision(
+                    "pushdown", "compiled",
+                    steps=[step_label(spec) for spec in steps],
+                    **explained,
+                )
+            else:
+                plan_decision("pushdown", "compiled")
 
             def run_pushdown():
                 locs = self.docstore.run_steps(name, steps)
@@ -1084,6 +1152,7 @@ class IndependenceService(JsonLinesFront):
             self.doc_queries["pushed_down"] += 1
             mode = "pushdown"
         else:
+            plan_decision("pushdown", "ineligible", **(why or {}))
 
             def run_fallback():
                 loaded = self.docstore.load(name)
@@ -1109,6 +1178,7 @@ class IndependenceService(JsonLinesFront):
             ).observe(time.perf_counter() - t0)
             self.doc_queries["fallback"] += 1
             mode = "fallback"
+        plan_decision("answer", mode, doc=doc_id, count=len(locs))
         return {"doc": doc_id, "count": len(locs),
                 "answers": answers, "mode": mode, "from_store": True}
 
@@ -1301,14 +1371,25 @@ class ShardedService(JsonLinesFront):
         Raises :class:`UnknownSchemaError` when the ref is neither a
         known alias, a builtin name, nor a literal digest.
         """
+        digest, _how = self._route_digest_explain(ref)
+        return digest
+
+    def _route_digest_explain(self, ref: str) -> tuple[str, str]:
+        """:meth:`_route_digest` plus *how* the ref resolved.
+
+        The second element is the router's plan-decision name:
+        ``alias`` (router-side alias table hit), ``builtin`` (named
+        builtin schema), or ``digest`` (the ref already was a literal
+        content digest).
+        """
         digest = self._aliases.get(ref)
         if digest is not None:
             self._aliases.move_to_end(ref)
-            return digest
+            return digest, "alias"
         if ref in BUILTIN_SCHEMAS:
-            return builtin_digest(ref)
+            return builtin_digest(ref), "builtin"
         if DIGEST_RE.fullmatch(ref):
-            return ref
+            return ref, "digest"
         raise UnknownSchemaError(ref)
 
     def _link_for_digest(self, digest: str) -> ShardLink:
@@ -1345,8 +1426,11 @@ class ShardedService(JsonLinesFront):
                 return {"pong": True}
             return await self._op_shutdown(params)
         if routing == "schema":
-            digest = self._route_digest(require(params, "schema"))
+            ref = require(params, "schema")
+            digest, how = self._route_digest_explain(ref)
             link = self._link_for_digest(digest)
+            plan_decision("router", how, schema=ref, shard=link.index,
+                          digest=digest[:12])
             return await self._forward(link, request)
         if routing == "doc":
             link = self._link_for_doc(require(params, "doc"))
@@ -1368,17 +1452,22 @@ class ShardedService(JsonLinesFront):
         ``timing: true``), the envelope fields are propagated so the
         shard joins the same trace and returns its span breakdown (the
         router's ``_serve_line`` then merges it under a ``router``
-        span).  Untraced requests forward byte-identically to before.
+        span).  ``explain: true`` is propagated the same way, so the
+        shard returns its own plan for the router's ``_serve_line`` to
+        fold under the router plan.  Untraced, unexplained requests
+        forward byte-identically to before.
         """
         obs_metrics.SHARD_ROUTED.labels(shard=str(link.index)).inc()
         params = request.params
-        if request.timing or request.trace is not None:
+        if request.timing or request.trace is not None or request.explain:
             trace = current_trace()
             params = dict(params)
             if trace is not None:
                 params["trace"] = trace.trace_id
             if request.timing:
                 params["timing"] = True
+            if request.explain:
+                params["explain"] = True
         with span("router"):
             response = await link.call(request.op, params)
         return self._payload(response)

@@ -453,6 +453,21 @@ class DocumentStore:
         """
         raise NotImplementedError
 
+    def explain_steps(self, doc: str, steps, *,
+                      dedup: bool = False) -> dict:
+        """How this backend would answer :meth:`run_steps` for ``doc``.
+
+        Returns a JSON-ready record -- at least ``{"engine", "sql",
+        "params"}`` -- without touching the database: the SQL backends
+        report the exact parameterized query
+        :func:`compile_steps_sql` would run (their plan is the SQL);
+        tree-walking backends report ``engine="tree"`` with no SQL.
+        This is what the ``pushdown: compiled`` plan decision and the
+        ``repro explain`` CLI surface.
+        """
+        check_steps(steps)
+        return {"engine": "tree", "sql": None, "params": []}
+
     def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
         """The contiguous pre-order row slice of the subtree at
         ``loc`` (see :data:`NODE_COLUMNS`) -- one interval range scan,

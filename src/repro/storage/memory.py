@@ -200,6 +200,14 @@ class MemoryDocumentStore(DocumentStore):
                 self._steps_trees[doc] = tree
         return run_steps_on_tree(tree, steps, dedup=dedup)
 
+    def explain_steps(self, doc: str, steps, *,
+                      dedup: bool = False) -> dict:
+        """In-process answering via the axis accelerators: a tree walk,
+        no SQL (the base default, made explicit here)."""
+        check_steps(steps)
+        return {"engine": "tree", "dialect": "memory", "sql": None,
+                "params": []}
+
     def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
         """The pre-order row slice of the subtree at ``loc`` (one
         list slice: rows are stored in canonical pre-order)."""

@@ -392,6 +392,15 @@ class PgDocumentStore(DocumentStore):
             self._conn.commit()
         return [r[0] for r in rows]
 
+    def explain_steps(self, doc: str, steps, *,
+                      dedup: bool = False) -> dict:
+        """The exact parameterized SQL :meth:`run_steps` would execute
+        (``%s`` placeholders), without touching the server."""
+        sql, params = compile_steps_sql(doc, steps, placeholder="%s",
+                                        dedup=dedup)
+        return {"engine": "sql", "dialect": "postgresql", "sql": sql,
+                "params": list(params)}
+
     def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
         """The pre-order row slice of the subtree at ``loc``: one
         server-side interval range scan ``loc <= x < loc + size``."""

@@ -380,6 +380,15 @@ class SqliteDocumentStore(DocumentStore):
             rows = self._conn.execute(sql, params).fetchall()
         return [r[0] for r in rows]
 
+    def explain_steps(self, doc: str, steps, *,
+                      dedup: bool = False) -> dict:
+        """The exact parameterized SQL :meth:`run_steps` would execute
+        (``?`` placeholders), without touching the database."""
+        sql, params = compile_steps_sql(doc, steps, placeholder="?",
+                                        dedup=dedup)
+        return {"engine": "sql", "dialect": "sqlite", "sql": sql,
+                "params": list(params)}
+
     def subtree_rows(self, doc: str, loc: int) -> list[tuple]:
         """The pre-order row slice of the subtree at ``loc``: one
         interval range scan ``loc <= x < loc + size``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 
 from .store import ElementNode, Location, Store, TextNode, Tree
 
@@ -74,6 +75,14 @@ class ChainKeep:
     #: is trustworthy (recursive schemas admit arbitrarily deep valid
     #: documents).
     truncation: int | None = None
+    #: Schema reach per symbol: how many levels a valid path can still
+    #: extend below the symbol, saturated at ``truncation`` (recursion
+    #: makes the true value unbounded).  Consulted only when
+    #: ``truncation`` is set: viability toward the cap must come from
+    #: the *schema*, not from the inferred chains -- a recursion-deep
+    #: path may have all of its completions past the cap, where the
+    #: capped analysis inferred nothing at all.
+    reach: tuple[tuple[str, int], ...] = ()
 
     @classmethod
     def from_chains(
@@ -81,6 +90,7 @@ class ChainKeep:
         subtree_chains: "frozenset[Chain] | set[Chain]",
         node_chains: "frozenset[Chain] | set[Chain]" = frozenset(),
         truncation: int | None = None,
+        reach: "tuple[tuple[str, int], ...]" = (),
     ) -> "ChainKeep":
         """Build a spec, precomputing the proper-prefix index."""
         subtree = frozenset(subtree_chains)
@@ -90,34 +100,56 @@ class ChainKeep:
             for chain in subtree | node
             for length in range(1, len(chain))
         )
-        return cls(subtree, node, prefixes, truncation)
+        return cls(subtree, node, prefixes, truncation, reach)
 
     def union(self, other: "ChainKeep") -> "ChainKeep":
         """The spec keeping what either operand keeps."""
         truncations = [t for t in (self.truncation, other.truncation)
                        if t is not None]
+        merged: dict[str, int] = dict(self.reach)
+        for symbol, depth in other.reach:
+            merged[symbol] = max(depth, merged.get(symbol, 0))
         return ChainKeep.from_chains(
             self.subtree_chains | other.subtree_chains,
             self.node_chains | other.node_chains,
             truncation=min(truncations) if truncations else None,
+            reach=tuple(sorted(merged.items())),
         )
+
+    @cached_property
+    def _reach_map(self) -> "dict[str, int]":
+        return dict(self.reach)
 
     def decide(self, chain: Chain) -> KeepDecision:
         """Classify one label chain (no inherited context).
 
         Callers walk a tree top-down, treat ``SUBTREE`` as covering
-        everything below, and stop descending at ``SKIP`` -- so a
-        chain of ``truncation`` length is only ever consulted along a
-        still-viable path, where it must keep its subtree (the chain
-        analysis saw nothing below the cap).
+        everything below, and stop descending at ``SKIP``.  The capped
+        analysis saw every chain of length up to ``truncation`` -- its
+        blind spot is strictly *beyond* the cap.  So with a ``reach``
+        table, a chain the schema can extend past the cap is explored
+        even when no inferred chain extends it (its completions may all
+        lie in the blind spot), and a chain *at* the cap keeps its
+        whole subtree exactly when the schema puts anything below it.
+        On a non-recursive schema no chain outgrows the cap, so both
+        guards stay silent and the inferred chains decide alone.
+        Without a ``reach`` table (hand-built specs) the pre-cap guard
+        degrades to keeping every subtree at the cap.
         """
         if self.truncation is not None and len(chain) >= self.truncation:
-            return KeepDecision.SUBTREE
+            if not self.reach or self._reach_map.get(chain[-1], 0) >= 1:
+                return KeepDecision.SUBTREE
+            # A leaf chain at the cap: the analysis saw it in full,
+            # so the inferred chain sets below are authoritative.
         if chain in self.subtree_chains:
             return KeepDecision.SUBTREE
         if chain in self.node_chains:
             return KeepDecision.NODE
         if chain in self.prefixes:
+            return KeepDecision.EXPLORE
+        if self.truncation is not None and self.reach and \
+                self._reach_map.get(chain[-1], 0) >= \
+                self.truncation - len(chain) + 1:
             return KeepDecision.EXPLORE
         return KeepDecision.SKIP
 

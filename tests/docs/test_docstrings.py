@@ -25,6 +25,7 @@ import repro.docstore.streamload
 import repro.obs
 import repro.obs.export
 import repro.obs.metrics
+import repro.obs.plan
 import repro.obs.tracing
 import repro.serve.batching
 import repro.serve.loadgen
@@ -51,6 +52,7 @@ MODULES = [
     repro.obs,
     repro.obs.export,
     repro.obs.metrics,
+    repro.obs.plan,
     repro.obs.tracing,
     repro.serve.batching,
     repro.serve.loadgen,

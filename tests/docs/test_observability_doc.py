@@ -27,6 +27,9 @@ METRIC_ROW = re.compile(
 #: A span row: ``| `name` | layer | meaning |`` inside the span table.
 SPAN_ROW = re.compile(r"^\| `([a-z_]+)` \| [^|`]+ \|", re.MULTILINE)
 
+#: A plan-vocabulary row: ``| `layer` | `d1`, `d2`, ... | meaning |``.
+LAYER_ROW = re.compile(r"^\| `([a-z]+)` \| ([^|]*) \|", re.MULTILINE)
+
 
 def test_document_exists():
     assert DOC.is_file(), "docs/OBSERVABILITY.md is missing"
@@ -59,6 +62,28 @@ def test_span_table_matches_span_names_exactly():
     assert tuple(sorted(documented)) == tuple(sorted(SPAN_NAMES)), (
         f"span table {documented} != SPAN_NAMES {SPAN_NAMES}"
     )
+
+
+def test_explain_vocabulary_matches_plan_constants():
+    from repro.obs.plan import INELIGIBILITY_REASONS, PLAN_DECISIONS
+
+    section = DOC.read_text().split("## EXPLAIN")[1].split("\n## ")[0]
+    documented = {
+        layer: tuple(re.findall(r"`([a-z_]+)`", decisions))
+        for layer, decisions in LAYER_ROW.findall(section)
+    }
+    live = {layer: tuple(names)
+            for layer, names in PLAN_DECISIONS.items()}
+    assert documented == live, (
+        "docs/OBSERVABILITY.md EXPLAIN table has drifted from "
+        "repro.obs.plan.PLAN_DECISIONS:\n"
+        f"  documented: {documented}\n  live: {live}"
+    )
+    for reason in INELIGIBILITY_REASONS:
+        assert f"`{reason}`" in section, (
+            f"ineligibility reason {reason!r} undocumented in the "
+            "EXPLAIN section"
+        )
 
 
 def test_slow_log_entry_keys_documented():

@@ -15,8 +15,8 @@ import re
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.obs.export import render
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import parse_exposition, render
+from repro.obs.metrics import MetricsRegistry, histogram_quantile
 
 SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -139,6 +139,50 @@ def test_histogram_buckets_are_cumulative_with_inf_terminal():
 
 def test_empty_snapshot_renders_empty():
     assert render({"families": {}}) == ""
+
+
+def test_parse_exposition_round_trips_a_rendered_snapshot():
+    snapshot = _sample_registry().snapshot()
+    parsed = parse_exposition(render(snapshot))
+    assert set(parsed["families"]) == set(snapshot["families"])
+    for name, family in snapshot["families"].items():
+        back = parsed["families"][name]
+        assert back["kind"] == family["kind"]
+        assert set(back["children"]) == set(family["children"])
+        for key, child in family["children"].items():
+            if family["kind"] == "histogram":
+                assert back["children"][key]["counts"] == child["counts"]
+                assert back["children"][key]["count"] == child["count"]
+                assert back["children"][key]["bounds"] == \
+                    list(child["bounds"])
+            else:
+                assert back["children"][key]["value"] == child["value"]
+
+
+def test_parsed_histograms_answer_quantiles_like_the_originals():
+    registry = MetricsRegistry()
+    family = registry.histogram("repro_q_seconds", "latency", ("op",))
+    for value in (0.002, 0.004, 0.05, 0.3, 2.0):
+        family.labels(op="analyze").observe(value)
+    original = registry.snapshot()["families"]["repro_q_seconds"]
+    parsed = parse_exposition(render(registry.snapshot()))
+    child = parsed["families"]["repro_q_seconds"]["children"]['["analyze"]']
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert histogram_quantile(child, q) == histogram_quantile(
+            original["children"]['["analyze"]'], q
+        )
+
+
+def test_parse_exposition_tolerates_untyped_and_junk_lines():
+    parsed = parse_exposition(
+        "# a free comment\n"
+        "untyped_metric 7\n"
+        "not a sample line at all ? !\n"
+        "\n"
+    )
+    family = parsed["families"]["untyped_metric"]
+    assert family["kind"] == "gauge"
+    assert family["children"]["[]"]["value"] == 7.0
 
 
 @given(values=st.lists(

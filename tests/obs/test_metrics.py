@@ -82,6 +82,58 @@ def test_quantile_interpolates_and_clamps():
                                "sum": 0.0, "count": 0}, 0.5) == 0.0
 
 
+def test_quantile_of_an_empty_histogram_is_zero():
+    child = {"bounds": [1.0, 2.0], "counts": [0, 0, 0],
+             "sum": 0.0, "count": 0}
+    for q in (0.0, 0.5, 1.0):
+        assert histogram_quantile(child, q) == 0.0
+
+
+def test_quantile_with_all_samples_in_the_first_bucket():
+    histogram = Histogram((1.0, 2.0))
+    for _ in range(5):
+        histogram.observe(0.5)
+    child = histogram.data()
+    # Every quantile interpolates inside (0, 1]; q=0 is its lower edge.
+    assert histogram_quantile(child, 0.0) == pytest.approx(0.0)
+    assert histogram_quantile(child, 0.5) == pytest.approx(0.5)
+    assert histogram_quantile(child, 1.0) == pytest.approx(1.0)
+
+
+def test_quantile_with_all_samples_in_the_overflow_bucket():
+    histogram = Histogram((1.0, 2.0))
+    for _ in range(3):
+        histogram.observe(99.0)
+    child = histogram.data()
+    # No finite upper edge to interpolate toward: clamp to the last
+    # finite bound at every quantile.
+    for q in (0.0, 0.5, 1.0):
+        assert histogram_quantile(child, q) == pytest.approx(2.0)
+
+
+def test_quantile_with_no_finite_bounds_at_all():
+    child = {"bounds": [], "counts": [4], "sum": 8.0, "count": 4}
+    assert histogram_quantile(child, 0.5) == 0.0
+
+
+def test_quantile_q_zero_skips_empty_leading_buckets():
+    histogram = Histogram((1.0, 2.0, 4.0))
+    histogram.observe(3.0)
+    child = histogram.data()
+    # The first occupied bucket is (2, 4]; q=0 is its lower edge.
+    assert histogram_quantile(child, 0.0) == pytest.approx(2.0)
+
+
+def test_quantile_clamps_q_outside_the_unit_interval():
+    histogram = Histogram((1.0,))
+    histogram.observe(0.5)
+    child = histogram.data()
+    assert histogram_quantile(child, -3.0) == \
+        histogram_quantile(child, 0.0)
+    assert histogram_quantile(child, 7.0) == \
+        histogram_quantile(child, 1.0)
+
+
 #: Latency-like samples: non-negative, spanning below the first bound
 #: to far beyond the last.
 _samples = st.lists(

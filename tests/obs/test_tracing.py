@@ -90,3 +90,57 @@ def test_slow_log_disabled_by_default(tmp_path):
     trace = TraceContext()
     assert log.record("analyze", trace, 1e6, ok=False) is None
     assert log.entries() == []
+
+
+def test_slow_log_appends_across_restart(tmp_path):
+    path = tmp_path / "slow.jsonl"
+
+    def crossing(log, trace_id):
+        trace = TraceContext(trace_id)
+        assert log.record("analyze", trace, 10.0, ok=True)
+
+    first = SlowRequestLog(threshold_ms=1.0, path=str(path))
+    crossing(first, "before")
+    first.close()
+    # A restarted service reopens the same file in append mode: the
+    # earlier session's crossings must survive.
+    second = SlowRequestLog(threshold_ms=1.0, path=str(path))
+    crossing(second, "after")
+    second.close()
+    lines = [json.loads(line) for line in
+             path.read_text().strip().splitlines()]
+    assert [line["trace"] for line in lines] == ["before", "after"]
+
+
+def test_slow_log_close_is_idempotent(tmp_path):
+    log = SlowRequestLog(threshold_ms=1.0,
+                         path=str(tmp_path / "slow.jsonl"))
+    trace = TraceContext("t")
+    assert log.record("analyze", trace, 5.0, ok=True)
+    log.close()
+    log.close()  # a second close must not raise
+    # Closing without ever recording (file never opened) is fine too.
+    SlowRequestLog(threshold_ms=1.0,
+                   path=str(tmp_path / "never.jsonl")).close()
+
+
+def test_slow_ring_evicts_oldest_first():
+    log = SlowRequestLog(threshold_ms=1.0, capacity=3)
+    for i in range(5):
+        assert log.record("analyze", TraceContext(f"t{i}"), 5.0, ok=True)
+    # FIFO eviction: the ring holds the 3 most recent crossings, oldest
+    # first within the window.
+    assert [entry["trace"] for entry in log.entries()] == \
+        ["t2", "t3", "t4"]
+
+
+def test_slow_entries_carry_the_plan_when_given():
+    log = SlowRequestLog(threshold_ms=1.0)
+    plan = {"decisions": [{"layer": "answer", "decision": "pushdown"}],
+            "total_ms": 5.0}
+    assert log.record("doc.query", TraceContext("p"), 5.0, ok=True,
+                      plan=plan)
+    assert log.record("doc.query", TraceContext("q"), 5.0, ok=True)
+    with_plan, without = log.entries()
+    assert with_plan["plan"] == plan
+    assert "plan" not in without

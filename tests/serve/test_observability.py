@@ -222,3 +222,38 @@ def test_sharded_metrics_merge_equals_sum_of_shards(tmp_path):
     # A traced request through the router shows the forwarded hop.
     names = {span["name"] for span in analyze["timing"]["spans"]}
     assert {"router", "shard", "engine"} <= names
+
+
+def test_metrics_cli_scrapes_the_wire_and_http_listeners(capsys):
+    from repro.cli import main
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+
+    async def run():
+        async with running_service(
+            preload=("bib",), metrics_port=free_port,
+        ) as (_, host, port):
+            async with ServiceClient(host, port) as client:
+                assert (await client.call("analyze", **ANALYZE))["ok"]
+            # The CLI is synchronous (it owns its own event loop), so
+            # it scrapes off-thread while the service keeps serving.
+            loop = asyncio.get_running_loop()
+            wire = await loop.run_in_executor(
+                None, main, ["metrics", f"{host}:{port}"]
+            )
+            http = await loop.run_in_executor(
+                None, main,
+                ["metrics", f"http://127.0.0.1:{free_port}", "--raw"],
+            )
+        return wire, http
+
+    wire, http = asyncio.run(run())
+    assert wire == 0 and http == 0
+    out = capsys.readouterr().out
+    # Wire scrape: the summary table with quantile estimates.
+    assert "repro_request_seconds{" in out
+    assert "count=" in out and "p50=" in out and "p99=" in out
+    # HTTP scrape with --raw: the exposition text verbatim.
+    assert "# TYPE repro_request_seconds histogram" in out

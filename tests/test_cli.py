@@ -344,6 +344,68 @@ class TestLoadCommand:
         assert args.repeats == 3
 
 
+class TestExplainCommand:
+    """`repro explain`: plan rendering over a persisted document,
+    without a serve loop."""
+
+    @pytest.fixture()
+    def store_url(self, tmp_path):
+        xml = tmp_path / "bib.xml"
+        xml.write_text(
+            "<bib><book><title>a</title><author>x</author></book>"
+            "<book><title>b</title></book></bib>"
+        )
+        url = f"sqlite:///{tmp_path / 'docs.sqlite'}"
+        assert main(["load", str(xml), "--builtin", "bib",
+                     "--store", url, "--doc", "d"]) == 0
+        return url
+
+    def test_pushdown_plan_carries_steps_and_sql(self, store_url,
+                                                 capsys):
+        assert main(["explain", "//title",
+                     "--store", store_url, "--doc", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "pushdown: compiled" in out
+        assert "descendant-child::name(title)" in out
+        assert "SELECT" in out
+        assert "answer: pushdown" in out
+        assert "count = 2" in out
+
+    def test_ineligible_query_falls_back_with_a_reason(self, store_url,
+                                                       capsys):
+        assert main(["explain", "for $x in //title return <t>n</t>",
+                     "--store", store_url, "--doc", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "pushdown: ineligible" in out
+        assert "reason = non-step-source" in out
+        assert "answer: fallback" in out
+
+    def test_missing_document_errors(self, store_url):
+        with pytest.raises(SystemExit, match="not persisted"):
+            main(["explain", "//title", "--store", store_url,
+                  "--doc", "nope"])
+
+    def test_unparsable_query_errors(self, store_url):
+        with pytest.raises(SystemExit, match="does not parse"):
+            main(["explain", "((", "--store", store_url, "--doc", "d"])
+
+
+class TestMetricsCommand:
+    """`repro metrics`: flag surface and address validation (the live
+    scrape paths are covered in tests/serve/test_observability.py)."""
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["metrics", "127.0.0.1:7700"])
+        assert args.timeout == 5.0
+        assert args.raw is False
+
+    def test_malformed_address_errors(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["metrics", "not-an-address"])
+
+
 class TestStoreURLs:
     """Deprecation hygiene for the unified store-URL flags: old
     spellings warn (once, at the CLI layer only) and resolve to the

@@ -40,6 +40,7 @@ def test_perf_counter_is_actually_used():
         SRC / "repro" / "viewmaint" / "cache.py",
         SRC / "repro" / "serve" / "loadgen.py",
         SRC / "repro" / "bench" / "batch.py",
+        SRC / "repro" / "obs" / "plan.py",
         SRC / "repro" / "obs" / "tracing.py",
         SRC / "repro" / "serve" / "batching.py",
         SRC / "repro" / "storage" / "base.py",
